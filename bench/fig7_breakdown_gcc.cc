@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Reproduces Figure 7 of the paper: misprediction contributed by the
+ * SNT / ST / WB bias classes on gcc, for three schemes at three
+ * second-level sizes (256, 1K, 32K counters).
+ *
+ * Expected shape: the address-indexed gshare (few history bits) has
+ * the largest WB error; the history-indexed gshare trades WB error
+ * for ST/SNT interference error; bi-mode keeps the reduced WB error
+ * while also shrinking the strongly-biased classes' error.
+ */
+
+#include "common/bench_common.hh"
+
+using namespace bpsim;
+using namespace bpsim::bench;
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("fig7_breakdown_gcc",
+                   "Reproduce Figure 7: misprediction by bias class "
+                   "on gcc.");
+    addCommonOptions(args);
+    if (!args.parse(argc, argv))
+        return 0;
+    const std::uint64_t divisor = applyCommonOptions(args);
+    runBreakdownFigure(args, "gcc", divisor, "Figure 7");
+    return 0;
+}

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Reproduces Figure 8 of the paper: misprediction contributed by the
+ * bias classes on go.
+ *
+ * Expected shape: unlike gcc, the WB class dominates every scheme
+ * and size — go is intrinsically hard, destructive aliasing is not
+ * its bottleneck, and bi-mode consequently has little room to win
+ * (Section 4.4). More history shrinks the WB share.
+ */
+
+#include "common/bench_common.hh"
+
+using namespace bpsim;
+using namespace bpsim::bench;
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("fig8_breakdown_go",
+                   "Reproduce Figure 8: misprediction by bias class "
+                   "on go.");
+    addCommonOptions(args);
+    if (!args.parse(argc, argv))
+        return 0;
+    const std::uint64_t divisor = applyCommonOptions(args);
+    runBreakdownFigure(args, "go", divisor, "Figure 8");
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks: simulation throughput of every
+ * predictor kind over a shared gcc-like trace slice. Not a paper
+ * figure — this measures the simulator itself, the metric that
+ * bounds how much of the paper's sweep fits in a compute budget.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/factory.hh"
+#include "sim/simulator.hh"
+#include "workload/benchmarks.hh"
+#include "workload/generator.hh"
+
+namespace
+{
+
+/** A shared 200k-record slice of the gcc workload. */
+const bpsim::MemoryTrace &
+sharedTrace()
+{
+    static const bpsim::MemoryTrace trace = [] {
+        auto spec = bpsim::findBenchmark("gcc");
+        spec->dynamicBranches = 200'000;
+        return bpsim::generateWorkloadTrace(*spec);
+    }();
+    return trace;
+}
+
+void
+runPredictor(benchmark::State &state, const std::string &config)
+{
+    const bpsim::MemoryTrace &trace = sharedTrace();
+    const bpsim::PredictorPtr predictor = bpsim::makePredictor(config);
+    for (auto _ : state) {
+        predictor->reset();
+        auto reader = trace.reader();
+        const bpsim::SimResult result = simulate(*predictor, reader);
+        benchmark::DoNotOptimize(result.mispredictions);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(trace.size()));
+}
+
+void BM_Bimodal(benchmark::State &state) { runPredictor(state, "bimodal:n=12"); }
+void BM_Gshare(benchmark::State &state) { runPredictor(state, "gshare:n=12"); }
+void BM_GshareMultiPht(benchmark::State &state) { runPredictor(state, "gshare:n=12,h=8"); }
+void BM_BiMode(benchmark::State &state) { runPredictor(state, "bimode:d=11"); }
+void BM_Agree(benchmark::State &state) { runPredictor(state, "agree:n=12"); }
+void BM_Gskew(benchmark::State &state) { runPredictor(state, "gskew:n=11"); }
+void BM_Yags(benchmark::State &state) { runPredictor(state, "yags:c=12,n=10"); }
+void BM_Tournament(benchmark::State &state) { runPredictor(state, "tournament:n=11"); }
+void BM_GAs(benchmark::State &state) { runPredictor(state, "gas:h=8,a=4"); }
+void BM_PAs(benchmark::State &state) { runPredictor(state, "pas:h=6,l=10,a=6"); }
+
+BENCHMARK(BM_Bimodal);
+BENCHMARK(BM_Gshare);
+BENCHMARK(BM_GshareMultiPht);
+BENCHMARK(BM_BiMode);
+BENCHMARK(BM_Agree);
+BENCHMARK(BM_Gskew);
+BENCHMARK(BM_Yags);
+BENCHMARK(BM_Tournament);
+BENCHMARK(BM_GAs);
+BENCHMARK(BM_PAs);
+
+/** Trace generation throughput. */
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    auto spec = bpsim::findBenchmark("gcc");
+    spec->dynamicBranches = 100'000;
+    for (auto _ : state) {
+        const bpsim::MemoryTrace trace =
+            bpsim::generateWorkloadTrace(*spec);
+        benchmark::DoNotOptimize(trace.size());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 100'000);
+}
+
+BENCHMARK(BM_TraceGeneration);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * A didactic walkthrough of the paper's core mechanism.
+ *
+ * Two strongly but oppositely biased branches are forced onto the
+ * same second-level counter. The demo traces the counter state under
+ * gshare (destructive aliasing: the counter oscillates and both
+ * branches mispredict) and under bi-mode (the choice predictor
+ * steers them into different banks and both predict perfectly),
+ * printing the internal state transition by transition.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/bimode.hh"
+#include "predictors/gshare.hh"
+
+using namespace bpsim;
+
+namespace
+{
+
+/** The two colliding branches: same low address bits, opposite bias. */
+constexpr std::uint64_t kTakenPc = 0x1000;     // always taken
+constexpr std::uint64_t kNotTakenPc = 0x1040;  // always not-taken
+
+void
+demoGshare()
+{
+    std::cout << "=== gshare (4-bit index, no history for clarity) ===\n"
+              << "branch A = 0x1000 (always taken), branch B = 0x1040 "
+                 "(always not-taken)\n"
+              << "both map to PHT index 0 -> one shared 2-bit counter\n\n";
+    GsharePredictor gshare(4, 0);
+    int wrong = 0;
+    std::printf("%-6s %-10s %-9s %-10s %-8s %s\n", "round", "branch",
+                "counter", "predicts", "outcome", "verdict");
+    for (int round = 0; round < 6; ++round) {
+        for (const auto &[pc, outcome, label] :
+             {std::tuple{kTakenPc, true, "A(T)"},
+              std::tuple{kNotTakenPc, false, "B(N)"}}) {
+            const PredictionDetail detail = gshare.predictDetailed(pc);
+            const bool hit = detail.taken == outcome;
+            wrong += !hit;
+            std::printf("%-6d %-10s %-9llu %-10s %-8s %s\n", round,
+                        label,
+                        static_cast<unsigned long long>(detail.counterId),
+                        detail.taken ? "taken" : "not-taken",
+                        outcome ? "taken" : "not-taken",
+                        hit ? "ok" : "MISS");
+            gshare.update(pc, outcome);
+        }
+    }
+    std::cout << "\ngshare mispredictions: " << wrong << "/12 — the "
+              << "shared counter oscillates between the two biases.\n\n";
+}
+
+void
+demoBiMode()
+{
+    std::cout << "=== bi-mode (same direction-bank collision) ===\n"
+              << "direction banks: 16 counters each; choice: 256 "
+                 "entries (A and B distinct)\n\n";
+    BiModeConfig cfg;
+    cfg.directionIndexBits = 4;
+    cfg.choiceIndexBits = 8;
+    cfg.historyBits = 0;
+    BiModePredictor bimode(cfg);
+    std::cout << "direction index of A: "
+              << bimode.directionIndexFor(kTakenPc)
+              << ", of B: " << bimode.directionIndexFor(kNotTakenPc)
+              << " (collide)\n"
+              << "choice index of A: " << bimode.choiceIndexFor(kTakenPc)
+              << ", of B: " << bimode.choiceIndexFor(kNotTakenPc)
+              << " (distinct)\n\n";
+
+    int wrong = 0;
+    std::printf("%-6s %-10s %-14s %-10s %-8s %s\n", "round", "branch",
+                "serving bank", "predicts", "outcome", "verdict");
+    for (int round = 0; round < 6; ++round) {
+        for (const auto &[pc, outcome, label] :
+             {std::tuple{kTakenPc, true, "A(T)"},
+              std::tuple{kNotTakenPc, false, "B(N)"}}) {
+            const PredictionDetail detail = bimode.predictDetailed(pc);
+            const bool hit = detail.taken == outcome;
+            wrong += !hit;
+            std::printf("%-6d %-10s %-14s %-10s %-8s %s\n", round,
+                        label,
+                        detail.bank == BiModePredictor::kTakenBank
+                            ? "taken-bank" : "not-taken-bank",
+                        detail.taken ? "taken" : "not-taken",
+                        outcome ? "taken" : "not-taken",
+                        hit ? "ok" : "MISS");
+            bimode.update(pc, outcome);
+        }
+    }
+    std::cout << "\nbi-mode mispredictions: " << wrong
+              << "/12 — after one round the choice predictor routes "
+                 "A to the taken bank\nand B to the not-taken bank; "
+                 "the collision becomes harmless because both\n"
+                 "streams reaching each counter agree.\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Destructive aliasing and how the bi-mode predictor "
+                 "removes it\n"
+              << "(Lee, Chen & Mudge, MICRO-30 1997)\n\n";
+    demoGshare();
+    demoBiMode();
+    return 0;
+}

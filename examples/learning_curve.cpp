@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Learning curves and pipeline impact.
+ *
+ * Plots (as a text series) the per-interval misprediction rate of a
+ * set of predictors over one benchmark — showing how fast each
+ * converges after cold start — then translates the steady-state
+ * rates into estimated CPI/IPC and speedup with the first-order
+ * pipeline model.
+ *
+ * Usage: learning_curve [--benchmark gcc] [--interval 50000]
+ *                       [--predictors bimodal:n=12,gshare:n=12;...]
+ */
+
+#include <algorithm>
+#include <iostream>
+#include <sstream>
+
+#include "core/factory.hh"
+#include "sim/interval_stats.hh"
+#include "sim/pipeline_model.hh"
+#include "util/args.hh"
+#include "util/table.hh"
+#include "workload/benchmarks.hh"
+#include "workload/generator.hh"
+
+using namespace bpsim;
+
+namespace
+{
+
+/** Splits a ';'-separated predictor list. */
+std::vector<std::string>
+splitConfigs(const std::string &text)
+{
+    std::vector<std::string> configs;
+    std::istringstream stream(text);
+    std::string item;
+    while (std::getline(stream, item, ';')) {
+        if (!item.empty())
+            configs.push_back(item);
+    }
+    return configs;
+}
+
+/** A tiny text sparkline for a misprediction series. */
+std::string
+sparkline(const std::vector<double> &values, double lo, double hi)
+{
+    static const char *glyphs[] = {" ", ".", ":", "-", "=", "+", "*",
+                                   "#"};
+    std::string line;
+    for (double v : values) {
+        const double t = hi > lo ? (v - lo) / (hi - lo) : 0.0;
+        const int level = std::clamp(static_cast<int>(t * 7.0), 0, 7);
+        line += glyphs[level];
+    }
+    return line;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("learning_curve",
+                   "Per-interval misprediction series and pipeline "
+                   "impact of a predictor set.");
+    args.addOption("benchmark", "gcc", "benchmark name");
+    args.addOption("interval", "50000",
+                   "conditional branches per interval");
+    args.addOption("predictors",
+                   "bimodal:n=12;gshare:n=12;bimode:d=11;"
+                   "perceptron:n=8,h=24",
+                   "';'-separated predictor configs");
+    if (!args.parse(argc, argv))
+        return 0;
+
+    const auto spec = findBenchmark(args.get("benchmark"));
+    if (!spec) {
+        std::cerr << "unknown benchmark\n";
+        return 1;
+    }
+    const MemoryTrace trace = generateWorkloadTrace(*spec);
+    const std::uint64_t interval = args.getUint("interval");
+
+    struct Row
+    {
+        std::string name;
+        IntervalSeries series;
+    };
+    std::vector<Row> rows;
+    double lo = 100.0, hi = 0.0;
+    for (const std::string &config : splitConfigs(args.get("predictors"))) {
+        const PredictorPtr predictor = makePredictor(config);
+        auto reader = trace.reader();
+        IntervalSeries series =
+            measureIntervals(*predictor, reader, interval);
+        for (double v : series.mispredictPercent) {
+            lo = std::min(lo, v);
+            hi = std::max(hi, v);
+        }
+        rows.push_back(Row{predictor->name(), std::move(series)});
+    }
+
+    std::cout << "benchmark " << spec->name << ", interval " << interval
+              << " branches; series low " << TextTable::fixed(lo, 1)
+              << "% high " << TextTable::fixed(hi, 1) << "%\n\n";
+    for (const Row &row : rows) {
+        std::cout << "  " << row.name << "\n  |"
+                  << sparkline(row.series.mispredictPercent, lo, hi)
+                  << "|  overall "
+                  << TextTable::fixed(row.series.overallPercent, 2)
+                  << "%, steady "
+                  << TextTable::fixed(row.series.steadyStatePercent(), 2)
+                  << "%, warm-up "
+                  << row.series.warmupIntervals() << " intervals\n\n";
+    }
+
+    // Pipeline translation (Alpha 21264-flavoured parameters).
+    const PipelineModel machine;
+    std::cout << "pipeline model: base CPI " << machine.baseCpi
+              << ", branch fraction " << machine.branchFraction
+              << ", penalty " << machine.mispredictPenaltyCycles
+              << " cycles\n";
+    TextTable table;
+    table.setColumns({"predictor", "steady misp %", "est. IPC",
+                      "speedup vs first (%)"});
+    const double base_rate =
+        rows.empty() ? 0.0 : rows.front().series.steadyStatePercent();
+    for (const Row &row : rows) {
+        const double rate = row.series.steadyStatePercent();
+        table.addRow({row.name, TextTable::fixed(rate, 2),
+                      TextTable::fixed(machine.ipcAt(rate), 3),
+                      TextTable::fixed(
+                          machine.speedupPercent(base_rate, rate), 2)});
+    }
+    table.print(std::cout);
+    return 0;
+}

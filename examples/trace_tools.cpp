@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Trace toolbox: generate, convert, inspect and simulate branch
+ * trace files from the command line.
+ *
+ * Subcommands (first positional argument):
+ *   generate  --benchmark gcc --out gcc.bbt [--count N]
+ *             (or --spec-file my.spec to generate a custom workload)
+ *   spec      --benchmark gcc --out gcc.spec (dump a built-in
+ *             benchmark's workload spec for editing)
+ *   convert   --in a.trace --out b.trace (format by extension:
+ *             .bbt binary, anything else text)
+ *   stats     --in a.trace
+ *   simulate  --in a.trace --predictor bimode:d=11
+ */
+
+#include <iostream>
+#include <optional>
+
+#include "core/factory.hh"
+#include "sim/simulator.hh"
+#include "trace/binary_io.hh"
+#include "trace/text_io.hh"
+#include "trace/trace_stats.hh"
+#include "util/args.hh"
+#include "util/table.hh"
+#include "workload/benchmarks.hh"
+#include "workload/generator.hh"
+#include "workload/program_builder.hh"
+#include "workload/spec_io.hh"
+
+using namespace bpsim;
+
+namespace
+{
+
+bool
+isBinaryPath(const std::string &path)
+{
+    return path.size() >= 4 &&
+           path.compare(path.size() - 4, 4, ".bbt") == 0;
+}
+
+std::unique_ptr<TraceReader>
+openReader(const std::string &path)
+{
+    if (isBinaryPath(path))
+        return std::make_unique<BinaryTraceReader>(path);
+    return std::make_unique<TextTraceReader>(path);
+}
+
+std::unique_ptr<TraceWriter>
+openWriter(const std::string &path)
+{
+    if (isBinaryPath(path))
+        return std::make_unique<BinaryTraceWriter>(path);
+    return std::make_unique<TextTraceWriter>(path);
+}
+
+int
+cmdGenerate(const ArgParser &args)
+{
+    std::optional<WorkloadSpec> spec;
+    if (!args.get("spec-file").empty()) {
+        spec = loadWorkloadSpec(args.get("spec-file"));
+    } else {
+        spec = findBenchmark(args.get("benchmark"));
+        if (!spec) {
+            std::cerr << "unknown benchmark '" << args.get("benchmark")
+                      << "'\n";
+            return 1;
+        }
+    }
+    if (args.getUint("count") > 0)
+        spec->dynamicBranches = args.getUint("count");
+    const std::string out = args.get("out");
+    if (out.empty()) {
+        std::cerr << "generate requires --out\n";
+        return 1;
+    }
+    Program program = buildProgram(*spec);
+    TraceGenerator generator(program, *spec);
+    auto writer = openWriter(out);
+    generator.generate(spec->dynamicBranches, *writer);
+    writer->finish();
+    std::cout << "wrote " << spec->dynamicBranches << " records of '"
+              << spec->name << "' to " << out << "\n";
+    return 0;
+}
+
+int
+cmdSpec(const ArgParser &args)
+{
+    const auto spec = findBenchmark(args.get("benchmark"));
+    if (!spec) {
+        std::cerr << "unknown benchmark '" << args.get("benchmark")
+                  << "'\n";
+        return 1;
+    }
+    const std::string out = args.get("out");
+    if (out.empty()) {
+        writeWorkloadSpec(std::cout, *spec);
+    } else {
+        saveWorkloadSpec(out, *spec);
+        std::cout << "wrote spec of '" << spec->name << "' to " << out
+                  << "\n";
+    }
+    return 0;
+}
+
+int
+cmdConvert(const ArgParser &args)
+{
+    const std::string in = args.get("in"), out = args.get("out");
+    if (in.empty() || out.empty()) {
+        std::cerr << "convert requires --in and --out\n";
+        return 1;
+    }
+    auto reader = openReader(in);
+    auto writer = openWriter(out);
+    BranchRecord record;
+    std::uint64_t count = 0;
+    while (reader->next(record)) {
+        writer->append(record);
+        ++count;
+    }
+    writer->finish();
+    std::cout << "converted " << count << " records " << in << " -> "
+              << out << "\n";
+    return 0;
+}
+
+int
+cmdStats(const ArgParser &args)
+{
+    const std::string in = args.get("in");
+    if (in.empty()) {
+        std::cerr << "stats requires --in\n";
+        return 1;
+    }
+    auto reader = openReader(in);
+    TraceStats stats;
+    stats.observeAll(*reader);
+    TextTable table;
+    table.setColumns({"metric", "value"});
+    table.addRow({"static conditional branches",
+                  TextTable::grouped(stats.staticConditional())});
+    table.addRow({"dynamic conditional branches",
+                  TextTable::grouped(stats.dynamicConditional())});
+    table.addRow({"other dynamic records",
+                  TextTable::grouped(stats.dynamicOther())});
+    table.addRow({"taken fraction (%)",
+                  TextTable::fixed(100.0 * stats.takenFraction(), 2)});
+    table.addRow({">=90% biased dynamic share (%)",
+                  TextTable::fixed(
+                      100.0 * stats.stronglyBiasedDynamicFraction(),
+                      2)});
+    table.print(std::cout);
+
+    const auto branches = stats.perBranch();
+    std::cout << "\nhottest branches:\n";
+    TextTable hot;
+    hot.setColumns({"pc", "executions", "taken %"});
+    for (std::size_t i = 0; i < std::min<std::size_t>(10, branches.size());
+         ++i) {
+        char pc_text[32];
+        std::snprintf(pc_text, sizeof(pc_text), "0x%llx",
+                      static_cast<unsigned long long>(branches[i].pc));
+        hot.addRow({pc_text, TextTable::grouped(branches[i].executions),
+                    TextTable::fixed(
+                        100.0 * branches[i].takenFraction(), 1)});
+    }
+    hot.print(std::cout);
+    return 0;
+}
+
+int
+cmdSimulate(const ArgParser &args)
+{
+    const std::string in = args.get("in");
+    if (in.empty()) {
+        std::cerr << "simulate requires --in\n";
+        return 1;
+    }
+    auto reader = openReader(in);
+    const PredictorPtr predictor = makePredictor(args.get("predictor"));
+    const SimResult result = simulate(*predictor, *reader);
+    TextTable table;
+    table.setColumns({"metric", "value"});
+    table.addRow({"predictor", result.predictorName});
+    table.addRow({"counter KB",
+                  TextTable::fixed(result.counterKBytes(), 3)});
+    table.addRow({"branches", TextTable::grouped(result.branches)});
+    table.addRow({"mispredictions",
+                  TextTable::grouped(result.mispredictions)});
+    table.addRow({"misprediction rate (%)",
+                  TextTable::fixed(result.mispredictionRate(), 3)});
+    table.print(std::cout);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("trace_tools",
+                   "Generate, convert, inspect and simulate branch "
+                   "trace files.\nsubcommands: generate | spec | convert | "
+                   "stats | simulate");
+    args.addOption("benchmark", "gcc", "benchmark to generate");
+    args.addOption("count", "0",
+                   "records to generate (0 = benchmark default)");
+    args.addOption("in", "", "input trace path");
+    args.addOption("out", "", "output trace path");
+    args.addOption("predictor", "bimode:d=11",
+                   "predictor config for 'simulate'");
+    args.addOption("spec-file", "",
+                   "workload spec file for 'generate'");
+    if (!args.parse(argc, argv))
+        return 0;
+    if (args.positional().size() != 1) {
+        std::cerr << args.usage();
+        return 1;
+    }
+    const std::string &command = args.positional()[0];
+    if (command == "generate")
+        return cmdGenerate(args);
+    if (command == "spec")
+        return cmdSpec(args);
+    if (command == "convert")
+        return cmdConvert(args);
+    if (command == "stats")
+        return cmdStats(args);
+    if (command == "simulate")
+        return cmdSimulate(args);
+    std::cerr << "unknown subcommand '" << command << "'\n"
+              << args.usage();
+    return 1;
+}

@@ -1,0 +1,35 @@
+#include "analysis/bias_class.hh"
+
+namespace bpsim
+{
+
+const char *
+biasClassName(BiasClass cls)
+{
+    switch (cls) {
+      case BiasClass::StronglyTaken: return "ST";
+      case BiasClass::StronglyNotTaken: return "SNT";
+      case BiasClass::WeaklyBiased: return "WB";
+    }
+    return "?";
+}
+
+BiasClass
+classifyStream(std::uint64_t takenCount, std::uint64_t total,
+               double threshold)
+{
+    if (total == 0)
+        return BiasClass::WeaklyBiased;
+    // Compare counts against threshold * total rather than fractions
+    // against 1 - threshold: the latter misclassifies exact-boundary
+    // streams (e.g. 1 taken of 10 at the 90% threshold) because
+    // 1.0 - 0.9 is not representable as 0.1 in binary floating point.
+    const double cut = threshold * static_cast<double>(total);
+    if (static_cast<double>(takenCount) >= cut)
+        return BiasClass::StronglyTaken;
+    if (static_cast<double>(total - takenCount) >= cut)
+        return BiasClass::StronglyNotTaken;
+    return BiasClass::WeaklyBiased;
+}
+
+} // namespace bpsim

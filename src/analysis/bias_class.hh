@@ -1,0 +1,41 @@
+/**
+ * @file
+ * The paper's bias classes (Section 4.1).
+ *
+ * A stream of branch outcomes is strongly taken (ST) when taken 90%
+ * of the time or more, strongly not-taken (SNT) when not-taken 90%
+ * or more, and weakly biased (WB) otherwise.
+ */
+
+#ifndef BPSIM_ANALYSIS_BIAS_CLASS_HH
+#define BPSIM_ANALYSIS_BIAS_CLASS_HH
+
+#include <cstdint>
+
+namespace bpsim
+{
+
+/** Bias class of an outcome stream. */
+enum class BiasClass : std::uint8_t
+{
+    StronglyTaken,
+    StronglyNotTaken,
+    WeaklyBiased,
+};
+
+/** Short label: "ST", "SNT" or "WB". */
+const char *biasClassName(BiasClass cls);
+
+/**
+ * Classifies a stream with @p takenCount taken outcomes out of
+ * @p total, using the paper's 90% threshold by default.
+ *
+ * An empty stream classifies as WeaklyBiased (it carries no bias
+ * evidence); callers normally never ask about empty streams.
+ */
+BiasClass classifyStream(std::uint64_t takenCount, std::uint64_t total,
+                         double threshold = 0.9);
+
+} // namespace bpsim
+
+#endif // BPSIM_ANALYSIS_BIAS_CLASS_HH

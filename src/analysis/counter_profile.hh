@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Per-counter bias decomposition — the paper's Figures 5 and 6 and
+ * the normalized counts N_bc of its Table 3.
+ *
+ * For each direction counter c, the substreams incident on c are
+ * classified ST / SNT / WB and their lengths normalized by the
+ * counter's total traffic. The larger of the ST and SNT shares is
+ * the counter's *dominant* class; the smaller is *non-dominant*.
+ * A good indexing scheme yields counters with small WB shares
+ * (history separates special conditions) AND small non-dominant
+ * shares (opposite biases are not mixed) — the two conditions of
+ * Section 4.1.
+ */
+
+#ifndef BPSIM_ANALYSIS_COUNTER_PROFILE_HH
+#define BPSIM_ANALYSIS_COUNTER_PROFILE_HH
+
+#include <vector>
+
+#include "analysis/stream_tracker.hh"
+
+namespace bpsim
+{
+
+/** Bias decomposition of one counter's traffic. */
+struct CounterBias
+{
+    std::uint64_t counterId = 0;
+    std::uint64_t total = 0;
+    std::uint64_t stCount = 0;
+    std::uint64_t sntCount = 0;
+    std::uint64_t wbCount = 0;
+
+    /** Normalized shares (0..1); 0 for an idle counter. */
+    double stShare() const;
+    double sntShare() const;
+    double wbShare() const;
+
+    /** Share of the more frequent strongly-biased class. */
+    double dominantShare() const;
+
+    /** Share of the less frequent strongly-biased class. */
+    double nonDominantShare() const;
+
+    /** The dominant class (ST when the counter saw no strongly
+     *  biased traffic at all — matching the paper's convention of
+     *  always splitting strong traffic into dominant/non-dominant). */
+    BiasClass dominantClass() const;
+};
+
+/** Whole-table profile plus aggregate areas. */
+struct CounterProfile
+{
+    /** One entry per counter, sorted by ascending WB share (the
+     *  paper's Figure 5/6 x-axis ordering). */
+    std::vector<CounterBias> counters;
+
+    /** Unweighted mean shares across active counters — the "area"
+     *  of each region in Figures 5/6. */
+    double meanWbShare = 0.0;
+    double meanDominantShare = 0.0;
+    double meanNonDominantShare = 0.0;
+
+    /** Traffic-weighted shares (fraction of all dynamic branches). */
+    double trafficWbShare = 0.0;
+    double trafficDominantShare = 0.0;
+    double trafficNonDominantShare = 0.0;
+
+    /** Counters that served at least one branch. */
+    std::size_t activeCounters = 0;
+};
+
+/**
+ * Builds the per-counter profile from tracked streams.
+ *
+ * @param tracker stream decomposition of a finished run
+ * @param numCounters the predictor's directionCounters()
+ * @param threshold bias-class threshold (0.9 in the paper)
+ */
+CounterProfile buildCounterProfile(const StreamTracker &tracker,
+                                   std::uint64_t numCounters,
+                                   double threshold = 0.9);
+
+} // namespace bpsim
+
+#endif // BPSIM_ANALYSIS_COUNTER_PROFILE_HH

@@ -1,0 +1,100 @@
+#include "analysis/interference.hh"
+
+#include "predictors/counter.hh"
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace bpsim
+{
+
+double
+InterferenceStats::aliasedPercent() const
+{
+    return percent(aliasedLookups(), totalLookups());
+}
+
+double
+InterferenceStats::destructivePercent() const
+{
+    return percent(destructive, totalLookups());
+}
+
+double
+InterferenceStats::constructivePercent() const
+{
+    return percent(constructive, totalLookups());
+}
+
+double
+InterferenceStats::neutralPercent() const
+{
+    return percent(neutral, totalLookups());
+}
+
+InterferenceStats
+measureInterference(BranchPredictor &predictor, TraceReader &trace)
+{
+    if (predictor.directionCounters() == 0)
+        BPSIM_FATAL("interference analysis requires a predictor that "
+                    "exposes direction counters ("
+                    << predictor.name() << " exposes none)");
+
+    predictor.reset();
+    trace.rewind();
+
+    // Who wrote each counter last (0 = nobody yet).
+    std::unordered_map<std::uint64_t, std::uint64_t> last_writer;
+    // Interference-free shadow counters per (branch, counter) pair,
+    // packed values of 2-bit counters starting weakly-taken.
+    std::unordered_map<std::uint64_t, std::uint8_t> shadow;
+    const std::uint8_t shadow_init = SaturatingCounter::weaklyTaken(2);
+
+    auto shadow_key = [](std::uint64_t pc, std::uint64_t counter) {
+        return (pc << 24) ^ counter;
+    };
+
+    InterferenceStats stats;
+    BranchRecord record;
+    while (trace.next(record)) {
+        if (!record.isConditional())
+            continue;
+        const PredictionDetail detail =
+            predictor.predictDetailed(record.pc);
+        if (detail.usesCounter) {
+            auto [it, inserted] = shadow.emplace(
+                shadow_key(record.pc, detail.counterId), shadow_init);
+            std::uint8_t &private_counter = it->second;
+            const bool private_prediction = private_counter > 1;
+
+            auto writer_it = last_writer.find(detail.counterId);
+            const bool aliased = writer_it != last_writer.end() &&
+                                 writer_it->second != record.pc;
+            if (!aliased) {
+                ++stats.unaliasedLookups;
+            } else if (detail.taken == private_prediction) {
+                ++stats.neutral;
+            } else if (detail.taken == record.taken) {
+                // The intruder's training flipped this lookup onto
+                // the right answer.
+                ++stats.constructive;
+            } else {
+                ++stats.destructive;
+            }
+
+            // Train the shadow with this branch's outcome only.
+            if (record.taken) {
+                if (private_counter < 3)
+                    ++private_counter;
+            } else {
+                if (private_counter > 0)
+                    --private_counter;
+            }
+            last_writer[detail.counterId] = record.pc;
+        }
+        predictor.observeTarget(record.pc, record.target);
+        predictor.update(record.pc, record.taken);
+    }
+    return stats;
+}
+
+} // namespace bpsim

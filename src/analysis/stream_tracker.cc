@@ -1,0 +1,34 @@
+#include "analysis/stream_tracker.hh"
+
+namespace bpsim
+{
+
+const StreamStats *
+StreamTracker::find(std::uint64_t pc, std::uint64_t counterId) const
+{
+    const auto it = streams.find(key(pc, counterId));
+    return it == streams.end() ? nullptr : &it->second;
+}
+
+std::vector<const StreamStats *>
+StreamTracker::allStreams() const
+{
+    std::vector<const StreamStats *> result;
+    result.reserve(streams.size());
+    for (const auto &[k, stats] : streams)
+        result.push_back(&stats);
+    return result;
+}
+
+std::vector<const StreamStats *>
+StreamTracker::streamsOfCounter(std::uint64_t counterId) const
+{
+    std::vector<const StreamStats *> result;
+    for (const auto &[k, stats] : streams) {
+        if (stats.counterId == counterId)
+            result.push_back(&stats);
+    }
+    return result;
+}
+
+} // namespace bpsim

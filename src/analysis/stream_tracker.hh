@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Decomposition of a predictor run into per-(branch, counter)
+ * substreams — the s_ij streams of the paper's Section 4.
+ *
+ * Every dynamic conditional branch is served by one direction
+ * counter; the tracker accumulates, for each (static branch i,
+ * counter j) pair, the stream length |s_ij|, its taken count, and
+ * its mispredictions. Everything in Figures 5-8 and Tables 3-4
+ * derives from these streams.
+ */
+
+#ifndef BPSIM_ANALYSIS_STREAM_TRACKER_HH
+#define BPSIM_ANALYSIS_STREAM_TRACKER_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/bias_class.hh"
+
+namespace bpsim
+{
+
+/** Accumulated statistics of one substream s_ij. */
+struct StreamStats
+{
+    std::uint64_t pc = 0;
+    std::uint64_t counterId = 0;
+    std::uint64_t count = 0;
+    std::uint64_t takenCount = 0;
+    std::uint64_t mispredictions = 0;
+
+    /** Bias class at the given threshold. */
+    BiasClass
+    biasClass(double threshold = 0.9) const
+    {
+        return classifyStream(takenCount, count, threshold);
+    }
+};
+
+/** Accumulates s_ij streams during a simulation. */
+class StreamTracker
+{
+  public:
+    StreamTracker() = default;
+
+    /** Records one dynamic branch served by @p counterId. */
+    void
+    observe(std::uint64_t pc, std::uint64_t counterId, bool taken,
+            bool mispredicted)
+    {
+        StreamStats &s = streams[key(pc, counterId)];
+        if (s.count == 0) {
+            s.pc = pc;
+            s.counterId = counterId;
+        }
+        ++s.count;
+        if (taken)
+            ++s.takenCount;
+        if (mispredicted)
+            ++s.mispredictions;
+        ++total;
+    }
+
+    /** Number of distinct substreams seen. */
+    std::size_t streamCount() const { return streams.size(); }
+
+    /** Total dynamic branches observed. */
+    std::uint64_t totalObservations() const { return total; }
+
+    /** The stream for (pc, counterId), or nullptr if never seen. */
+    const StreamStats *find(std::uint64_t pc,
+                            std::uint64_t counterId) const;
+
+    /** All streams (unordered). */
+    std::vector<const StreamStats *> allStreams() const;
+
+    /** Streams incident on one counter. */
+    std::vector<const StreamStats *>
+    streamsOfCounter(std::uint64_t counterId) const;
+
+  private:
+    /**
+     * Packs (pc, counterId) into one key. Counter ids are bounded
+     * by the predictor's table sizes (< 2^24 in any configuration
+     * this project builds); pcs occupy the low ~40 bits of the
+     * synthetic code region.
+     */
+    static std::uint64_t
+    key(std::uint64_t pc, std::uint64_t counterId)
+    {
+        return (pc << 24) ^ counterId;
+    }
+
+    std::unordered_map<std::uint64_t, StreamStats> streams;
+    std::uint64_t total = 0;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_ANALYSIS_STREAM_TRACKER_HH

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The bi-mode branch predictor — the primary contribution of
+ * Lee, Chen & Mudge, "The Bi-Mode Branch Predictor", MICRO-30, 1997.
+ *
+ * Structure (paper Figure 1):
+ *  - Two *direction* banks of 2-bit counters, a taken bank and a
+ *    not-taken bank, both indexed gshare-style by pc xor global
+ *    history.
+ *  - A *choice* predictor: a pc-indexed 2-bit counter table whose
+ *    sign selects which direction bank supplies the prediction.
+ *
+ * Update policy (paper Section 2.2):
+ *  - Only the *selected* direction counter is updated with the
+ *    outcome (partial update); the unselected bank is untouched.
+ *  - The choice predictor is updated with the outcome, EXCEPT when
+ *    its choice disagreed with the outcome but the selected
+ *    direction counter still predicted correctly.
+ *
+ * Initialization (paper footnote 2): the choice table starts
+ * weakly-taken, the taken bank weakly-taken, and the not-taken bank
+ * weakly-not-taken.
+ *
+ * The effect is that the choice predictor classifies each branch by
+ * its per-address bias, steering mostly-taken branches into one bank
+ * and mostly-not-taken branches into the other, so that branches
+ * aliasing to the same direction counter tend to agree — destructive
+ * aliasing becomes neutral aliasing.
+ */
+
+#ifndef BPSIM_CORE_BIMODE_HH
+#define BPSIM_CORE_BIMODE_HH
+
+#include "predictors/counter.hh"
+#include "predictors/history.hh"
+#include "predictors/predictor.hh"
+
+namespace bpsim
+{
+
+/** Configuration of a BiModePredictor. */
+struct BiModeConfig
+{
+    /** log2 counters per direction bank (each bank holds 2^d). */
+    unsigned directionIndexBits = 10;
+    /** log2 counters in the choice table; the paper uses half the
+     *  second-level size, i.e. choiceIndexBits == directionIndexBits. */
+    unsigned choiceIndexBits = 10;
+    /** Global history length; the canonical design uses the full
+     *  direction index width. */
+    unsigned historyBits = 10;
+    /** Counter width in bits. */
+    unsigned counterWidth = 2;
+    /** Paper policy: update only the selected direction bank. Turning
+     *  this off (updating both banks) is an ablation. */
+    bool partialUpdate = true;
+    /** Ablation: update the choice table on every branch instead of
+     *  applying the paper's exception. */
+    bool alwaysUpdateChoice = false;
+
+    /** Canonical configuration at a given direction-bank width:
+     *  choice table half the second-level size, full-width history. */
+    static BiModeConfig canonical(unsigned directionIndexBits);
+};
+
+/** The bi-mode predictor. */
+class BiModePredictor : public BranchPredictor
+{
+  public:
+    /** Bank identifiers as exposed in PredictionDetail::bank. */
+    static constexpr std::uint32_t kNotTakenBank = 0;
+    static constexpr std::uint32_t kTakenBank = 1;
+
+    explicit BiModePredictor(const BiModeConfig &config);
+
+    PredictionDetail predictDetailed(std::uint64_t pc) const override;
+    void update(std::uint64_t pc, bool taken) override;
+    void reset() override;
+    std::string name() const override;
+    std::uint64_t storageBits() const override;
+    std::uint64_t counterBits() const override;
+
+    /** Counters across both direction banks; ids are bank-major
+     *  (not-taken bank first). The choice table is not included. */
+    std::uint64_t directionCounters() const override;
+
+    /** Direction-bank index for @p pc under the current history. */
+    std::size_t directionIndexFor(std::uint64_t pc) const;
+
+    /** Choice-table index for @p pc. */
+    std::size_t choiceIndexFor(std::uint64_t pc) const;
+
+    const BiModeConfig &config() const { return cfg; }
+
+    /** Read-only component access for tests and analyses. */
+    const CounterTable &choiceTable() const { return choice; }
+    const CounterTable &takenBank() const { return banks[kTakenBank]; }
+    const CounterTable &notTakenBank() const { return banks[kNotTakenBank]; }
+
+  private:
+    BiModeConfig cfg;
+    HistoryRegister history;
+    CounterTable choice;
+    /** banks[0] = not-taken bank, banks[1] = taken bank. */
+    CounterTable banks[2];
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_CORE_BIMODE_HH

@@ -1,0 +1,191 @@
+#include "core/factory.hh"
+
+#include <cstdlib>
+
+#include "core/bimode.hh"
+#include "predictors/agree.hh"
+#include "predictors/bimodal.hh"
+#include "predictors/filter.hh"
+#include "predictors/gshare.hh"
+#include "predictors/gskew.hh"
+#include "predictors/perceptron.hh"
+#include "predictors/static_predictors.hh"
+#include "predictors/tournament.hh"
+#include "predictors/twolevel.hh"
+#include "predictors/yags.hh"
+#include "util/logging.hh"
+
+namespace bpsim
+{
+
+PredictorSpec
+PredictorSpec::parse(const std::string &text)
+{
+    PredictorSpec spec;
+    const auto colon = text.find(':');
+    spec.kind = text.substr(0, colon);
+    if (spec.kind.empty())
+        BPSIM_FATAL("empty predictor kind in '" << text << "'");
+    if (colon == std::string::npos)
+        return spec;
+
+    std::string rest = text.substr(colon + 1);
+    std::size_t start = 0;
+    while (start <= rest.size()) {
+        auto comma = rest.find(',', start);
+        if (comma == std::string::npos)
+            comma = rest.size();
+        const std::string pair = rest.substr(start, comma - start);
+        if (!pair.empty()) {
+            const auto eq = pair.find('=');
+            if (eq == std::string::npos || eq == 0)
+                BPSIM_FATAL("bad parameter '" << pair << "' in '" << text
+                            << "' (expected key=value)");
+            const std::string key = pair.substr(0, eq);
+            const std::string value_text = pair.substr(eq + 1);
+            char *end = nullptr;
+            const unsigned long value =
+                std::strtoul(value_text.c_str(), &end, 0);
+            if (end == value_text.c_str() || *end != '\0')
+                BPSIM_FATAL("parameter " << key << "='" << value_text
+                            << "' in '" << text << "' is not a number");
+            spec.params[key] = static_cast<unsigned>(value);
+        }
+        start = comma + 1;
+    }
+    return spec;
+}
+
+unsigned
+PredictorSpec::get(const std::string &key, unsigned def) const
+{
+    const auto it = params.find(key);
+    return it == params.end() ? def : it->second;
+}
+
+unsigned
+PredictorSpec::require(const std::string &key) const
+{
+    const auto it = params.find(key);
+    if (it == params.end())
+        BPSIM_FATAL("predictor '" << kind << "' requires parameter "
+                    << key << "=<value>");
+    return it->second;
+}
+
+PredictorPtr
+makePredictor(const std::string &configText)
+{
+    return makePredictor(PredictorSpec::parse(configText));
+}
+
+PredictorPtr
+makePredictor(const PredictorSpec &spec)
+{
+    const std::string &kind = spec.kind;
+
+    if (kind == "taken")
+        return std::make_unique<AlwaysTakenPredictor>();
+    if (kind == "nottaken")
+        return std::make_unique<AlwaysNotTakenPredictor>();
+    if (kind == "btfn")
+        return std::make_unique<BtfnPredictor>(spec.get("l", 12));
+    if (kind == "bimodal")
+        return std::make_unique<BimodalPredictor>(spec.require("n"),
+                                                  spec.get("w", 2));
+    if (kind == "gag") {
+        TwoLevelConfig cfg = makeGAg(spec.require("h"));
+        cfg.counterWidth = spec.get("w", 2);
+        return std::make_unique<TwoLevelPredictor>(cfg);
+    }
+    if (kind == "gas") {
+        TwoLevelConfig cfg = makeGAs(spec.require("h"), spec.require("a"));
+        cfg.counterWidth = spec.get("w", 2);
+        return std::make_unique<TwoLevelPredictor>(cfg);
+    }
+    if (kind == "pag") {
+        TwoLevelConfig cfg = makePAg(spec.require("h"), spec.require("l"));
+        cfg.counterWidth = spec.get("w", 2);
+        return std::make_unique<TwoLevelPredictor>(cfg);
+    }
+    if (kind == "pas") {
+        TwoLevelConfig cfg = makePAs(spec.require("h"), spec.require("l"),
+                                     spec.require("a"));
+        cfg.counterWidth = spec.get("w", 2);
+        return std::make_unique<TwoLevelPredictor>(cfg);
+    }
+    if (kind == "gshare") {
+        const unsigned n = spec.require("n");
+        return std::make_unique<GsharePredictor>(n, spec.get("h", n),
+                                                 spec.get("w", 2));
+    }
+    if (kind == "bimode") {
+        const unsigned d = spec.require("d");
+        BiModeConfig cfg;
+        cfg.directionIndexBits = d;
+        cfg.choiceIndexBits = spec.get("c", d);
+        cfg.historyBits = spec.get("h", d);
+        cfg.counterWidth = spec.get("w", 2);
+        cfg.partialUpdate = spec.get("partial", 1) != 0;
+        cfg.alwaysUpdateChoice = spec.get("alwayschoice", 0) != 0;
+        return std::make_unique<BiModePredictor>(cfg);
+    }
+    if (kind == "agree") {
+        const unsigned n = spec.require("n");
+        AgreeConfig cfg;
+        cfg.indexBits = n;
+        cfg.historyBits = spec.get("h", n);
+        cfg.biasIndexBits = spec.get("b", n);
+        cfg.counterWidth = spec.get("w", 2);
+        return std::make_unique<AgreePredictor>(cfg);
+    }
+    if (kind == "gskew") {
+        const unsigned n = spec.require("n");
+        GskewConfig cfg;
+        cfg.bankIndexBits = n;
+        cfg.historyBits = spec.get("h", n);
+        cfg.counterWidth = spec.get("w", 2);
+        cfg.partialUpdate = spec.get("partial", 1) != 0;
+        return std::make_unique<GskewPredictor>(cfg);
+    }
+    if (kind == "yags") {
+        YagsConfig cfg;
+        cfg.choiceIndexBits = spec.require("c");
+        cfg.cacheIndexBits = spec.require("n");
+        cfg.tagBits = spec.get("t", 6);
+        cfg.historyBits = spec.get("h", cfg.cacheIndexBits);
+        cfg.counterWidth = spec.get("w", 2);
+        return std::make_unique<YagsPredictor>(cfg);
+    }
+    if (kind == "tournament")
+        return TournamentPredictor::makeStandard(spec.require("n"));
+    if (kind == "filter") {
+        const unsigned n = spec.require("n");
+        FilterConfig cfg;
+        cfg.indexBits = n;
+        cfg.historyBits = spec.get("h", n);
+        cfg.filterIndexBits = spec.get("b", n);
+        cfg.filterCounterBits = spec.get("k", 6);
+        cfg.counterWidth = spec.get("w", 2);
+        return std::make_unique<FilterPredictor>(cfg);
+    }
+    if (kind == "perceptron") {
+        PerceptronConfig cfg;
+        cfg.tableIndexBits = spec.require("n");
+        cfg.historyBits = spec.get("h", 24);
+        cfg.weightBits = spec.get("w", 8);
+        return std::make_unique<PerceptronPredictor>(cfg);
+    }
+
+    BPSIM_FATAL("unknown predictor kind '" << kind << "'");
+}
+
+std::vector<std::string>
+knownPredictorKinds()
+{
+    return {"taken", "nottaken", "btfn", "bimodal", "gag", "gas", "pag",
+            "pas", "gshare", "bimode", "agree", "gskew", "yags",
+            "tournament", "perceptron", "filter"};
+}
+
+} // namespace bpsim

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Construction of predictors from configuration strings.
+ *
+ * Grammar: `kind[:key=value[,key=value...]]`, e.g.
+ *
+ *   taken | nottaken | btfn:l=10
+ *   bimodal:n=12
+ *   gag:h=12 | gas:h=8,a=4 | pag:h=10,l=10 | pas:h=8,l=10,a=2
+ *   gshare:n=12,h=12
+ *   bimode:d=11,c=11,h=11
+ *   agree:n=12,h=12,b=12
+ *   gskew:n=11,h=11
+ *   yags:c=12,n=10,t=6,h=10
+ *   tournament:n=12
+ *   perceptron:n=8,h=24
+ *   filter:n=12,h=12,b=12,k=6
+ *
+ * Every example and benchmark binary accepts these strings, making
+ * any predictor in the library reachable from the command line.
+ */
+
+#ifndef BPSIM_CORE_FACTORY_HH
+#define BPSIM_CORE_FACTORY_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "predictors/predictor.hh"
+
+namespace bpsim
+{
+
+/** Parsed form of a predictor configuration string. */
+struct PredictorSpec
+{
+    std::string kind;
+    std::map<std::string, unsigned> params;
+
+    /** Parses `kind:k=v,...`; fatal() on syntax errors. */
+    static PredictorSpec parse(const std::string &text);
+
+    /** Parameter lookup with a default. */
+    unsigned get(const std::string &key, unsigned def) const;
+
+    /** Parameter lookup that fatal()s when the key is missing. */
+    unsigned require(const std::string &key) const;
+};
+
+/** Instantiates a predictor from a configuration string. */
+PredictorPtr makePredictor(const std::string &configText);
+
+/** Instantiates a predictor from a parsed spec. */
+PredictorPtr makePredictor(const PredictorSpec &spec);
+
+/** The list of recognized predictor kinds (for help texts). */
+std::vector<std::string> knownPredictorKinds();
+
+} // namespace bpsim
+
+#endif // BPSIM_CORE_FACTORY_HH

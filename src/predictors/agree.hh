@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The agree predictor (Sprangle, Chappell, Alsup & Patt, ISCA 1997),
+ * one of the concurrent de-aliasing proposals the paper compares
+ * against in its related-work discussion.
+ *
+ * Each branch carries a *biasing bit* (in hardware, attached to the
+ * BTB/I-cache line; here, a pc-indexed bit table) set to the
+ * branch's first observed outcome. The gshare-indexed second-level
+ * counters then predict whether the branch will AGREE with its bias
+ * rather than whether it will be taken. Two oppositely-biased
+ * branches aliasing to the same counter both push it toward "agree",
+ * converting destructive interference into neutral interference.
+ */
+
+#ifndef BPSIM_PREDICTORS_AGREE_HH
+#define BPSIM_PREDICTORS_AGREE_HH
+
+#include <vector>
+
+#include "predictors/counter.hh"
+#include "predictors/history.hh"
+#include "predictors/predictor.hh"
+
+namespace bpsim
+{
+
+/** Agree predictor configuration. */
+struct AgreeConfig
+{
+    /** log2 of the agree-counter table size. */
+    unsigned indexBits = 10;
+    /** Global history length, <= indexBits. */
+    unsigned historyBits = 10;
+    /** log2 of the biasing-bit table size. */
+    unsigned biasIndexBits = 10;
+    /** Counter width in bits. */
+    unsigned counterWidth = 2;
+};
+
+/** Bias-agreement de-aliased gshare. */
+class AgreePredictor : public BranchPredictor
+{
+  public:
+    explicit AgreePredictor(const AgreeConfig &config);
+
+    PredictionDetail predictDetailed(std::uint64_t pc) const override;
+    void update(std::uint64_t pc, bool taken) override;
+    void reset() override;
+    std::string name() const override;
+    std::uint64_t storageBits() const override;
+    std::uint64_t counterBits() const override;
+    std::uint64_t directionCounters() const override;
+
+  private:
+    std::size_t counterIndexFor(std::uint64_t pc) const;
+    std::size_t biasIndexFor(std::uint64_t pc) const;
+
+    AgreeConfig cfg;
+    HistoryRegister history;
+    CounterTable counters;
+    /** Biasing bit per entry plus a valid bit (first-use capture). */
+    std::vector<std::uint8_t> biasBit;
+    std::vector<std::uint8_t> biasValid;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_PREDICTORS_AGREE_HH

@@ -1,0 +1,62 @@
+#include "predictors/bimodal.hh"
+
+#include <sstream>
+
+#include "predictors/history.hh"
+
+namespace bpsim
+{
+
+BimodalPredictor::BimodalPredictor(unsigned indexBits, unsigned counterWidth)
+    : indexBits(indexBits),
+      counters(checkedTableEntries(indexBits, "bimodal"), counterWidth,
+               SaturatingCounter::weaklyTaken(counterWidth))
+{
+}
+
+std::size_t
+BimodalPredictor::indexFor(std::uint64_t pc) const
+{
+    return static_cast<std::size_t>(pcIndexBits(pc, indexBits));
+}
+
+PredictionDetail
+BimodalPredictor::predictDetailed(std::uint64_t pc) const
+{
+    const std::size_t index = indexFor(pc);
+    return PredictionDetail{counters.predictTaken(index), true, 0, index};
+}
+
+void
+BimodalPredictor::update(std::uint64_t pc, bool taken)
+{
+    counters.update(indexFor(pc), taken);
+}
+
+void
+BimodalPredictor::reset()
+{
+    counters.reset();
+}
+
+std::string
+BimodalPredictor::name() const
+{
+    std::ostringstream os;
+    os << "bimodal(n=" << indexBits << ")";
+    return os.str();
+}
+
+std::uint64_t
+BimodalPredictor::storageBits() const
+{
+    return counters.storageBits();
+}
+
+std::uint64_t
+BimodalPredictor::directionCounters() const
+{
+    return counters.size();
+}
+
+} // namespace bpsim

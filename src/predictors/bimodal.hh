@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The bimodal predictor: a pc-indexed table of saturating counters
+ * (Smith 1981). It is both a baseline scheme and the choice
+ * predictor inside the bi-mode predictor.
+ */
+
+#ifndef BPSIM_PREDICTORS_BIMODAL_HH
+#define BPSIM_PREDICTORS_BIMODAL_HH
+
+#include "predictors/counter.hh"
+#include "predictors/predictor.hh"
+
+namespace bpsim
+{
+
+/** pc-indexed saturating-counter predictor. */
+class BimodalPredictor : public BranchPredictor
+{
+  public:
+    /**
+     * @param indexBits log2 of the counter count
+     * @param counterWidth counter width in bits (2 in the paper)
+     */
+    explicit BimodalPredictor(unsigned indexBits, unsigned counterWidth = 2);
+
+    PredictionDetail predictDetailed(std::uint64_t pc) const override;
+    void update(std::uint64_t pc, bool taken) override;
+    void reset() override;
+    std::string name() const override;
+    std::uint64_t storageBits() const override;
+    std::uint64_t directionCounters() const override;
+
+    /** Index of the counter serving @p pc. */
+    std::size_t indexFor(std::uint64_t pc) const;
+
+    /** Read-only access for tests and composite predictors. */
+    const CounterTable &table() const { return counters; }
+
+  private:
+    unsigned indexBits;
+    CounterTable counters;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_PREDICTORS_BIMODAL_HH

@@ -1,0 +1,153 @@
+#include "predictors/btb.hh"
+
+#include <sstream>
+
+#include "predictors/history.hh"
+#include "util/bits.hh"
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace bpsim
+{
+
+double
+BtbStats::hitRate() const
+{
+    return lookups == 0
+               ? 0.0
+               : static_cast<double>(hits) / static_cast<double>(lookups);
+}
+
+BranchTargetBuffer::BranchTargetBuffer(const BtbConfig &config)
+    : cfg(config)
+{
+    if (cfg.ways == 0 || cfg.ways > 16)
+        BPSIM_FATAL("BTB associativity must be 1..16");
+    if (cfg.setsLog2 > 24)
+        BPSIM_FATAL("BTB set count is unreasonably large");
+    if (cfg.tagBits == 0 || cfg.tagBits > 32)
+        BPSIM_FATAL("BTB tags must be 1..32 bits");
+    entries.resize((std::size_t{1} << cfg.setsLog2) * cfg.ways);
+}
+
+std::size_t
+BranchTargetBuffer::setIndexFor(std::uint64_t pc) const
+{
+    return static_cast<std::size_t>(pcIndexBits(pc, cfg.setsLog2));
+}
+
+std::uint32_t
+BranchTargetBuffer::tagFor(std::uint64_t pc) const
+{
+    return static_cast<std::uint32_t>(
+        bitField(pc, 2 + cfg.setsLog2, cfg.tagBits));
+}
+
+BranchTargetBuffer::Entry *
+BranchTargetBuffer::findEntry(std::uint64_t pc)
+{
+    const std::size_t set = setIndexFor(pc);
+    const std::uint32_t tag = tagFor(pc);
+    for (unsigned way = 0; way < cfg.ways; ++way) {
+        Entry &entry = entries[set * cfg.ways + way];
+        if (entry.valid && entry.tag == tag)
+            return &entry;
+    }
+    return nullptr;
+}
+
+void
+BranchTargetBuffer::touch(std::size_t set, std::size_t way)
+{
+    // True LRU: entries more recent than the touched one age by one.
+    Entry &touched = entries[set * cfg.ways + way];
+    const std::uint32_t old_rank = touched.lruRank;
+    for (unsigned w = 0; w < cfg.ways; ++w) {
+        Entry &entry = entries[set * cfg.ways + w];
+        if (entry.valid && entry.lruRank < old_rank)
+            ++entry.lruRank;
+    }
+    touched.lruRank = 0;
+}
+
+std::optional<std::uint64_t>
+BranchTargetBuffer::lookup(std::uint64_t pc)
+{
+    ++statistics.lookups;
+    if (Entry *entry = findEntry(pc)) {
+        ++statistics.hits;
+        const std::size_t set = setIndexFor(pc);
+        touch(set, static_cast<std::size_t>(
+                       entry - &entries[set * cfg.ways]));
+        return entry->target;
+    }
+    return std::nullopt;
+}
+
+void
+BranchTargetBuffer::update(std::uint64_t pc, std::uint64_t target,
+                           bool taken)
+{
+    if (!taken)
+        return;
+    const std::size_t set = setIndexFor(pc);
+    if (Entry *entry = findEntry(pc)) {
+        if (entry->target != target) {
+            ++statistics.targetMismatches;
+            entry->target = target;
+        }
+        touch(set,
+              static_cast<std::size_t>(entry - &entries[set * cfg.ways]));
+        return;
+    }
+
+    // Miss: allocate into the invalid or least-recently-used way.
+    std::size_t victim = 0;
+    std::uint32_t worst_rank = 0;
+    for (unsigned way = 0; way < cfg.ways; ++way) {
+        Entry &entry = entries[set * cfg.ways + way];
+        if (!entry.valid) {
+            victim = way;
+            break;
+        }
+        if (entry.lruRank >= worst_rank) {
+            worst_rank = entry.lruRank;
+            victim = way;
+        }
+    }
+    Entry &slot = entries[set * cfg.ways + victim];
+    if (slot.valid)
+        ++statistics.evictions;
+    ++statistics.allocations;
+    slot.valid = true;
+    slot.tag = tagFor(pc);
+    slot.target = target;
+    slot.lruRank = static_cast<std::uint32_t>(cfg.ways);
+    touch(set, victim);
+}
+
+void
+BranchTargetBuffer::reset()
+{
+    std::fill(entries.begin(), entries.end(), Entry{});
+    statistics = BtbStats{};
+}
+
+std::string
+BranchTargetBuffer::name() const
+{
+    std::ostringstream os;
+    os << "btb(sets=" << (1u << cfg.setsLog2) << ",ways=" << cfg.ways
+       << ",tag=" << cfg.tagBits << ")";
+    return os.str();
+}
+
+std::uint64_t
+BranchTargetBuffer::storageBits() const
+{
+    const std::uint64_t per_entry =
+        1 + cfg.tagBits + 32 + log2Ceil(cfg.ways);
+    return static_cast<std::uint64_t>(entries.size()) * per_entry;
+}
+
+} // namespace bpsim

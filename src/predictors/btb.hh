@@ -1,0 +1,103 @@
+/**
+ * @file
+ * A branch target buffer (BTB) substrate.
+ *
+ * Direction predictors answer "taken or not"; the front end also
+ * needs "where to". The paper situates its predictors alongside the
+ * BTB of contemporary machines (Pentium Pro, Alpha 21264) and the
+ * agree predictor literally stores its bias bits there, so the
+ * library carries a faithful set-associative BTB: tagged entries,
+ * true-LRU replacement, allocate-on-taken.
+ */
+
+#ifndef BPSIM_PREDICTORS_BTB_HH
+#define BPSIM_PREDICTORS_BTB_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace bpsim
+{
+
+/** BTB geometry. */
+struct BtbConfig
+{
+    /** log2 of the number of sets. */
+    unsigned setsLog2 = 9;
+    /** Associativity. */
+    unsigned ways = 4;
+    /** Partial tag width stored per entry. */
+    unsigned tagBits = 8;
+};
+
+/** Hit/miss statistics of a BTB run. */
+struct BtbStats
+{
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;
+    /** Hits whose stored target was stale (target changed). */
+    std::uint64_t targetMismatches = 0;
+    std::uint64_t allocations = 0;
+    std::uint64_t evictions = 0;
+
+    double hitRate() const;
+};
+
+/** Set-associative branch target buffer. */
+class BranchTargetBuffer
+{
+  public:
+    explicit BranchTargetBuffer(const BtbConfig &config);
+
+    /**
+     * Looks @p pc up; counts into the statistics.
+     *
+     * @return the stored target on a hit, nullopt on a miss
+     */
+    std::optional<std::uint64_t> lookup(std::uint64_t pc);
+
+    /**
+     * Trains the BTB with a resolved branch. Taken branches
+     * allocate/refresh their entry; not-taken branches leave the
+     * array untouched (the usual allocate-on-taken policy).
+     */
+    void update(std::uint64_t pc, std::uint64_t target, bool taken);
+
+    /** Restores the power-on (empty) state; statistics cleared. */
+    void reset();
+
+    const BtbStats &stats() const { return statistics; }
+
+    std::string name() const;
+
+    /** Storage: valid + tag + target (32 bits modelled) + LRU rank. */
+    std::uint64_t storageBits() const;
+
+    std::size_t sets() const { return std::size_t{1} << cfg.setsLog2; }
+    unsigned ways() const { return cfg.ways; }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        std::uint32_t tag = 0;
+        std::uint64_t target = 0;
+        /** Smaller = more recently used. */
+        std::uint32_t lruRank = 0;
+    };
+
+    std::size_t setIndexFor(std::uint64_t pc) const;
+    std::uint32_t tagFor(std::uint64_t pc) const;
+    Entry *findEntry(std::uint64_t pc);
+    void touch(std::size_t set, std::size_t way);
+
+    BtbConfig cfg;
+    std::vector<Entry> entries;
+    BtbStats statistics;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_PREDICTORS_BTB_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The filtering predictor (Chang, Evers & Patt, "Improving Branch
+ * Prediction Accuracy by Reducing Pattern History Table
+ * Interference", PACT 1996) — the third de-aliasing proposal the
+ * paper cites in §2.1, alongside agree and gskew.
+ *
+ * Observation: most dynamic branches come from strongly biased
+ * static branches that a trivial per-branch mechanism predicts
+ * perfectly; letting them into the shared PHT only creates
+ * interference for the branches that genuinely need history. The
+ * filter is a per-branch saturating run counter (in hardware, rides
+ * in the BTB entry): once a branch has gone the same direction
+ * enough consecutive times, that direction predicts it and the
+ * branch neither consults nor updates the gshare PHT.
+ */
+
+#ifndef BPSIM_PREDICTORS_FILTER_HH
+#define BPSIM_PREDICTORS_FILTER_HH
+
+#include <vector>
+
+#include "predictors/counter.hh"
+#include "predictors/history.hh"
+#include "predictors/predictor.hh"
+
+namespace bpsim
+{
+
+/** Filtering predictor configuration. */
+struct FilterConfig
+{
+    /** log2 of the PHT size (gshare-indexed). */
+    unsigned indexBits = 10;
+    /** Global history length, <= indexBits. */
+    unsigned historyBits = 10;
+    /** log2 of the filter (per-branch) table size. */
+    unsigned filterIndexBits = 10;
+    /** Width of the run counter; saturation engages the filter. */
+    unsigned filterCounterBits = 6;
+    /** PHT counter width. */
+    unsigned counterWidth = 2;
+};
+
+/** PHT-interference-filtering gshare. */
+class FilterPredictor : public BranchPredictor
+{
+  public:
+    /** Bank id reported when the filter served the prediction. */
+    static constexpr std::uint32_t kPhtBank = 0;
+    static constexpr std::uint32_t kFilterBank = 1;
+
+    explicit FilterPredictor(const FilterConfig &config);
+
+    PredictionDetail predictDetailed(std::uint64_t pc) const override;
+    void update(std::uint64_t pc, bool taken) override;
+    void reset() override;
+    std::string name() const override;
+    std::uint64_t storageBits() const override;
+    std::uint64_t counterBits() const override;
+    std::uint64_t directionCounters() const override;
+
+    /** True when the branch at @p pc is currently filtered. */
+    bool isFiltered(std::uint64_t pc) const;
+
+  private:
+    struct FilterEntry
+    {
+        /** Direction of the current run (1 = taken). */
+        std::uint8_t direction = 0;
+        /** Consecutive same-direction outcomes, saturating. */
+        std::uint8_t runLength = 0;
+    };
+
+    std::size_t phtIndexFor(std::uint64_t pc) const;
+    std::size_t filterIndexFor(std::uint64_t pc) const;
+
+    FilterConfig cfg;
+    std::uint8_t runSaturation;
+    HistoryRegister history;
+    CounterTable pht;
+    std::vector<FilterEntry> filter;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_PREDICTORS_FILTER_HH

@@ -1,0 +1,77 @@
+#include "predictors/gshare.hh"
+
+#include <sstream>
+
+namespace bpsim
+{
+
+GsharePredictor::GsharePredictor(unsigned indexBits, unsigned historyBits,
+                                 unsigned counterWidth)
+    : indexBits(indexBits),
+      history(historyBits),
+      counters(checkedTableEntries(indexBits, "gshare"), counterWidth,
+               SaturatingCounter::weaklyTaken(counterWidth))
+{
+    if (historyBits > indexBits)
+        BPSIM_FATAL("gshare history (" << historyBits
+                    << " bits) cannot exceed the index width ("
+                    << indexBits << " bits)");
+}
+
+std::size_t
+GsharePredictor::indexFor(std::uint64_t pc) const
+{
+    // History xors into the low bits; with m < n the top n-m bits
+    // stay pure address, i.e. they select among 2^(n-m) PHTs.
+    const std::uint64_t address = pcIndexBits(pc, indexBits);
+    return static_cast<std::size_t>(address ^ history.value());
+}
+
+PredictionDetail
+GsharePredictor::predictDetailed(std::uint64_t pc) const
+{
+    const std::size_t index = indexFor(pc);
+    return PredictionDetail{counters.predictTaken(index), true, 0, index};
+}
+
+void
+GsharePredictor::update(std::uint64_t pc, bool taken)
+{
+    counters.update(indexFor(pc), taken);
+    history.push(taken);
+}
+
+void
+GsharePredictor::reset()
+{
+    counters.reset();
+    history.clear();
+}
+
+std::string
+GsharePredictor::name() const
+{
+    std::ostringstream os;
+    os << "gshare(n=" << indexBits << ",h=" << history.bits() << ")";
+    return os.str();
+}
+
+std::uint64_t
+GsharePredictor::storageBits() const
+{
+    return counters.storageBits() + history.storageBits();
+}
+
+std::uint64_t
+GsharePredictor::counterBits() const
+{
+    return counters.storageBits();
+}
+
+std::uint64_t
+GsharePredictor::directionCounters() const
+{
+    return counters.size();
+}
+
+} // namespace bpsim

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The gshare predictor (McFarling 1993), parameterized the way the
+ * paper studies it.
+ *
+ * gshare forms its second-level index by xor-ing global history with
+ * low-order pc bits. With an n-bit index and m <= n history bits the
+ * top n-m index bits are pure address bits, so the table behaves as
+ * 2^(n-m) separate PHTs of 2^m counters — exactly the "multiple
+ * PHTs" configurations of the paper:
+ *
+ *   m == n  -> gshare.1PHT (the textbook single-PHT configuration)
+ *   m <  n  -> multi-PHT configurations, among which the paper's
+ *              exhaustive sweep finds gshare.best
+ */
+
+#ifndef BPSIM_PREDICTORS_GSHARE_HH
+#define BPSIM_PREDICTORS_GSHARE_HH
+
+#include "predictors/counter.hh"
+#include "predictors/history.hh"
+#include "predictors/predictor.hh"
+
+namespace bpsim
+{
+
+/** Global-history xor-indexed two-level predictor. */
+class GsharePredictor : public BranchPredictor
+{
+  public:
+    /**
+     * @param indexBits n: log2 of the counter count
+     * @param historyBits m: global history length, m <= n
+     * @param counterWidth counter width in bits
+     */
+    GsharePredictor(unsigned indexBits, unsigned historyBits,
+                    unsigned counterWidth = 2);
+
+    PredictionDetail predictDetailed(std::uint64_t pc) const override;
+    void update(std::uint64_t pc, bool taken) override;
+    void reset() override;
+    std::string name() const override;
+    std::uint64_t storageBits() const override;
+    std::uint64_t counterBits() const override;
+    std::uint64_t directionCounters() const override;
+
+    /** Second-level index for @p pc under the current history. */
+    std::size_t indexFor(std::uint64_t pc) const;
+
+    unsigned indexBitCount() const { return indexBits; }
+    unsigned historyBitCount() const { return history.bits(); }
+
+    /** Number of PHTs this configuration is equivalent to. */
+    std::uint64_t
+    phtCount() const
+    {
+        return std::uint64_t{1} << (indexBits - history.bits());
+    }
+
+  private:
+    unsigned indexBits;
+    HistoryRegister history;
+    CounterTable counters;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_PREDICTORS_GSHARE_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The skewed branch predictor, e-gskew (Michaud, Seznec & Uhlig,
+ * "Trading Conflict and Capacity Aliasing in Conditional Branch
+ * Predictors", ISCA 1997) — the hardware-hashing de-aliasing scheme
+ * the paper cites as its strongest small-budget competitor.
+ *
+ * Three equally-sized counter banks are indexed by three different
+ * hash functions of (pc, global history); the prediction is the
+ * majority vote. A pair of branches may conflict in one bank, but
+ * the skewing property makes it unlikely they conflict in two, so
+ * the vote usually out-votes the conflict.
+ *
+ * The original paper builds its hashes from GF(2) skewing matrices;
+ * we substitute odd-multiplier mixing hashes with equivalent
+ * inter-bank dispersion (documented in DESIGN.md) — the property the
+ * scheme needs is only that the three index functions disperse
+ * colliding pairs across banks.
+ */
+
+#ifndef BPSIM_PREDICTORS_GSKEW_HH
+#define BPSIM_PREDICTORS_GSKEW_HH
+
+#include <array>
+
+#include "predictors/counter.hh"
+#include "predictors/history.hh"
+#include "predictors/predictor.hh"
+
+namespace bpsim
+{
+
+/** gskew configuration. */
+struct GskewConfig
+{
+    /** log2 counters per bank (three banks total). */
+    unsigned bankIndexBits = 10;
+    /** Global history length. */
+    unsigned historyBits = 10;
+    /** Counter width in bits. */
+    unsigned counterWidth = 2;
+    /**
+     * Enhanced (e-gskew) partial update: bank 0 (the bimodal-indexed
+     * bank) always updates; the other banks update only when the
+     * overall prediction was wrong or they voted with the outcome.
+     */
+    bool partialUpdate = true;
+};
+
+/** Majority-vote skewed predictor. */
+class GskewPredictor : public BranchPredictor
+{
+  public:
+    explicit GskewPredictor(const GskewConfig &config);
+
+    PredictionDetail predictDetailed(std::uint64_t pc) const override;
+    void update(std::uint64_t pc, bool taken) override;
+    void reset() override;
+    std::string name() const override;
+    std::uint64_t storageBits() const override;
+    std::uint64_t counterBits() const override;
+    std::uint64_t directionCounters() const override;
+
+    /** Index into @p bank for @p pc under the current history. */
+    std::size_t indexFor(unsigned bank, std::uint64_t pc) const;
+
+  private:
+    GskewConfig cfg;
+    HistoryRegister history;
+    std::array<CounterTable, 3> banks;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_PREDICTORS_GSKEW_HH

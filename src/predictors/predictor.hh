@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The branch predictor interface.
+ *
+ * All predictors in this project are conditional-direction predictors
+ * operated trace-driven: the harness calls predictDetailed(pc), then
+ * update(pc, outcome) with the resolved direction (the paper's
+ * methodology; no speculative-history repair is modelled because the
+ * paper models none).
+ *
+ * Besides the prediction itself, predictors expose *which* 2-bit
+ * counter in their second-level structure served the request. The
+ * bias-class analysis of the paper's Section 4 (Figures 5-8,
+ * Tables 3-4) is built entirely on this hook, keeping the analysis
+ * code independent of any particular predictor's internals.
+ */
+
+#ifndef BPSIM_PREDICTORS_PREDICTOR_HH
+#define BPSIM_PREDICTORS_PREDICTOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace bpsim
+{
+
+/** Result of one prediction, with analysis provenance. */
+struct PredictionDetail
+{
+    /** Predicted direction. */
+    bool taken = false;
+    /** True when a direction counter served this prediction and
+     *  counterId below is meaningful. */
+    bool usesCounter = false;
+    /** Bank that served the prediction, for banked predictors. */
+    std::uint32_t bank = 0;
+    /** Global id of the serving direction counter, unique across
+     *  banks, in [0, directionCounters()). */
+    std::uint64_t counterId = 0;
+};
+
+/** Abstract conditional branch direction predictor. */
+class BranchPredictor
+{
+  public:
+    virtual ~BranchPredictor() = default;
+
+    /**
+     * Predicts the direction of the branch at @p pc.
+     *
+     * Must not mutate predictor state; speculation effects are out of
+     * scope for this trace-driven study.
+     */
+    virtual PredictionDetail predictDetailed(std::uint64_t pc) const = 0;
+
+    /** Convenience wrapper returning only the direction. */
+    bool predict(std::uint64_t pc) const
+    {
+        return predictDetailed(pc).taken;
+    }
+
+    /** Trains the predictor with the resolved direction of @p pc. */
+    virtual void update(std::uint64_t pc, bool taken) = 0;
+
+    /**
+     * Informs the predictor of the decoded taken-target of @p pc.
+     * Harnesses call this alongside update(); only predictors that
+     * exploit target geometry (e.g. BTFN) override it.
+     */
+    virtual void observeTarget(std::uint64_t pc, std::uint64_t target)
+    {
+        (void)pc;
+        (void)target;
+    }
+
+    /** Restores the power-on state (including history registers). */
+    virtual void reset() = 0;
+
+    /** Short human-readable name including the configuration. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Total state in bits: counters, history registers, tags, bias
+     * bits — everything the hardware would hold.
+     */
+    virtual std::uint64_t storageBits() const = 0;
+
+    /**
+     * Cost under the paper's convention: bits spent in prediction
+     * counters only (the figures' x-axis is "K bytes of two-bit
+     * counters"). Defaults to storageBits().
+     */
+    virtual std::uint64_t counterBits() const { return storageBits(); }
+
+    /**
+     * Number of direction counters addressable by
+     * PredictionDetail::counterId; 0 when the predictor exposes no
+     * counters (static predictors).
+     */
+    virtual std::uint64_t directionCounters() const { return 0; }
+};
+
+using PredictorPtr = std::unique_ptr<BranchPredictor>;
+
+} // namespace bpsim
+
+#endif // BPSIM_PREDICTORS_PREDICTOR_HH

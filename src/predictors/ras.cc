@@ -1,0 +1,78 @@
+#include "predictors/ras.hh"
+
+#include <sstream>
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace bpsim
+{
+
+double
+RasStats::returnAccuracy() const
+{
+    return returns == 0 ? 0.0
+                        : static_cast<double>(correctReturns) /
+                              static_cast<double>(returns);
+}
+
+ReturnAddressStack::ReturnAddressStack(unsigned depth)
+{
+    if (depth == 0 || depth > 1024)
+        BPSIM_FATAL("RAS depth must be 1..1024");
+    stack.assign(depth, 0);
+}
+
+void
+ReturnAddressStack::pushCall(std::uint64_t callPc)
+{
+    ++statistics.calls;
+    top = (top + 1) % stack.size();
+    stack[top] = callPc + 4;
+    if (liveEntries == stack.size())
+        ++statistics.overflows;
+    else
+        ++liveEntries;
+}
+
+std::uint64_t
+ReturnAddressStack::popReturn(std::uint64_t actualTarget)
+{
+    ++statistics.returns;
+    if (liveEntries == 0) {
+        ++statistics.underflows;
+        return 0;
+    }
+    const std::uint64_t predicted = stack[top];
+    top = (top + stack.size() - 1) % stack.size();
+    --liveEntries;
+    if (predicted == actualTarget)
+        ++statistics.correctReturns;
+    return predicted;
+}
+
+void
+ReturnAddressStack::reset()
+{
+    std::fill(stack.begin(), stack.end(), 0);
+    top = 0;
+    liveEntries = 0;
+    statistics = RasStats{};
+}
+
+std::string
+ReturnAddressStack::name() const
+{
+    std::ostringstream os;
+    os << "ras(depth=" << stack.size() << ")";
+    return os.str();
+}
+
+std::uint64_t
+ReturnAddressStack::storageBits() const
+{
+    return static_cast<std::uint64_t>(stack.size()) * 32 +
+           log2Ceil(stack.size());
+}
+
+} // namespace bpsim

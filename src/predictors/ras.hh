@@ -1,0 +1,76 @@
+/**
+ * @file
+ * A return address stack (RAS).
+ *
+ * Returns are indirect branches whose target is wherever the matching
+ * call came from; a BTB mispredicts them whenever a procedure is
+ * called from more than one site. The RAS — a small hardware stack
+ * pushed by calls and popped by returns — fixes that, and every
+ * machine the paper discusses carries one. Included to complete the
+ * front-end substrate around the direction predictors.
+ */
+
+#ifndef BPSIM_PREDICTORS_RAS_HH
+#define BPSIM_PREDICTORS_RAS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bpsim
+{
+
+/** RAS accuracy statistics. */
+struct RasStats
+{
+    std::uint64_t calls = 0;
+    std::uint64_t returns = 0;
+    std::uint64_t correctReturns = 0;
+    /** Pops that found the stack empty. */
+    std::uint64_t underflows = 0;
+    /** Pushes that wrapped over the oldest entry. */
+    std::uint64_t overflows = 0;
+
+    double returnAccuracy() const;
+};
+
+/** Circular-buffer return address stack. */
+class ReturnAddressStack
+{
+  public:
+    /** @param depth stack entries (>= 1); 8-32 is hardware-typical */
+    explicit ReturnAddressStack(unsigned depth);
+
+    /** Records a call: pushes the return address (call pc + 4). */
+    void pushCall(std::uint64_t callPc);
+
+    /**
+     * Predicts the target of a return and pops the stack; records
+     * accuracy against the actual @p actualTarget.
+     *
+     * @return the predicted return address (0 when empty)
+     */
+    std::uint64_t popReturn(std::uint64_t actualTarget);
+
+    /** Entries currently live. */
+    std::size_t depthInUse() const { return liveEntries; }
+
+    void reset();
+
+    const RasStats &stats() const { return statistics; }
+
+    std::string name() const;
+
+    /** Storage: one 32-bit address per entry plus the pointer. */
+    std::uint64_t storageBits() const;
+
+  private:
+    std::vector<std::uint64_t> stack;
+    std::size_t top = 0;
+    std::size_t liveEntries = 0;
+    RasStats statistics;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_PREDICTORS_RAS_HH

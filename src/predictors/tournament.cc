@@ -1,0 +1,103 @@
+#include "predictors/tournament.hh"
+
+#include <sstream>
+
+#include "predictors/bimodal.hh"
+#include "predictors/gshare.hh"
+
+namespace bpsim
+{
+
+TournamentPredictor::TournamentPredictor(PredictorPtr component0,
+                                         PredictorPtr component1,
+                                         unsigned metaIndexBits)
+    : components{std::move(component0), std::move(component1)},
+      metaIndexBits(metaIndexBits),
+      meta(std::size_t{1} << metaIndexBits, 2,
+           SaturatingCounter::weaklyTaken(2))
+{
+    if (!components[0] || !components[1])
+        BPSIM_PANIC("tournament components must be non-null");
+}
+
+std::size_t
+TournamentPredictor::metaIndexFor(std::uint64_t pc) const
+{
+    return static_cast<std::size_t>(pcIndexBits(pc, metaIndexBits));
+}
+
+PredictionDetail
+TournamentPredictor::predictDetailed(std::uint64_t pc) const
+{
+    // Meta counter "taken" side selects component 1.
+    const unsigned selected = meta.predictTaken(metaIndexFor(pc)) ? 1 : 0;
+    PredictionDetail detail = components[selected]->predictDetailed(pc);
+    // Re-map the component's counter id into the combined space:
+    // component 0 first, component 1 after it.
+    if (detail.usesCounter && selected == 1)
+        detail.counterId += components[0]->directionCounters();
+    detail.bank = selected;
+    return detail;
+}
+
+void
+TournamentPredictor::update(std::uint64_t pc, bool taken)
+{
+    const bool p0 = components[0]->predict(pc);
+    const bool p1 = components[1]->predict(pc);
+    // Train the meta table only when the components disagree, toward
+    // whichever was right.
+    if (p0 != p1)
+        meta.update(metaIndexFor(pc), p1 == taken);
+    components[0]->update(pc, taken);
+    components[1]->update(pc, taken);
+}
+
+void
+TournamentPredictor::reset()
+{
+    meta.reset();
+    components[0]->reset();
+    components[1]->reset();
+}
+
+std::string
+TournamentPredictor::name() const
+{
+    std::ostringstream os;
+    os << "tournament(" << components[0]->name() << "+"
+       << components[1]->name() << ",m=" << metaIndexBits << ")";
+    return os.str();
+}
+
+std::uint64_t
+TournamentPredictor::storageBits() const
+{
+    return meta.storageBits() + components[0]->storageBits() +
+           components[1]->storageBits();
+}
+
+std::uint64_t
+TournamentPredictor::counterBits() const
+{
+    return meta.storageBits() + components[0]->counterBits() +
+           components[1]->counterBits();
+}
+
+std::uint64_t
+TournamentPredictor::directionCounters() const
+{
+    return components[0]->directionCounters() +
+           components[1]->directionCounters();
+}
+
+PredictorPtr
+TournamentPredictor::makeStandard(unsigned indexBits)
+{
+    auto bimodal = std::make_unique<BimodalPredictor>(indexBits);
+    auto gshare = std::make_unique<GsharePredictor>(indexBits, indexBits);
+    return std::make_unique<TournamentPredictor>(
+        std::move(bimodal), std::move(gshare), indexBits);
+}
+
+} // namespace bpsim

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The McFarling combining (tournament) predictor ("Combining Branch
+ * Predictors", WRL TN-36, 1993): two component predictors plus a
+ * pc-indexed meta table of 2-bit counters that learns, per branch,
+ * which component to trust. The Alpha 21264 shipped this structure.
+ *
+ * Included as an extension baseline: the bi-mode choice predictor is
+ * a close cousin of the meta table, but selects between two *banks
+ * of counters* rather than two *predictors*.
+ */
+
+#ifndef BPSIM_PREDICTORS_TOURNAMENT_HH
+#define BPSIM_PREDICTORS_TOURNAMENT_HH
+
+#include "predictors/counter.hh"
+#include "predictors/history.hh"
+#include "predictors/predictor.hh"
+
+namespace bpsim
+{
+
+/** Meta-selected pair of component predictors. */
+class TournamentPredictor : public BranchPredictor
+{
+  public:
+    /**
+     * @param component0 first component (meta counter low side)
+     * @param component1 second component (meta counter high side)
+     * @param metaIndexBits log2 of the meta table size
+     */
+    TournamentPredictor(PredictorPtr component0, PredictorPtr component1,
+                        unsigned metaIndexBits);
+
+    PredictionDetail predictDetailed(std::uint64_t pc) const override;
+    void update(std::uint64_t pc, bool taken) override;
+    void reset() override;
+    std::string name() const override;
+    std::uint64_t storageBits() const override;
+    std::uint64_t counterBits() const override;
+    std::uint64_t directionCounters() const override;
+
+    /**
+     * Standard configuration: bimodal + gshare components sized so
+     * the total counter budget is 2^(n+1) counters plus the meta
+     * table of 2^n.
+     */
+    static PredictorPtr makeStandard(unsigned indexBits);
+
+  private:
+    std::size_t metaIndexFor(std::uint64_t pc) const;
+
+    PredictorPtr components[2];
+    unsigned metaIndexBits;
+    CounterTable meta;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_PREDICTORS_TOURNAMENT_HH

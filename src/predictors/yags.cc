@@ -1,0 +1,166 @@
+#include "predictors/yags.hh"
+
+#include <sstream>
+
+#include "util/bits.hh"
+
+namespace bpsim
+{
+
+YagsPredictor::YagsPredictor(const YagsConfig &config)
+    : cfg(config),
+      history(cfg.historyBits),
+      choice(checkedTableEntries(cfg.choiceIndexBits, "YAGS choice"),
+             cfg.counterWidth,
+             SaturatingCounter::weaklyTaken(cfg.counterWidth))
+{
+    if (cfg.historyBits > cfg.cacheIndexBits)
+        BPSIM_FATAL("YAGS history cannot exceed the cache index width");
+    if (cfg.tagBits > 16)
+        BPSIM_FATAL("YAGS tags wider than 16 bits are not supported");
+    const std::size_t cache_entries =
+        checkedTableEntries(cfg.cacheIndexBits, "YAGS cache");
+    caches[0].resize(cache_entries);
+    caches[1].resize(cache_entries);
+}
+
+std::size_t
+YagsPredictor::cacheIndexFor(std::uint64_t pc) const
+{
+    const std::uint64_t address = pcIndexBits(pc, cfg.cacheIndexBits);
+    return static_cast<std::size_t>(address ^ history.value());
+}
+
+std::uint16_t
+YagsPredictor::tagFor(std::uint64_t pc) const
+{
+    // Tag with the pc bits just above the cache index so aliasing
+    // pairs that share an index usually differ in tag.
+    return static_cast<std::uint16_t>(
+        bitField(pc, 2 + cfg.cacheIndexBits, cfg.tagBits));
+}
+
+YagsPredictor::Lookup
+YagsPredictor::lookupFor(std::uint64_t pc) const
+{
+    Lookup look;
+    look.choiceIndex =
+        static_cast<std::size_t>(pcIndexBits(pc, cfg.choiceIndexBits));
+    look.choiceTaken = choice.predictTaken(look.choiceIndex);
+    // Exceptions to a taken bias live in the not-taken cache and
+    // vice versa: consult the cache opposite to the choice.
+    look.cache = look.choiceTaken ? kNotTakenCache : kTakenCache;
+    look.cacheIndex = cacheIndexFor(pc);
+    look.tag = tagFor(pc);
+    const CacheEntry &entry = caches[look.cache][look.cacheIndex];
+    look.hit = entry.valid && entry.tag == look.tag;
+    if (look.hit) {
+        const std::uint8_t mid =
+            static_cast<std::uint8_t>(maskBits(cfg.counterWidth) / 2);
+        look.prediction = entry.counter > mid;
+    } else {
+        look.prediction = look.choiceTaken;
+    }
+    return look;
+}
+
+PredictionDetail
+YagsPredictor::predictDetailed(std::uint64_t pc) const
+{
+    const Lookup look = lookupFor(pc);
+    PredictionDetail detail;
+    detail.taken = look.prediction;
+    detail.usesCounter = true;
+    const std::uint64_t cache_size = caches[0].size();
+    if (look.hit) {
+        detail.bank = look.cache;
+        detail.counterId =
+            static_cast<std::uint64_t>(look.cache) * cache_size +
+            look.cacheIndex;
+    } else {
+        detail.bank = kChoiceBank;
+        detail.counterId = 2 * cache_size + look.choiceIndex;
+    }
+    return detail;
+}
+
+void
+YagsPredictor::update(std::uint64_t pc, bool taken)
+{
+    const Lookup look = lookupFor(pc);
+    const std::uint8_t max_counter =
+        static_cast<std::uint8_t>(maskBits(cfg.counterWidth));
+
+    if (look.hit) {
+        CacheEntry &entry = caches[look.cache][look.cacheIndex];
+        if (taken) {
+            if (entry.counter < max_counter)
+                ++entry.counter;
+        } else {
+            if (entry.counter > 0)
+                --entry.counter;
+        }
+    } else if (look.choiceTaken != taken) {
+        // The branch deviated from its bias and no exception entry
+        // existed: allocate one, initialized weakly toward the
+        // outcome.
+        CacheEntry &entry = caches[look.cache][look.cacheIndex];
+        entry.valid = true;
+        entry.tag = look.tag;
+        entry.counter = taken ? SaturatingCounter::weaklyTaken(
+                                    cfg.counterWidth)
+                              : SaturatingCounter::weaklyNotTaken(
+                                    cfg.counterWidth);
+    }
+
+    // Choice table follows the bi-mode policy: train with the
+    // outcome unless the choice was wrong but the cache corrected it.
+    const bool keep_choice =
+        look.choiceTaken != taken && look.prediction == taken;
+    if (!keep_choice)
+        choice.update(look.choiceIndex, taken);
+
+    history.push(taken);
+}
+
+void
+YagsPredictor::reset()
+{
+    history.clear();
+    choice.reset();
+    for (auto &cache : caches)
+        std::fill(cache.begin(), cache.end(), CacheEntry{});
+}
+
+std::string
+YagsPredictor::name() const
+{
+    std::ostringstream os;
+    os << "yags(c=" << cfg.choiceIndexBits << ",n=" << cfg.cacheIndexBits
+       << ",t=" << cfg.tagBits << ",h=" << cfg.historyBits << ")";
+    return os.str();
+}
+
+std::uint64_t
+YagsPredictor::storageBits() const
+{
+    const std::uint64_t per_entry = 1 + cfg.tagBits + cfg.counterWidth;
+    return choice.storageBits() + history.storageBits() +
+           2 * caches[0].size() * per_entry;
+}
+
+std::uint64_t
+YagsPredictor::counterBits() const
+{
+    // Paper-style cost counts prediction counters only, not tags.
+    return choice.storageBits() +
+           2 * caches[0].size() * cfg.counterWidth;
+}
+
+std::uint64_t
+YagsPredictor::directionCounters() const
+{
+    return 2 * caches[0].size() + choice.size();
+}
+
+} // namespace bpsim

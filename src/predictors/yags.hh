@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The YAGS predictor (Eden & Mudge, MICRO-31 1998) — the direct
+ * successor of the bi-mode predictor from the same group, included
+ * as the paper's "future work" direction made concrete.
+ *
+ * YAGS keeps bi-mode's pc-indexed choice predictor but replaces the
+ * two full direction banks with two small *tagged caches* (a taken
+ * cache and a not-taken cache) that store only the exceptions — the
+ * (history, pc) situations where a branch deviates from its bias.
+ * A cache hit overrides the choice prediction; a miss falls back to
+ * the choice predictor's direction.
+ */
+
+#ifndef BPSIM_PREDICTORS_YAGS_HH
+#define BPSIM_PREDICTORS_YAGS_HH
+
+#include <vector>
+
+#include "predictors/counter.hh"
+#include "predictors/history.hh"
+#include "predictors/predictor.hh"
+
+namespace bpsim
+{
+
+/** YAGS configuration. */
+struct YagsConfig
+{
+    /** log2 of the choice (bimodal) table size. */
+    unsigned choiceIndexBits = 12;
+    /** log2 of each direction cache's entry count. */
+    unsigned cacheIndexBits = 10;
+    /** Partial tag width stored per cache entry. */
+    unsigned tagBits = 6;
+    /** Global history length. */
+    unsigned historyBits = 10;
+    /** Counter width in bits. */
+    unsigned counterWidth = 2;
+};
+
+/** Tagged-exception-cache successor to bi-mode. */
+class YagsPredictor : public BranchPredictor
+{
+  public:
+    static constexpr std::uint32_t kNotTakenCache = 0;
+    static constexpr std::uint32_t kTakenCache = 1;
+    /** Bank id reported when the choice table served the prediction. */
+    static constexpr std::uint32_t kChoiceBank = 2;
+
+    explicit YagsPredictor(const YagsConfig &config);
+
+    PredictionDetail predictDetailed(std::uint64_t pc) const override;
+    void update(std::uint64_t pc, bool taken) override;
+    void reset() override;
+    std::string name() const override;
+    std::uint64_t storageBits() const override;
+    std::uint64_t counterBits() const override;
+    std::uint64_t directionCounters() const override;
+
+  private:
+    struct CacheEntry
+    {
+        bool valid = false;
+        std::uint16_t tag = 0;
+        std::uint8_t counter = 0;
+    };
+
+    struct Lookup
+    {
+        std::size_t choiceIndex;
+        bool choiceTaken;
+        std::uint32_t cache;   // cache consulted (opposite of choice)
+        std::size_t cacheIndex;
+        std::uint16_t tag;
+        bool hit;
+        bool prediction;
+    };
+
+    Lookup lookupFor(std::uint64_t pc) const;
+    std::size_t cacheIndexFor(std::uint64_t pc) const;
+    std::uint16_t tagFor(std::uint64_t pc) const;
+
+    YagsConfig cfg;
+    HistoryRegister history;
+    CounterTable choice;
+    std::vector<CacheEntry> caches[2];
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_PREDICTORS_YAGS_HH

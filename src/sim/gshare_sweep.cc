@@ -1,0 +1,50 @@
+#include "sim/gshare_sweep.hh"
+
+#include <algorithm>
+
+#include "predictors/gshare.hh"
+#include "util/logging.hh"
+
+namespace bpsim
+{
+
+const GshareSweepPoint &
+GshareSweepResult::best() const
+{
+    if (points.empty())
+        BPSIM_PANIC("empty gshare sweep");
+    const auto it = std::min_element(
+        points.begin(), points.end(),
+        [](const GshareSweepPoint &a, const GshareSweepPoint &b) {
+            return a.average < b.average;
+        });
+    return *it;
+}
+
+GshareSweepResult
+sweepGshare(unsigned indexBits,
+            const std::vector<const MemoryTrace *> &traces,
+            unsigned minHistory)
+{
+    if (traces.empty())
+        BPSIM_PANIC("gshare sweep needs at least one trace");
+    GshareSweepResult result;
+    result.indexBits = indexBits;
+    for (unsigned m = minHistory; m <= indexBits; ++m) {
+        GshareSweepPoint point;
+        point.historyBits = m;
+        double total = 0.0;
+        for (const MemoryTrace *trace : traces) {
+            GsharePredictor predictor(indexBits, m);
+            auto reader = trace->reader();
+            const SimResult sim = simulate(predictor, reader);
+            point.perBenchmark.push_back(sim.mispredictionRate());
+            total += sim.mispredictionRate();
+        }
+        point.average = total / static_cast<double>(traces.size());
+        result.points.push_back(std::move(point));
+    }
+    return result;
+}
+
+} // namespace bpsim

@@ -1,0 +1,80 @@
+#include "sim/interval_stats.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace bpsim
+{
+
+double
+IntervalSeries::steadyStatePercent(std::size_t n) const
+{
+    if (mispredictPercent.empty())
+        return 0.0;
+    n = std::min(n, mispredictPercent.size());
+    double total = 0.0;
+    for (std::size_t i = mispredictPercent.size() - n;
+         i < mispredictPercent.size(); ++i)
+        total += mispredictPercent[i];
+    return total / static_cast<double>(n);
+}
+
+std::size_t
+IntervalSeries::warmupIntervals(double slackPercent) const
+{
+    const double steady = steadyStatePercent();
+    for (std::size_t i = 0; i < mispredictPercent.size(); ++i) {
+        if (mispredictPercent[i] <= steady + slackPercent)
+            return i;
+    }
+    return mispredictPercent.size();
+}
+
+IntervalSeries
+measureIntervals(BranchPredictor &predictor, TraceReader &trace,
+                 std::uint64_t intervalLength)
+{
+    if (intervalLength == 0)
+        BPSIM_FATAL("interval length must be at least 1");
+
+    predictor.reset();
+    trace.rewind();
+
+    IntervalSeries series;
+    series.intervalLength = intervalLength;
+
+    std::uint64_t in_interval = 0, wrong_in_interval = 0;
+    std::uint64_t total = 0, wrong_total = 0;
+
+    BranchRecord record;
+    while (trace.next(record)) {
+        if (!record.isConditional())
+            continue;
+        const bool prediction = predictor.predict(record.pc);
+        predictor.observeTarget(record.pc, record.target);
+        predictor.update(record.pc, record.taken);
+        const bool mispredicted = prediction != record.taken;
+        ++total;
+        ++in_interval;
+        if (mispredicted) {
+            ++wrong_total;
+            ++wrong_in_interval;
+        }
+        if (in_interval == intervalLength) {
+            series.mispredictPercent.push_back(
+                100.0 * static_cast<double>(wrong_in_interval) /
+                static_cast<double>(intervalLength));
+            in_interval = 0;
+            wrong_in_interval = 0;
+        }
+    }
+    if (total > 0) {
+        series.overallPercent = 100.0 *
+                                static_cast<double>(wrong_total) /
+                                static_cast<double>(total);
+    }
+    return series;
+}
+
+} // namespace bpsim

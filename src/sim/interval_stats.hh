@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Learning-curve measurement: misprediction rate per fixed-size
+ * interval of the trace.
+ *
+ * Trace-driven accuracy numbers hide the predictor's warm-up; the
+ * interval series exposes it (how fast each scheme converges, and
+ * whether phase changes in the workload knock it off). Used by the
+ * learning_curve example and by the warm-up sensitivity checks.
+ */
+
+#ifndef BPSIM_SIM_INTERVAL_STATS_HH
+#define BPSIM_SIM_INTERVAL_STATS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "predictors/predictor.hh"
+#include "trace/trace_source.hh"
+
+namespace bpsim
+{
+
+/** Misprediction time series at fixed intervals. */
+struct IntervalSeries
+{
+    std::uint64_t intervalLength = 0;
+    /** Misprediction percentage of each full interval, in order; a
+     *  trailing partial interval is dropped. */
+    std::vector<double> mispredictPercent;
+    /** Whole-run misprediction percentage (all records). */
+    double overallPercent = 0.0;
+
+    /** Mean of the last @p n intervals (steady-state estimate). */
+    double steadyStatePercent(std::size_t n = 4) const;
+
+    /** First interval whose rate is within @p slackPercent points of
+     *  the steady state; the series size if never. */
+    std::size_t warmupIntervals(double slackPercent = 1.0) const;
+};
+
+/**
+ * Runs @p predictor (reset first) over @p trace (rewound first),
+ * collecting per-interval misprediction rates.
+ *
+ * @param intervalLength conditional branches per interval (>= 1)
+ */
+IntervalSeries measureIntervals(BranchPredictor &predictor,
+                                TraceReader &trace,
+                                std::uint64_t intervalLength);
+
+} // namespace bpsim
+
+#endif // BPSIM_SIM_INTERVAL_STATS_HH

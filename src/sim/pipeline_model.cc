@@ -1,0 +1,33 @@
+#include "sim/pipeline_model.hh"
+
+#include "util/logging.hh"
+
+namespace bpsim
+{
+
+double
+PipelineModel::cpiAt(double mispredictRatePercent) const
+{
+    if (mispredictRatePercent < 0.0 || mispredictRatePercent > 100.0)
+        BPSIM_FATAL("misprediction rate " << mispredictRatePercent
+                    << "% out of range");
+    return baseCpi + branchFraction * (mispredictRatePercent / 100.0) *
+                         mispredictPenaltyCycles;
+}
+
+double
+PipelineModel::ipcAt(double mispredictRatePercent) const
+{
+    return 1.0 / cpiAt(mispredictRatePercent);
+}
+
+double
+PipelineModel::speedupPercent(double baseRatePercent,
+                              double improvedRatePercent) const
+{
+    const double base_cpi = cpiAt(baseRatePercent);
+    const double improved_cpi = cpiAt(improvedRatePercent);
+    return (base_cpi / improved_cpi - 1.0) * 100.0;
+}
+
+} // namespace bpsim

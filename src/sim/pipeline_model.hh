@@ -1,0 +1,48 @@
+/**
+ * @file
+ * First-order pipeline impact model.
+ *
+ * The paper's introduction motivates predictors by the pipeline
+ * bubbles mispredictions cause; this model turns misprediction rates
+ * into estimated CPI and speedup the way 1990s papers did:
+ *
+ *   CPI = CPI_base + f_branch * mispredict_rate * penalty
+ *
+ * with f_branch the conditional-branch fraction of the instruction
+ * stream and penalty the refill depth in cycles (defaults roughly
+ * match a 4-wide OoO core of the era: Alpha 21264-class).
+ */
+
+#ifndef BPSIM_SIM_PIPELINE_MODEL_HH
+#define BPSIM_SIM_PIPELINE_MODEL_HH
+
+namespace bpsim
+{
+
+/** Machine parameters of the first-order model. */
+struct PipelineModel
+{
+    /** CPI with perfect branch prediction. */
+    double baseCpi = 0.5;
+    /** Conditional branches per instruction. */
+    double branchFraction = 0.16;
+    /** Cycles lost per misprediction (redirect + refill). */
+    double mispredictPenaltyCycles = 7.0;
+
+    /** Estimated CPI at a misprediction rate given in percent. */
+    double cpiAt(double mispredictRatePercent) const;
+
+    /** Estimated IPC at a misprediction rate given in percent. */
+    double ipcAt(double mispredictRatePercent) const;
+
+    /**
+     * Speedup (in percent) of running at @p improvedRatePercent
+     * instead of @p baseRatePercent.
+     */
+    double speedupPercent(double baseRatePercent,
+                          double improvedRatePercent) const;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_SIM_PIPELINE_MODEL_HH

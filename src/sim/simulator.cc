@@ -1,0 +1,78 @@
+#include "sim/simulator.hh"
+
+#include <algorithm>
+
+namespace bpsim
+{
+
+double
+SimResult::mispredictionRate() const
+{
+    if (branches == 0)
+        return 0.0;
+    return 100.0 * static_cast<double>(mispredictions) /
+           static_cast<double>(branches);
+}
+
+double
+SimResult::counterKBytes() const
+{
+    return static_cast<double>(counterBits) / 8.0 / 1024.0;
+}
+
+SimResult
+simulate(BranchPredictor &predictor, TraceReader &trace,
+         const SimConfig &config)
+{
+    SimResult result;
+    result.predictorName = predictor.name();
+    result.counterBits = predictor.counterBits();
+    result.storageBits = predictor.storageBits();
+
+    std::unordered_map<std::uint64_t, PerBranchResult> per_branch;
+
+    trace.rewind();
+    BranchRecord record;
+    std::uint64_t seen = 0;
+    while (trace.next(record)) {
+        if (!record.isConditional())
+            continue;
+        const bool prediction = predictor.predict(record.pc);
+        predictor.observeTarget(record.pc, record.target);
+        predictor.update(record.pc, record.taken);
+        ++seen;
+        if (seen <= config.warmupBranches)
+            continue;
+
+        ++result.branches;
+        if (record.taken)
+            ++result.takenBranches;
+        const bool mispredicted = prediction != record.taken;
+        if (mispredicted)
+            ++result.mispredictions;
+        if (config.trackPerBranch) {
+            PerBranchResult &entry = per_branch[record.pc];
+            entry.pc = record.pc;
+            ++entry.executions;
+            if (record.taken)
+                ++entry.takenCount;
+            if (mispredicted)
+                ++entry.mispredictions;
+        }
+    }
+
+    if (config.trackPerBranch) {
+        result.perBranch.reserve(per_branch.size());
+        for (const auto &[pc, entry] : per_branch)
+            result.perBranch.push_back(entry);
+        std::sort(result.perBranch.begin(), result.perBranch.end(),
+                  [](const PerBranchResult &a, const PerBranchResult &b) {
+                      if (a.executions != b.executions)
+                          return a.executions > b.executions;
+                      return a.pc < b.pc;
+                  });
+    }
+    return result;
+}
+
+} // namespace bpsim

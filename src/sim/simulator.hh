@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The trace-driven simulation loop and its result type.
+ */
+
+#ifndef BPSIM_SIM_SIMULATOR_HH
+#define BPSIM_SIM_SIMULATOR_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "predictors/predictor.hh"
+#include "trace/trace_source.hh"
+
+namespace bpsim
+{
+
+/** Simulation options. */
+struct SimConfig
+{
+    /** Records at the head of the trace that train the predictor but
+     *  are excluded from the accuracy statistics. The paper measures
+     *  whole traces (0); warm-up is available for sensitivity runs. */
+    std::uint64_t warmupBranches = 0;
+    /** Collect per-static-branch execution/misprediction counts. */
+    bool trackPerBranch = false;
+};
+
+/** Per-static-branch outcome of a simulation. */
+struct PerBranchResult
+{
+    std::uint64_t pc = 0;
+    std::uint64_t executions = 0;
+    std::uint64_t mispredictions = 0;
+    std::uint64_t takenCount = 0;
+};
+
+/** Outcome of one predictor-on-trace run. */
+struct SimResult
+{
+    std::string predictorName;
+    /** Paper-convention cost (bits in prediction counters). */
+    std::uint64_t counterBits = 0;
+    /** Full state cost. */
+    std::uint64_t storageBits = 0;
+    /** Measured conditional branches (after warm-up). */
+    std::uint64_t branches = 0;
+    std::uint64_t mispredictions = 0;
+    std::uint64_t takenBranches = 0;
+    /** Per-branch details when SimConfig::trackPerBranch is set,
+     *  sorted by descending execution count. */
+    std::vector<PerBranchResult> perBranch;
+
+    /** Misprediction rate in percent. */
+    double mispredictionRate() const;
+
+    /** Prediction accuracy in percent. */
+    double accuracy() const { return 100.0 - mispredictionRate(); }
+
+    /** Cost in the paper's x-axis unit (K bytes of counters). */
+    double counterKBytes() const;
+};
+
+/**
+ * Runs @p predictor over @p trace (which is rewound first).
+ * Non-conditional records train nothing and are skipped, matching
+ * the paper's conditional-branch-only statistics.
+ */
+SimResult simulate(BranchPredictor &predictor, TraceReader &trace,
+                   const SimConfig &config = {});
+
+} // namespace bpsim
+
+#endif // BPSIM_SIM_SIMULATOR_HH

@@ -1,0 +1,44 @@
+#include "sim/size_ladder.hh"
+
+#include "util/logging.hh"
+
+namespace bpsim
+{
+
+double
+SizePoint::gshareKBytes() const
+{
+    // 2^n counters at 2 bits = 2^n / 4 bytes.
+    return static_cast<double>(std::uint64_t{1} << gshareIndexBits) /
+           4.0 / 1024.0;
+}
+
+double
+SizePoint::bimodeKBytes() const
+{
+    // Choice (2^d) + two banks (2 * 2^d) = 3 * 2^d counters.
+    return 3.0 * static_cast<double>(std::uint64_t{1} << bimodeDirectionBits)
+           / 4.0 / 1024.0;
+}
+
+std::vector<SizePoint>
+paperSizeLadder()
+{
+    return sizeLadder(10, 17);
+}
+
+std::vector<SizePoint>
+sizeLadder(unsigned firstIndexBits, unsigned lastIndexBits)
+{
+    if (firstIndexBits < 2 || firstIndexBits > lastIndexBits ||
+        lastIndexBits > 24) {
+        BPSIM_FATAL("bad size ladder range " << firstIndexBits << ".."
+                    << lastIndexBits);
+    }
+    std::vector<SizePoint> ladder;
+    for (unsigned n = firstIndexBits; n <= lastIndexBits; ++n)
+        ladder.push_back(SizePoint{n, n - 1});
+    return ladder;
+}
+
+} // namespace bpsim

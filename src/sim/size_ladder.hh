@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The paper's predictor cost ladder.
+ *
+ * The figures' x-axis is predictor size in K bytes of 2-bit
+ * counters, from 0.25 KB to 32 KB in powers of two. A gshare point
+ * at 2^n counters costs 2^n/4 bytes; the equal-step bi-mode point
+ * uses direction banks one bit narrower, which makes its natural
+ * cost 1.5x the next smaller gshare — exactly how the paper plots
+ * the curves.
+ */
+
+#ifndef BPSIM_SIM_SIZE_LADDER_HH
+#define BPSIM_SIM_SIZE_LADDER_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace bpsim
+{
+
+/** One rung of the evaluation ladder. */
+struct SizePoint
+{
+    /** gshare index width n at this rung (2^n counters). */
+    unsigned gshareIndexBits;
+    /** bi-mode direction-bank width d at this rung (the next rung
+     *  down, giving the 1.5x natural cost). */
+    unsigned bimodeDirectionBits;
+    /** gshare cost at this rung, in K bytes of 2-bit counters. */
+    double gshareKBytes() const;
+    /** bi-mode natural cost at this rung, in K bytes. */
+    double bimodeKBytes() const;
+};
+
+/**
+ * The paper's ladder: 0.25, 0.5, 1, 2, 4, 8, 16, 32 K bytes
+ * (gshare n = 10..17; bi-mode d = 9..16).
+ */
+std::vector<SizePoint> paperSizeLadder();
+
+/** A shorter ladder for quick runs: @p first..@p last inclusive
+ *  gshare index widths. */
+std::vector<SizePoint> sizeLadder(unsigned firstIndexBits,
+                                  unsigned lastIndexBits);
+
+} // namespace bpsim
+
+#endif // BPSIM_SIM_SIZE_LADDER_HH

@@ -1,0 +1,26 @@
+#include "sim/trace_cache.hh"
+
+#include "util/logging.hh"
+#include "workload/generator.hh"
+
+namespace bpsim
+{
+
+const MemoryTrace &
+TraceCache::traceFor(const WorkloadSpec &spec)
+{
+    auto it = traces.find(spec.name);
+    if (it == traces.end()) {
+        BPSIM_INFORM("generating trace for " << spec.name << " ("
+                     << spec.dynamicBranches << " branches)");
+        it = traces.emplace(spec.name,
+                            generateWorkloadTrace(spec)).first;
+        dynamicCounts[spec.name] = spec.dynamicBranches;
+    } else if (dynamicCounts[spec.name] != spec.dynamicBranches) {
+        BPSIM_PANIC("TraceCache: benchmark '" << spec.name
+                    << "' requested with two different dynamic counts");
+    }
+    return it->second;
+}
+
+} // namespace bpsim

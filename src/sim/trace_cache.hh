@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Benchmark trace cache.
+ *
+ * The figure sweeps replay each benchmark's trace across dozens of
+ * predictor configurations; the cache generates every workload once
+ * and hands out readers over the shared in-memory traces.
+ */
+
+#ifndef BPSIM_SIM_TRACE_CACHE_HH
+#define BPSIM_SIM_TRACE_CACHE_HH
+
+#include <map>
+#include <string>
+
+#include "trace/memory_trace.hh"
+#include "workload/workload_spec.hh"
+
+namespace bpsim
+{
+
+/** Generates benchmark traces on demand and keeps them in memory. */
+class TraceCache
+{
+  public:
+    TraceCache() = default;
+
+    TraceCache(const TraceCache &) = delete;
+    TraceCache &operator=(const TraceCache &) = delete;
+
+    /**
+     * The trace for @p spec, generating it on first use. Keyed by
+     * benchmark name; passing two different specs with the same name
+     * is a caller error (checked by dynamic count).
+     */
+    const MemoryTrace &traceFor(const WorkloadSpec &spec);
+
+    /** Number of traces generated so far. */
+    std::size_t generatedCount() const { return traces.size(); }
+
+  private:
+    std::map<std::string, MemoryTrace> traces;
+    std::map<std::string, std::uint64_t> dynamicCounts;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_SIM_TRACE_CACHE_HH

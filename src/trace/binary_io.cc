@@ -1,0 +1,212 @@
+#include "trace/binary_io.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace bpsim
+{
+
+namespace
+{
+
+constexpr char kMagic[4] = {'B', 'B', 'T', '1'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kHeaderSize = 24;
+constexpr std::size_t kFlushThreshold = 1 << 20;
+
+void
+putLe32(std::uint8_t *out, std::uint32_t value)
+{
+    for (int i = 0; i < 4; ++i)
+        out[i] = static_cast<std::uint8_t>(value >> (8 * i));
+}
+
+void
+putLe64(std::uint8_t *out, std::uint64_t value)
+{
+    for (int i = 0; i < 8; ++i)
+        out[i] = static_cast<std::uint8_t>(value >> (8 * i));
+}
+
+std::uint32_t
+getLe32(const std::uint8_t *in)
+{
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i)
+        value |= static_cast<std::uint32_t>(in[i]) << (8 * i);
+    return value;
+}
+
+std::uint64_t
+getLe64(const std::uint8_t *in)
+{
+    std::uint64_t value = 0;
+    for (int i = 0; i < 8; ++i)
+        value |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+    return value;
+}
+
+} // namespace
+
+BinaryTraceWriter::BinaryTraceWriter(const std::string &path)
+    : path(path), file(path, std::ios::binary | std::ios::trunc)
+{
+    if (!file)
+        BPSIM_FATAL("cannot open trace file '" << path << "' for writing");
+    std::uint8_t header[kHeaderSize] = {};
+    std::memcpy(header, kMagic, 4);
+    putLe32(header + 4, kVersion);
+    // Count (bytes 8..15) is patched in finish().
+    file.write(reinterpret_cast<const char *>(header), kHeaderSize);
+}
+
+BinaryTraceWriter::~BinaryTraceWriter()
+{
+    if (!finished)
+        BPSIM_WARN("BinaryTraceWriter for '" << path
+                   << "' destroyed without finish(); file is truncated");
+}
+
+void
+BinaryTraceWriter::append(const BranchRecord &record)
+{
+    if (finished)
+        BPSIM_PANIC("append() after finish()");
+    const std::uint64_t flags =
+        (static_cast<std::uint64_t>(record.type) << 1) |
+        (record.taken ? 1 : 0);
+    putVarint(buffer, flags);
+    putVarint(buffer, zigzagEncode(static_cast<std::int64_t>(
+        record.pc - previousPc)));
+    putVarint(buffer, zigzagEncode(static_cast<std::int64_t>(
+        record.target - record.pc)));
+    previousPc = record.pc;
+    ++count;
+    if (buffer.size() >= kFlushThreshold)
+        flushBuffer();
+}
+
+void
+BinaryTraceWriter::flushBuffer()
+{
+    if (buffer.empty())
+        return;
+    checksum.update(buffer.data(), buffer.size());
+    file.write(reinterpret_cast<const char *>(buffer.data()),
+               static_cast<std::streamsize>(buffer.size()));
+    buffer.clear();
+}
+
+void
+BinaryTraceWriter::finish()
+{
+    if (finished)
+        return;
+    flushBuffer();
+    std::uint8_t trailer[8];
+    putLe64(trailer, checksum.digest());
+    file.write(reinterpret_cast<const char *>(trailer), 8);
+    file.seekp(8);
+    std::uint8_t count_bytes[8];
+    putLe64(count_bytes, count);
+    file.write(reinterpret_cast<const char *>(count_bytes), 8);
+    file.flush();
+    if (!file)
+        BPSIM_FATAL("I/O error while finalizing trace file '" << path << "'");
+    file.close();
+    finished = true;
+}
+
+BinaryTraceReader::BinaryTraceReader(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in)
+        BPSIM_FATAL("cannot open trace file '" << path << "'");
+    const std::streamoff file_size = in.tellg();
+    if (file_size < static_cast<std::streamoff>(kHeaderSize + 8))
+        BPSIM_FATAL("'" << path << "' is too small to be a BBT1 trace");
+    in.seekg(0);
+
+    std::uint8_t header[kHeaderSize];
+    in.read(reinterpret_cast<char *>(header), kHeaderSize);
+    if (std::memcmp(header, kMagic, 4) != 0)
+        BPSIM_FATAL("'" << path << "' is not a BBT1 trace (bad magic)");
+    const std::uint32_t version = getLe32(header + 4);
+    if (version != kVersion)
+        BPSIM_FATAL("'" << path << "': unsupported BBT1 version "
+                    << version);
+    count = getLe64(header + 8);
+
+    const std::size_t payload_size =
+        static_cast<std::size_t>(file_size) - kHeaderSize - 8;
+    payload.resize(payload_size);
+    in.read(reinterpret_cast<char *>(payload.data()),
+            static_cast<std::streamsize>(payload_size));
+    std::uint8_t trailer[8];
+    in.read(reinterpret_cast<char *>(trailer), 8);
+    if (!in)
+        BPSIM_FATAL("I/O error while reading '" << path << "'");
+
+    Fnv1a checksum;
+    checksum.update(payload.data(), payload.size());
+    if (checksum.digest() != getLe64(trailer))
+        BPSIM_FATAL("'" << path << "': checksum mismatch, file corrupt");
+}
+
+bool
+BinaryTraceReader::next(BranchRecord &record)
+{
+    if (produced >= count)
+        return false;
+    std::uint64_t flags, pc_delta, target_delta;
+    if (!getVarint(payload.data(), payload.size(), offset, flags) ||
+        !getVarint(payload.data(), payload.size(), offset, pc_delta) ||
+        !getVarint(payload.data(), payload.size(), offset, target_delta)) {
+        BPSIM_FATAL("BBT1 payload ended early at record " << produced);
+    }
+    record.taken = flags & 1;
+    const std::uint64_t type_bits = (flags >> 1) & 0x7;
+    if (type_bits > static_cast<std::uint64_t>(BranchType::IndirectJump))
+        BPSIM_FATAL("BBT1 record " << produced << " has invalid type "
+                    << type_bits);
+    record.type = static_cast<BranchType>(type_bits);
+    record.pc = previousPc +
+        static_cast<std::uint64_t>(zigzagDecode(pc_delta));
+    record.target = record.pc +
+        static_cast<std::uint64_t>(zigzagDecode(target_delta));
+    previousPc = record.pc;
+    ++produced;
+    return true;
+}
+
+void
+BinaryTraceReader::rewind()
+{
+    produced = 0;
+    offset = 0;
+    previousPc = 0;
+}
+
+std::uint64_t
+writeBinaryTrace(TraceReader &reader, const std::string &path)
+{
+    BinaryTraceWriter writer(path);
+    BranchRecord record;
+    while (reader.next(record))
+        writer.append(record);
+    writer.finish();
+    return writer.recordsWritten();
+}
+
+void
+readBinaryTrace(const std::string &path, TraceWriter &sink)
+{
+    BinaryTraceReader reader(path);
+    BranchRecord record;
+    while (reader.next(record))
+        sink.append(record);
+    sink.finish();
+}
+
+} // namespace bpsim

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The BBT1 on-disk branch-trace format.
+ *
+ * Layout:
+ *   bytes 0..3    magic "BBT1"
+ *   bytes 4..7    format version, little-endian u32 (currently 1)
+ *   bytes 8..15   record count, little-endian u64
+ *   bytes 16..23  reserved (zero)
+ *   payload       per-record encoding (below)
+ *   last 8 bytes  FNV-1a checksum of the payload, little-endian u64
+ *
+ * Each record is encoded as
+ *   flags varint  bit 0 = taken, bits 1..3 = BranchType
+ *   pc    varint  zigzag delta from the previous record's pc
+ *   tgt   varint  zigzag delta from this record's pc
+ *
+ * Consecutive branch pcs are near each other and targets are near
+ * their branches, so typical traces cost a few bytes per record.
+ */
+
+#ifndef BPSIM_TRACE_BINARY_IO_HH
+#define BPSIM_TRACE_BINARY_IO_HH
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "trace/codec.hh"
+#include "trace/trace_source.hh"
+
+namespace bpsim
+{
+
+/** Streams records into a BBT1 file. */
+class BinaryTraceWriter : public TraceWriter
+{
+  public:
+    /** Opens @p path for writing; fatal() on failure. */
+    explicit BinaryTraceWriter(const std::string &path);
+
+    /** finish() must already have been called (checked). */
+    ~BinaryTraceWriter() override;
+
+    void append(const BranchRecord &record) override;
+
+    /** Patches the header count and appends the checksum. */
+    void finish() override;
+
+    std::uint64_t recordsWritten() const { return count; }
+
+  private:
+    void flushBuffer();
+
+    std::string path;
+    std::ofstream file;
+    std::vector<std::uint8_t> buffer;
+    Fnv1a checksum;
+    std::uint64_t count = 0;
+    std::uint64_t previousPc = 0;
+    bool finished = false;
+};
+
+/** Reads a BBT1 file; the whole payload is validated at open time. */
+class BinaryTraceReader : public TraceReader
+{
+  public:
+    /** Opens and validates @p path; fatal() on any format error. */
+    explicit BinaryTraceReader(const std::string &path);
+
+    bool next(BranchRecord &record) override;
+    void rewind() override;
+    std::optional<std::uint64_t> size() const override { return count; }
+
+  private:
+    std::vector<std::uint8_t> payload;
+    std::uint64_t count = 0;
+    std::uint64_t produced = 0;
+    std::size_t offset = 0;
+    std::uint64_t previousPc = 0;
+};
+
+/** Convenience: writes an entire reader's contents to @p path. */
+std::uint64_t writeBinaryTrace(TraceReader &reader, const std::string &path);
+
+/** Convenience: loads an entire BBT1 file into memory. */
+void readBinaryTrace(const std::string &path, TraceWriter &sink);
+
+} // namespace bpsim
+
+#endif // BPSIM_TRACE_BINARY_IO_HH

@@ -1,0 +1,37 @@
+#include "trace/branch_record.hh"
+
+#include "util/logging.hh"
+
+namespace bpsim
+{
+
+const char *
+branchTypeName(BranchType type)
+{
+    switch (type) {
+      case BranchType::Conditional: return "cond";
+      case BranchType::Unconditional: return "jump";
+      case BranchType::Call: return "call";
+      case BranchType::Return: return "ret";
+      case BranchType::IndirectJump: return "ijump";
+    }
+    return "?";
+}
+
+BranchType
+branchTypeFromName(const std::string &name)
+{
+    if (name == "cond")
+        return BranchType::Conditional;
+    if (name == "jump")
+        return BranchType::Unconditional;
+    if (name == "call")
+        return BranchType::Call;
+    if (name == "ret")
+        return BranchType::Return;
+    if (name == "ijump")
+        return BranchType::IndirectJump;
+    BPSIM_FATAL("unknown branch type '" << name << "'");
+}
+
+} // namespace bpsim

@@ -1,0 +1,34 @@
+#include "trace/codec.hh"
+
+namespace bpsim
+{
+
+void
+putVarint(std::vector<std::uint8_t> &out, std::uint64_t value)
+{
+    while (value >= 0x80) {
+        out.push_back(static_cast<std::uint8_t>(value) | 0x80);
+        value >>= 7;
+    }
+    out.push_back(static_cast<std::uint8_t>(value));
+}
+
+bool
+getVarint(const std::uint8_t *data, std::size_t size,
+          std::size_t &offset, std::uint64_t &value)
+{
+    std::uint64_t result = 0;
+    unsigned shift = 0;
+    while (offset < size && shift < 64) {
+        const std::uint8_t byte = data[offset++];
+        result |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+        if (!(byte & 0x80)) {
+            value = result;
+            return true;
+        }
+        shift += 7;
+    }
+    return false;
+}
+
+} // namespace bpsim

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Byte-level primitives for the binary trace format: LEB128 varints,
+ * zigzag signed mapping, and an FNV-1a checksum.
+ *
+ * Branch traces are extremely compressible — consecutive pcs are
+ * near each other and targets are near their pcs — so records are
+ * stored as zigzag-encoded deltas in varints. Typical synthetic
+ * traces compress to ~3 bytes/record versus 24 bytes raw.
+ */
+
+#ifndef BPSIM_TRACE_CODEC_HH
+#define BPSIM_TRACE_CODEC_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bpsim
+{
+
+/** Maps a signed value to unsigned with small magnitudes kept small. */
+constexpr std::uint64_t
+zigzagEncode(std::int64_t value)
+{
+    return (static_cast<std::uint64_t>(value) << 1) ^
+           static_cast<std::uint64_t>(value >> 63);
+}
+
+/** Inverse of zigzagEncode(). */
+constexpr std::int64_t
+zigzagDecode(std::uint64_t value)
+{
+    return static_cast<std::int64_t>(value >> 1) ^
+           -static_cast<std::int64_t>(value & 1);
+}
+
+/** Appends @p value to @p out as a LEB128 varint (1..10 bytes). */
+void putVarint(std::vector<std::uint8_t> &out, std::uint64_t value);
+
+/**
+ * Reads one varint from @p data at @p offset, advancing the offset.
+ *
+ * @retval true a complete varint was decoded into @p value
+ * @retval false the buffer ended mid-varint (offset unspecified)
+ */
+bool getVarint(const std::uint8_t *data, std::size_t size,
+               std::size_t &offset, std::uint64_t &value);
+
+/** Incremental FNV-1a 64-bit hash, used as a trace-file checksum. */
+class Fnv1a
+{
+  public:
+    /** Mixes @p n bytes into the hash. */
+    void
+    update(const std::uint8_t *data, std::size_t n)
+    {
+        for (std::size_t i = 0; i < n; ++i) {
+            state ^= data[i];
+            state *= 0x100000001b3ULL;
+        }
+    }
+
+    std::uint64_t digest() const { return state; }
+
+  private:
+    std::uint64_t state = 0xcbf29ce484222325ULL;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_TRACE_CODEC_HH

@@ -1,0 +1,18 @@
+#include "trace/memory_trace.hh"
+
+namespace bpsim
+{
+
+void
+MemoryTrace::append(const BranchRecord &record)
+{
+    records.push_back(record);
+}
+
+MemoryTrace::Reader
+MemoryTrace::reader() const
+{
+    return Reader(*this);
+}
+
+} // namespace bpsim

@@ -1,0 +1,94 @@
+#include "trace/text_io.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace bpsim
+{
+
+TextTraceWriter::TextTraceWriter(const std::string &path)
+    : path(path), file(path, std::ios::trunc)
+{
+    if (!file)
+        BPSIM_FATAL("cannot open trace file '" << path << "' for writing");
+    file << "# bimode-bp text trace v1: pc target type taken\n";
+}
+
+void
+TextTraceWriter::append(const BranchRecord &record)
+{
+    char line[96];
+    std::snprintf(line, sizeof(line), "0x%llx 0x%llx %s %c\n",
+                  static_cast<unsigned long long>(record.pc),
+                  static_cast<unsigned long long>(record.target),
+                  branchTypeName(record.type), record.taken ? 'T' : 'N');
+    file << line;
+}
+
+void
+TextTraceWriter::finish()
+{
+    file.flush();
+    if (!file)
+        BPSIM_FATAL("I/O error while writing trace file '" << path << "'");
+}
+
+TextTraceReader::TextTraceReader(const std::string &path)
+    : path(path), file(path)
+{
+    if (!file)
+        BPSIM_FATAL("cannot open trace file '" << path << "'");
+}
+
+bool
+TextTraceReader::next(BranchRecord &record)
+{
+    std::string line;
+    while (std::getline(file, line)) {
+        ++lineNumber;
+        // Strip comments and skip blank lines.
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.resize(hash);
+        std::istringstream fields(line);
+        std::string pc_text, target_text, type_text, taken_text;
+        if (!(fields >> pc_text))
+            continue;
+        if (!(fields >> target_text >> type_text >> taken_text))
+            BPSIM_FATAL(path << ":" << lineNumber << ": malformed record");
+
+        char *end = nullptr;
+        record.pc = std::strtoull(pc_text.c_str(), &end, 0);
+        if (*end != '\0')
+            BPSIM_FATAL(path << ":" << lineNumber << ": bad pc '"
+                        << pc_text << "'");
+        record.target = std::strtoull(target_text.c_str(), &end, 0);
+        if (*end != '\0')
+            BPSIM_FATAL(path << ":" << lineNumber << ": bad target '"
+                        << target_text << "'");
+        record.type = branchTypeFromName(type_text);
+        if (taken_text == "T") {
+            record.taken = true;
+        } else if (taken_text == "N") {
+            record.taken = false;
+        } else {
+            BPSIM_FATAL(path << ":" << lineNumber << ": bad outcome '"
+                        << taken_text << "' (expected T or N)");
+        }
+        return true;
+    }
+    return false;
+}
+
+void
+TextTraceReader::rewind()
+{
+    file.clear();
+    file.seekg(0);
+    lineNumber = 0;
+}
+
+} // namespace bpsim

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Human-readable branch trace format.
+ *
+ * One record per line:
+ *   <pc-hex> <target-hex> <type> <T|N>
+ * e.g.
+ *   0x401000 0x401040 cond T
+ * Blank lines and lines starting with '#' are ignored on input.
+ */
+
+#ifndef BPSIM_TRACE_TEXT_IO_HH
+#define BPSIM_TRACE_TEXT_IO_HH
+
+#include <fstream>
+#include <string>
+
+#include "trace/trace_source.hh"
+
+namespace bpsim
+{
+
+/** Writes records as text lines. */
+class TextTraceWriter : public TraceWriter
+{
+  public:
+    /** Opens @p path for writing; fatal() on failure. */
+    explicit TextTraceWriter(const std::string &path);
+
+    void append(const BranchRecord &record) override;
+    void finish() override;
+
+  private:
+    std::string path;
+    std::ofstream file;
+};
+
+/** Parses text-format traces; fatal() with a line number on errors. */
+class TextTraceReader : public TraceReader
+{
+  public:
+    explicit TextTraceReader(const std::string &path);
+
+    bool next(BranchRecord &record) override;
+    void rewind() override;
+
+  private:
+    std::string path;
+    std::ifstream file;
+    std::uint64_t lineNumber = 0;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_TRACE_TEXT_IO_HH

@@ -1,0 +1,93 @@
+#include "trace/trace_stats.hh"
+
+#include <algorithm>
+
+namespace bpsim
+{
+
+double
+StaticBranchStats::takenFraction() const
+{
+    if (executions == 0)
+        return 0.0;
+    return static_cast<double>(takenCount) /
+           static_cast<double>(executions);
+}
+
+bool
+StaticBranchStats::isStronglyBiased(double threshold) const
+{
+    const double f = takenFraction();
+    return f >= threshold || f <= 1.0 - threshold;
+}
+
+void
+TraceStats::observe(const BranchRecord &record)
+{
+    if (!record.isConditional()) {
+        ++otherCount;
+        return;
+    }
+    ++dynamicCount;
+    if (record.taken)
+        ++takenCount;
+    auto &entry = branches[record.pc];
+    entry.pc = record.pc;
+    ++entry.executions;
+    if (record.taken)
+        ++entry.takenCount;
+}
+
+void
+TraceStats::observeAll(TraceReader &reader)
+{
+    BranchRecord record;
+    while (reader.next(record))
+        observe(record);
+}
+
+std::uint64_t
+TraceStats::staticConditional() const
+{
+    return branches.size();
+}
+
+double
+TraceStats::takenFraction() const
+{
+    if (dynamicCount == 0)
+        return 0.0;
+    return static_cast<double>(takenCount) /
+           static_cast<double>(dynamicCount);
+}
+
+double
+TraceStats::stronglyBiasedDynamicFraction(double threshold) const
+{
+    if (dynamicCount == 0)
+        return 0.0;
+    std::uint64_t biased = 0;
+    for (const auto &[pc, stats] : branches) {
+        if (stats.isStronglyBiased(threshold))
+            biased += stats.executions;
+    }
+    return static_cast<double>(biased) / static_cast<double>(dynamicCount);
+}
+
+std::vector<StaticBranchStats>
+TraceStats::perBranch() const
+{
+    std::vector<StaticBranchStats> result;
+    result.reserve(branches.size());
+    for (const auto &[pc, stats] : branches)
+        result.push_back(stats);
+    std::sort(result.begin(), result.end(),
+              [](const StaticBranchStats &a, const StaticBranchStats &b) {
+                  if (a.executions != b.executions)
+                      return a.executions > b.executions;
+                  return a.pc < b.pc;
+              });
+    return result;
+}
+
+} // namespace bpsim

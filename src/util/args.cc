@@ -1,0 +1,158 @@
+#include "util/args.hh"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace bpsim
+{
+
+ArgParser::ArgParser(std::string program, std::string summary)
+    : program(std::move(program)), summary(std::move(summary))
+{
+}
+
+void
+ArgParser::addOption(const std::string &name, const std::string &def,
+                     const std::string &help)
+{
+    Option opt;
+    opt.def = def;
+    opt.value = def;
+    opt.help = help;
+    if (!options.emplace(name, std::move(opt)).second)
+        BPSIM_PANIC("duplicate option --" << name);
+    declarationOrder.push_back(name);
+}
+
+void
+ArgParser::addFlag(const std::string &name, const std::string &help)
+{
+    Option opt;
+    opt.help = help;
+    opt.isFlag = true;
+    if (!options.emplace(name, std::move(opt)).second)
+        BPSIM_PANIC("duplicate flag --" << name);
+    declarationOrder.push_back(name);
+}
+
+bool
+ArgParser::parse(int argc, const char *const *argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            std::fputs(usage().c_str(), stdout);
+            return false;
+        }
+        if (arg.rfind("--", 0) != 0) {
+            positionals.push_back(std::move(arg));
+            continue;
+        }
+        std::string name = arg.substr(2);
+        std::string value;
+        bool has_value = false;
+        const auto eq = name.find('=');
+        if (eq != std::string::npos) {
+            value = name.substr(eq + 1);
+            name = name.substr(0, eq);
+            has_value = true;
+        }
+        auto it = options.find(name);
+        if (it == options.end())
+            BPSIM_FATAL("unknown option --" << name << "; try --help");
+        Option &opt = it->second;
+        if (opt.isFlag) {
+            if (has_value)
+                BPSIM_FATAL("flag --" << name << " does not take a value");
+            opt.seen = true;
+            continue;
+        }
+        if (!has_value) {
+            if (i + 1 >= argc)
+                BPSIM_FATAL("option --" << name << " needs a value");
+            value = argv[++i];
+        }
+        opt.value = std::move(value);
+        opt.seen = true;
+    }
+    return true;
+}
+
+const ArgParser::Option &
+ArgParser::lookup(const std::string &name) const
+{
+    const auto it = options.find(name);
+    if (it == options.end())
+        BPSIM_PANIC("option --" << name << " was never declared");
+    return it->second;
+}
+
+bool
+ArgParser::flag(const std::string &name) const
+{
+    const Option &opt = lookup(name);
+    if (!opt.isFlag)
+        BPSIM_PANIC("--" << name << " is not a flag");
+    return opt.seen;
+}
+
+const std::string &
+ArgParser::get(const std::string &name) const
+{
+    return lookup(name).value;
+}
+
+std::int64_t
+ArgParser::getInt(const std::string &name) const
+{
+    const std::string &text = get(name);
+    char *end = nullptr;
+    const long long value = std::strtoll(text.c_str(), &end, 0);
+    if (end == text.c_str() || *end != '\0')
+        BPSIM_FATAL("--" << name << ": '" << text << "' is not an integer");
+    return value;
+}
+
+std::uint64_t
+ArgParser::getUint(const std::string &name) const
+{
+    const std::int64_t value = getInt(name);
+    if (value < 0)
+        BPSIM_FATAL("--" << name << " must be non-negative");
+    return static_cast<std::uint64_t>(value);
+}
+
+double
+ArgParser::getDouble(const std::string &name) const
+{
+    const std::string &text = get(name);
+    char *end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0')
+        BPSIM_FATAL("--" << name << ": '" << text << "' is not a number");
+    return value;
+}
+
+std::string
+ArgParser::usage() const
+{
+    std::ostringstream os;
+    os << "usage: " << program << " [options]\n\n" << summary << "\n\n"
+       << "options:\n";
+    for (const auto &name : declarationOrder) {
+        const Option &opt = options.at(name);
+        os << "  --" << name;
+        if (!opt.isFlag)
+            os << " <value>";
+        os << "\n        " << opt.help;
+        if (!opt.isFlag && !opt.def.empty())
+            os << " (default: " << opt.def << ")";
+        os << '\n';
+    }
+    os << "  --help\n        show this message\n";
+    return os.str();
+}
+
+} // namespace bpsim

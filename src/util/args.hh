@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Minimal command-line argument parser for the example and benchmark
+ * executables.
+ *
+ * Supports --name value, --name=value, boolean --flag switches, and
+ * positional arguments, with typed accessors, defaults, and an
+ * auto-generated --help text.
+ */
+
+#ifndef BPSIM_UTIL_ARGS_HH
+#define BPSIM_UTIL_ARGS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace bpsim
+{
+
+/** Declarative description and parsed state of a program's options. */
+class ArgParser
+{
+  public:
+    /**
+     * @param program name shown in the usage line
+     * @param summary one-line description shown by --help
+     */
+    ArgParser(std::string program, std::string summary);
+
+    /** Declares a valued option with a default. */
+    void addOption(const std::string &name, const std::string &def,
+                   const std::string &help);
+
+    /** Declares a boolean switch (defaults to false). */
+    void addFlag(const std::string &name, const std::string &help);
+
+    /**
+     * Parses argv. On --help prints usage and returns false (caller
+     * should exit 0); on a malformed command line calls fatal().
+     */
+    bool parse(int argc, const char *const *argv);
+
+    /** True when a declared flag was present. */
+    bool flag(const std::string &name) const;
+
+    /** String value of a declared option (default if absent). */
+    const std::string &get(const std::string &name) const;
+
+    /** Typed accessors over get(); fatal() on conversion failure. */
+    std::int64_t getInt(const std::string &name) const;
+    std::uint64_t getUint(const std::string &name) const;
+    double getDouble(const std::string &name) const;
+
+    /** Positional arguments in order of appearance. */
+    const std::vector<std::string> &positional() const { return positionals; }
+
+    /** Renders the --help text. */
+    std::string usage() const;
+
+  private:
+    struct Option
+    {
+        std::string def;
+        std::string help;
+        std::string value;
+        bool isFlag = false;
+        bool seen = false;
+    };
+
+    const Option &lookup(const std::string &name) const;
+
+    std::string program;
+    std::string summary;
+    std::map<std::string, Option> options;
+    std::vector<std::string> declarationOrder;
+    std::vector<std::string> positionals;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_UTIL_ARGS_HH

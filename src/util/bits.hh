@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Bit-manipulation helpers used throughout the predictor library.
+ *
+ * All predictor tables in this project are power-of-two sized and
+ * indexed by low-order bit fields of branch addresses and history
+ * registers, so the helpers here are centred on masking, extraction
+ * and folding of bit fields.
+ */
+
+#ifndef BPSIM_UTIL_BITS_HH
+#define BPSIM_UTIL_BITS_HH
+
+#include <cassert>
+#include <cstdint>
+#include <type_traits>
+
+namespace bpsim
+{
+
+/** Returns a value with the low @p n bits set. @p n may be 0..64. */
+constexpr std::uint64_t
+maskBits(unsigned n)
+{
+    return n >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << n) - 1);
+}
+
+/** Extracts the @p n-bit field of @p value starting at bit @p lsb. */
+constexpr std::uint64_t
+bitField(std::uint64_t value, unsigned lsb, unsigned n)
+{
+    return (value >> lsb) & maskBits(n);
+}
+
+/** True when @p value is a power of two (and non-zero). */
+constexpr bool
+isPowerOfTwo(std::uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/**
+ * Integer log base 2 of a power of two.
+ *
+ * @pre isPowerOfTwo(value)
+ */
+constexpr unsigned
+log2Exact(std::uint64_t value)
+{
+    unsigned result = 0;
+    while (value > 1) {
+        value >>= 1;
+        ++result;
+    }
+    return result;
+}
+
+/** Ceiling of log base 2; log2Ceil(1) == 0. */
+constexpr unsigned
+log2Ceil(std::uint64_t value)
+{
+    unsigned result = 0;
+    std::uint64_t limit = 1;
+    while (limit < value) {
+        limit <<= 1;
+        ++result;
+    }
+    return result;
+}
+
+/**
+ * Folds a wide value into @p n bits by repeated xor of n-bit chunks.
+ *
+ * Used by hashed indexing schemes to keep the whole value's entropy
+ * while producing a table index of the desired width.
+ */
+constexpr std::uint64_t
+foldXor(std::uint64_t value, unsigned n)
+{
+    if (n == 0)
+        return 0;
+    std::uint64_t folded = 0;
+    while (value != 0) {
+        folded ^= value & maskBits(n);
+        value >>= n;
+    }
+    return folded;
+}
+
+/** Reverses the low @p n bits of @p value (bit i swaps with n-1-i). */
+constexpr std::uint64_t
+reverseBits(std::uint64_t value, unsigned n)
+{
+    std::uint64_t result = 0;
+    for (unsigned i = 0; i < n; ++i) {
+        result = (result << 1) | ((value >> i) & 1);
+    }
+    return result;
+}
+
+} // namespace bpsim
+
+#endif // BPSIM_UTIL_BITS_HH

@@ -1,0 +1,68 @@
+#include "util/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace bpsim
+{
+
+namespace
+{
+
+bool verboseFlag = false;
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Inform: return "info";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Fatal: return "fatal";
+      case LogLevel::Panic: return "panic";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+setVerbose(bool verbose)
+{
+    verboseFlag = verbose;
+}
+
+bool
+verbose()
+{
+    return verboseFlag;
+}
+
+namespace detail
+{
+
+std::string
+location(const char *file, int line)
+{
+    return std::string(file) + ":" + std::to_string(line);
+}
+
+void
+emit(LogLevel level, const char *where, const std::string &message)
+{
+    std::fprintf(stderr, "%s: %s (%s)\n", levelName(level),
+                 message.c_str(), where);
+    std::fflush(stderr);
+}
+
+void
+terminate(LogLevel level, const char *where, const std::string &message)
+{
+    emit(level, where, message);
+    if (level == LogLevel::Panic)
+        std::abort();
+    std::exit(1);
+}
+
+} // namespace detail
+
+} // namespace bpsim

@@ -1,0 +1,156 @@
+#include "util/random.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace bpsim
+{
+
+namespace
+{
+
+constexpr std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    SplitMix64 seeder(seed);
+    for (auto &word : state)
+        word = seeder.next();
+    // A pathological all-zero state would make the generator stick;
+    // SplitMix64 cannot emit four zero words in a row, but guard anyway.
+    if (state[0] == 0 && state[1] == 0 && state[2] == 0 && state[3] == 0)
+        state[0] = 1;
+}
+
+std::uint64_t
+Rng::next64()
+{
+    const std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+    const std::uint64_t t = state[1] << 17;
+
+    state[2] ^= state[0];
+    state[3] ^= state[1];
+    state[1] ^= state[2];
+    state[0] ^= state[3];
+    state[2] ^= t;
+    state[3] = rotl(state[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Rng::nextBounded(std::uint64_t bound)
+{
+    if (bound == 0)
+        BPSIM_PANIC("nextBounded() requires a non-zero bound");
+    // Debiased modulo via rejection sampling on the top of the range.
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+        const std::uint64_t r = next64();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+double
+Rng::nextDouble()
+{
+    // 53 random mantissa bits -> uniform double in [0, 1).
+    return static_cast<double>(next64() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::nextBool(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return nextDouble() < p;
+}
+
+std::int64_t
+Rng::nextRange(std::int64_t lo, std::int64_t hi)
+{
+    if (lo > hi)
+        BPSIM_PANIC("nextRange() with lo > hi: " << lo << " > " << hi);
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+    // span == 0 means the full 2^64 range.
+    const std::uint64_t offset = span == 0 ? next64() : nextBounded(span);
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) + offset);
+}
+
+std::uint64_t
+Rng::nextGeometric(double p, std::uint64_t max)
+{
+    if (p >= 1.0)
+        return 0;
+    if (p <= 0.0)
+        return max;
+    // Inverse-CDF sampling: floor(log(u) / log(1 - p)).
+    const double u = std::max(nextDouble(), 0x1.0p-60);
+    const double value = std::floor(std::log(u) / std::log1p(-p));
+    if (value >= static_cast<double>(max))
+        return max;
+    return static_cast<std::uint64_t>(value);
+}
+
+std::size_t
+Rng::nextWeighted(const std::vector<double> &weights)
+{
+    double total = 0.0;
+    for (double w : weights)
+        total += std::max(w, 0.0);
+    if (total <= 0.0)
+        return 0;
+    double point = nextDouble() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        point -= std::max(weights[i], 0.0);
+        if (point < 0.0)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+Rng
+Rng::split()
+{
+    return Rng(next64());
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double s, double offset)
+{
+    if (n == 0)
+        BPSIM_PANIC("ZipfSampler requires n >= 1");
+    if (offset < 0.0)
+        BPSIM_PANIC("ZipfSampler offset must be non-negative");
+    cumulative.resize(n);
+    double running = 0.0;
+    for (std::size_t rank = 0; rank < n; ++rank) {
+        running +=
+            1.0 / std::pow(static_cast<double>(rank + 1) + offset, s);
+        cumulative[rank] = running;
+    }
+}
+
+std::size_t
+ZipfSampler::sample(Rng &rng) const
+{
+    const double point = rng.nextDouble() * cumulative.back();
+    const auto it =
+        std::upper_bound(cumulative.begin(), cumulative.end(), point);
+    const std::size_t index =
+        static_cast<std::size_t>(it - cumulative.begin());
+    return std::min(index, cumulative.size() - 1);
+}
+
+} // namespace bpsim

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Workload generation must be bit-for-bit reproducible across runs,
+ * machines and standard-library versions, so we avoid std::mt19937 /
+ * std::uniform_int_distribution (whose outputs are not pinned down by
+ * the standard for all distributions) and carry our own generator
+ * (xoshiro256**) and distributions.
+ */
+
+#ifndef BPSIM_UTIL_RANDOM_HH
+#define BPSIM_UTIL_RANDOM_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace bpsim
+{
+
+/**
+ * SplitMix64 stream, used to seed the main generator and to derive
+ * independent child seeds from a single workload seed.
+ */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(std::uint64_t seed) : state(seed) {}
+
+    /** Next 64-bit value of the stream. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+  private:
+    std::uint64_t state;
+};
+
+/**
+ * xoshiro256** generator (Blackman & Vigna). Fast, tiny state, and
+ * good statistical quality; entirely sufficient for synthetic
+ * workload generation.
+ */
+class Rng
+{
+  public:
+    /** Seeds the four state words through a SplitMix64 expansion. */
+    explicit Rng(std::uint64_t seed = 0x1997'0b1'0de'5eedULL);
+
+    /** Raw 64 random bits. */
+    std::uint64_t next64();
+
+    /** Uniform value in [0, bound); bound must be non-zero. */
+    std::uint64_t nextBounded(std::uint64_t bound);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli trial that succeeds with probability @p p. */
+    bool nextBool(double p);
+
+    /** Uniform integer in the inclusive range [lo, hi]. */
+    std::int64_t nextRange(std::int64_t lo, std::int64_t hi);
+
+    /**
+     * Geometric number of failures before the first success, with
+     * success probability @p p in (0, 1]; clamped to @p max.
+     */
+    std::uint64_t nextGeometric(double p, std::uint64_t max);
+
+    /**
+     * Samples an index from an unnormalized discrete weight vector.
+     * An all-zero weight vector yields index 0.
+     */
+    std::size_t nextWeighted(const std::vector<double> &weights);
+
+    /** Derives an independent child generator. */
+    Rng split();
+
+  private:
+    std::array<std::uint64_t, 4> state;
+};
+
+/**
+ * Samples from a shifted-Zipf distribution over ranks 0..n-1 with
+ * weight(r) = 1 / (r + 1 + offset)^s, via precomputed cumulative
+ * weights. Used to give synthetic static branches realistically
+ * skewed execution frequencies: the offset flattens the head (no
+ * single rank dominates the trace the way an unshifted Zipf head
+ * would) while the exponent keeps the heavy-tailed cold set.
+ */
+class ZipfSampler
+{
+  public:
+    /**
+     * @param n number of ranks (must be >= 1)
+     * @param s Zipf exponent; 0 gives a uniform distribution
+     * @param offset head-flattening shift q in 1/(r+1+q)^s
+     */
+    ZipfSampler(std::size_t n, double s, double offset = 0.0);
+
+    /** Samples a rank in [0, n). */
+    std::size_t sample(Rng &rng) const;
+
+    std::size_t size() const { return cumulative.size(); }
+
+  private:
+    std::vector<double> cumulative;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_UTIL_RANDOM_HH

@@ -1,0 +1,78 @@
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bpsim
+{
+
+void
+RunningStat::push(double x)
+{
+    if (n == 0) {
+        minValue = maxValue = x;
+    } else {
+        minValue = std::min(minValue, x);
+        maxValue = std::max(maxValue, x);
+    }
+    ++n;
+    total += x;
+    const double delta = x - runningMean;
+    runningMean += delta / static_cast<double>(n);
+    m2 += delta * (x - runningMean);
+}
+
+double
+RunningStat::variance() const
+{
+    if (n < 2)
+        return 0.0;
+    return m2 / static_cast<double>(n - 1);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double total = 0.0;
+    for (double v : values)
+        total += v;
+    return total / static_cast<double>(values.size());
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double logSum = 0.0;
+    for (double v : values)
+        logSum += std::log(std::max(v, 1e-12));
+    return std::exp(logSum / static_cast<double>(values.size()));
+}
+
+double
+percent(std::uint64_t numerator, std::uint64_t denominator)
+{
+    if (denominator == 0)
+        return 0.0;
+    return 100.0 * static_cast<double>(numerator) /
+           static_cast<double>(denominator);
+}
+
+double
+relativeChangePercent(double a, double b)
+{
+    if (a == 0.0)
+        return 0.0;
+    return (b - a) / a * 100.0;
+}
+
+} // namespace bpsim

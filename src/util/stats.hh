@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Small summary-statistics helpers used by the simulation harness
+ * and the benchmark reporting code.
+ */
+
+#ifndef BPSIM_UTIL_STATS_HH
+#define BPSIM_UTIL_STATS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bpsim
+{
+
+/**
+ * Streaming accumulator for mean / variance / min / max using
+ * Welford's algorithm; O(1) space regardless of sample count.
+ */
+class RunningStat
+{
+  public:
+    /** Adds one observation. */
+    void push(double x);
+
+    std::size_t count() const { return n; }
+    double mean() const { return n ? runningMean : 0.0; }
+
+    /** Sample variance (n - 1 denominator); 0 for fewer than 2 samples. */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    double min() const { return n ? minValue : 0.0; }
+    double max() const { return n ? maxValue : 0.0; }
+    double sum() const { return total; }
+
+  private:
+    std::size_t n = 0;
+    double runningMean = 0.0;
+    double m2 = 0.0;
+    double minValue = 0.0;
+    double maxValue = 0.0;
+    double total = 0.0;
+};
+
+/** Arithmetic mean of a vector; 0 for an empty vector. */
+double mean(const std::vector<double> &values);
+
+/**
+ * Geometric mean of a vector of positive values; values <= 0 are
+ * clamped to a tiny epsilon so that a single zero does not collapse
+ * the summary. 0 for an empty vector.
+ */
+double geomean(const std::vector<double> &values);
+
+/**
+ * Ratio helper expressed in percent: 100 * numerator / denominator,
+ * 0 when the denominator is 0.
+ */
+double percent(std::uint64_t numerator, std::uint64_t denominator);
+
+/**
+ * Two-proportion comparison: relative change of @p b with respect to
+ * @p a in percent ((b - a) / a * 100); 0 when a == 0.
+ */
+double relativeChangePercent(double a, double b);
+
+} // namespace bpsim
+
+#endif // BPSIM_UTIL_STATS_HH

@@ -1,0 +1,170 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "util/logging.hh"
+
+namespace bpsim
+{
+
+void
+TextTable::setColumns(std::vector<std::string> names)
+{
+    if (!rows.empty())
+        BPSIM_PANIC("setColumns() after rows were added");
+    columns = std::move(names);
+    aligns.assign(columns.size(), Align::Right);
+    if (!aligns.empty())
+        aligns[0] = Align::Left;
+}
+
+void
+TextTable::setAlignment(std::vector<Align> alignment)
+{
+    if (alignment.size() != columns.size())
+        BPSIM_PANIC("alignment size " << alignment.size()
+                    << " != column count " << columns.size());
+    aligns = std::move(alignment);
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != columns.size())
+        BPSIM_PANIC("row has " << cells.size() << " cells, expected "
+                    << columns.size());
+    rows.push_back(Row{false, std::move(cells)});
+}
+
+void
+TextTable::addRule()
+{
+    rows.push_back(Row{true, {}});
+}
+
+std::size_t
+TextTable::rowCount() const
+{
+    std::size_t n = 0;
+    for (const auto &row : rows) {
+        if (!row.rule)
+            ++n;
+    }
+    return n;
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(columns.size());
+    for (std::size_t c = 0; c < columns.size(); ++c)
+        widths[c] = columns[c].size();
+    for (const auto &row : rows) {
+        if (row.rule)
+            continue;
+        for (std::size_t c = 0; c < row.cells.size(); ++c)
+            widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+
+    auto emitCell = [&](const std::string &text, std::size_t c) {
+        const std::size_t pad = widths[c] - text.size();
+        if (aligns[c] == Align::Right)
+            os << std::string(pad, ' ') << text;
+        else
+            os << text << std::string(pad, ' ');
+    };
+
+    auto emitRule = [&]() {
+        for (std::size_t c = 0; c < columns.size(); ++c) {
+            if (c)
+                os << "-+-";
+            os << std::string(widths[c], '-');
+        }
+        os << '\n';
+    };
+
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+        if (c)
+            os << " | ";
+        emitCell(columns[c], c);
+    }
+    os << '\n';
+    emitRule();
+
+    for (const auto &row : rows) {
+        if (row.rule) {
+            emitRule();
+            continue;
+        }
+        for (std::size_t c = 0; c < row.cells.size(); ++c) {
+            if (c)
+                os << " | ";
+            emitCell(row.cells[c], c);
+        }
+        os << '\n';
+    }
+}
+
+void
+TextTable::printCsv(std::ostream &os) const
+{
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+        if (c)
+            os << ',';
+        os << csvEscape(columns[c]);
+    }
+    os << '\n';
+    for (const auto &row : rows) {
+        if (row.rule)
+            continue;
+        for (std::size_t c = 0; c < row.cells.size(); ++c) {
+            if (c)
+                os << ',';
+            os << csvEscape(row.cells[c]);
+        }
+        os << '\n';
+    }
+}
+
+std::string
+TextTable::fixed(double value, int digits)
+{
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.*f", digits, value);
+    return buffer;
+}
+
+std::string
+TextTable::grouped(std::uint64_t value)
+{
+    std::string digits = std::to_string(value);
+    std::string result;
+    const std::size_t n = digits.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        if (i != 0 && (n - i) % 3 == 0)
+            result += ',';
+        result += digits[i];
+    }
+    return result;
+}
+
+std::string
+csvEscape(const std::string &field)
+{
+    const bool needs_quotes =
+        field.find_first_of(",\"\n") != std::string::npos;
+    if (!needs_quotes)
+        return field;
+    std::string escaped = "\"";
+    for (char ch : field) {
+        if (ch == '"')
+            escaped += '"';
+        escaped += ch;
+    }
+    escaped += '"';
+    return escaped;
+}
+
+} // namespace bpsim

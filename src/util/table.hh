@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Console table / CSV formatting for benchmark and example output.
+ *
+ * Every figure- and table-reproduction binary prints its series as an
+ * aligned text table (human-readable) and can emit the same data as
+ * CSV for plotting.
+ */
+
+#ifndef BPSIM_UTIL_TABLE_HH
+#define BPSIM_UTIL_TABLE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bpsim
+{
+
+/** Horizontal alignment of a table column. */
+enum class Align
+{
+    Left,
+    Right,
+};
+
+/**
+ * A simple column-aligned text table.
+ *
+ * Usage:
+ * @code
+ *   TextTable t;
+ *   t.setColumns({"bench", "misp (%)"});
+ *   t.addRow({"gcc", TextTable::fixed(9.72, 2)});
+ *   t.print(std::cout);
+ * @endcode
+ */
+class TextTable
+{
+  public:
+    /** Defines the header row; must be called before addRow(). */
+    void setColumns(std::vector<std::string> names);
+
+    /** Sets per-column alignment; default is Left for column 0, Right
+     *  for the rest. Size must match the column count. */
+    void setAlignment(std::vector<Align> alignment);
+
+    /** Appends one data row; cell count must match the column count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Appends a horizontal separator rule. */
+    void addRule();
+
+    /** Number of data rows added so far (rules excluded). */
+    std::size_t rowCount() const;
+
+    /** Renders the aligned table. */
+    void print(std::ostream &os) const;
+
+    /** Renders the same data as CSV (rules omitted). */
+    void printCsv(std::ostream &os) const;
+
+    /** Formats a double with @p digits fractional digits. */
+    static std::string fixed(double value, int digits);
+
+    /** Formats an integer with thousands separators (1,234,567). */
+    static std::string grouped(std::uint64_t value);
+
+  private:
+    struct Row
+    {
+        bool rule = false;
+        std::vector<std::string> cells;
+    };
+
+    std::vector<std::string> columns;
+    std::vector<Align> aligns;
+    std::vector<Row> rows;
+};
+
+/** Escapes a CSV field (quotes fields containing separators). */
+std::string csvEscape(const std::string &field);
+
+} // namespace bpsim
+
+#endif // BPSIM_UTIL_TABLE_HH

@@ -1,0 +1,283 @@
+#include "workload/behavior.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace bpsim
+{
+
+namespace
+{
+
+/** Builds a random truth table with the requested taken fraction. */
+std::vector<bool>
+makeTruthTable(unsigned inputs, Rng &rng, double bias)
+{
+    std::vector<bool> table(std::size_t{1} << inputs);
+    bool saw_taken = false, saw_not = false;
+    for (std::size_t i = 0; i < table.size(); ++i) {
+        table[i] = rng.nextBool(bias);
+        (table[i] ? saw_taken : saw_not) = true;
+    }
+    // A constant function is just a biased branch; force at least
+    // one entry of each direction so the correlation is real.
+    if (!saw_taken)
+        table[0] = true;
+    if (!saw_not)
+        table[table.size() > 1 ? 1 : 0] = false;
+    return table;
+}
+
+/** Picks 1-3 distinct history positions within [0, depth). */
+std::vector<unsigned>
+pickInputBits(unsigned depth, Rng &rng)
+{
+    const unsigned want = 1 + static_cast<unsigned>(rng.nextBounded(3));
+    std::vector<unsigned> bits;
+    for (unsigned attempt = 0; attempt < 16 && bits.size() < want;
+         ++attempt) {
+        const unsigned candidate =
+            static_cast<unsigned>(rng.nextBounded(depth));
+        bool duplicate = false;
+        for (unsigned b : bits)
+            duplicate |= b == candidate;
+        if (!duplicate)
+            bits.push_back(candidate);
+    }
+    // The function must read its deepest advertised position,
+    // otherwise the effective depth is shallower than configured.
+    bool has_deepest = false;
+    for (unsigned b : bits)
+        has_deepest |= b == depth - 1;
+    if (!has_deepest)
+        bits[0] = depth - 1;
+    return bits;
+}
+
+/** Extracts the function key from a history register. */
+std::size_t
+extractKey(std::uint64_t history, const std::vector<unsigned> &bits)
+{
+    std::size_t key = 0;
+    for (std::size_t i = 0; i < bits.size(); ++i)
+        key |= static_cast<std::size_t>((history >> bits[i]) & 1) << i;
+    return key;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------- Biased
+
+BiasedBehavior::BiasedBehavior(double takenProbability)
+    : probability(std::clamp(takenProbability, 0.0, 1.0))
+{
+}
+
+bool
+BiasedBehavior::nextOutcome(BehaviorContext &ctx)
+{
+    return ctx.rng->nextBool(probability);
+}
+
+std::string
+BiasedBehavior::describe() const
+{
+    std::ostringstream os;
+    os << "biased(p=" << probability << ")";
+    return os.str();
+}
+
+// ------------------------------------------------------------------ Loop
+
+LoopBehavior::LoopBehavior(double meanTrips, bool deterministic)
+    : meanTrips(std::max(meanTrips, 1.0)), deterministic(deterministic)
+{
+}
+
+void
+LoopBehavior::resample(Rng &rng)
+{
+    if (deterministic) {
+        remaining = static_cast<std::uint64_t>(std::llround(meanTrips));
+    } else {
+        // Geometric around the mean, shifted so every entry runs at
+        // least one iteration; cap to keep single loops from eating
+        // the whole trace budget.
+        const double p = 1.0 / meanTrips;
+        remaining = 1 + rng.nextGeometric(p, 4096);
+    }
+    remaining = std::max<std::uint64_t>(remaining, 1);
+    armed = true;
+}
+
+bool
+LoopBehavior::nextOutcome(BehaviorContext &ctx)
+{
+    if (!armed)
+        resample(*ctx.rng);
+    // remaining iterations to run: take the back-edge while more
+    // than one remains; the last evaluation falls through (exit).
+    if (remaining > 1) {
+        --remaining;
+        return true;
+    }
+    armed = false;
+    return false;
+}
+
+void
+LoopBehavior::reset()
+{
+    armed = false;
+    remaining = 0;
+}
+
+std::string
+LoopBehavior::describe() const
+{
+    std::ostringstream os;
+    os << "loop(mean=" << meanTrips
+       << (deterministic ? ",det" : ",rand") << ")";
+    return os.str();
+}
+
+// --------------------------------------------------------------- Pattern
+
+PatternBehavior::PatternBehavior(std::vector<bool> pattern)
+    : pattern(std::move(pattern))
+{
+    if (this->pattern.empty())
+        BPSIM_PANIC("PatternBehavior requires a non-empty pattern");
+}
+
+bool
+PatternBehavior::nextOutcome(BehaviorContext &)
+{
+    const bool outcome = pattern[position];
+    position = (position + 1) % pattern.size();
+    return outcome;
+}
+
+std::string
+PatternBehavior::describe() const
+{
+    std::string text = "pattern(";
+    for (bool b : pattern)
+        text += b ? 'T' : 'N';
+    text += ")";
+    return text;
+}
+
+// ------------------------------------------------------ GlobalCorrelated
+
+GlobalCorrelatedBehavior::GlobalCorrelatedBehavior(unsigned depth,
+                                                   double noise,
+                                                   std::uint64_t tableSeed,
+                                                   double bias)
+    : depthBits(depth), noise(noise)
+{
+    if (depth < 1 || depth > 16)
+        BPSIM_PANIC("correlation depth " << depth << " out of range 1..16");
+    Rng rng(tableSeed);
+    inputBits = pickInputBits(depth, rng);
+    truthTable = makeTruthTable(
+        static_cast<unsigned>(inputBits.size()), rng, bias);
+}
+
+bool
+GlobalCorrelatedBehavior::nextOutcome(BehaviorContext &ctx)
+{
+    bool outcome = truthTable[extractKey(ctx.globalHistory, inputBits)];
+    if (noise > 0.0 && ctx.rng->nextBool(noise))
+        outcome = !outcome;
+    return outcome;
+}
+
+std::string
+GlobalCorrelatedBehavior::describe() const
+{
+    std::ostringstream os;
+    os << "gcorr(k=" << depthBits << ",noise=" << noise << ")";
+    return os.str();
+}
+
+// ------------------------------------------------------- LocalCorrelated
+
+LocalCorrelatedBehavior::LocalCorrelatedBehavior(unsigned depth,
+                                                 double noise,
+                                                 std::uint64_t tableSeed,
+                                                 double bias)
+    : depthBits(depth), noise(noise)
+{
+    if (depth < 1 || depth > 16)
+        BPSIM_PANIC("correlation depth " << depth << " out of range 1..16");
+    Rng rng(tableSeed);
+    inputBits = pickInputBits(depth, rng);
+    truthTable = makeTruthTable(
+        static_cast<unsigned>(inputBits.size()), rng, bias);
+}
+
+bool
+LocalCorrelatedBehavior::nextOutcome(BehaviorContext &ctx)
+{
+    bool outcome = truthTable[extractKey(ctx.localHistory, inputBits)];
+    if (noise > 0.0 && ctx.rng->nextBool(noise))
+        outcome = !outcome;
+    return outcome;
+}
+
+std::string
+LocalCorrelatedBehavior::describe() const
+{
+    std::ostringstream os;
+    os << "lcorr(k=" << depthBits << ",noise=" << noise << ")";
+    return os.str();
+}
+
+// ------------------------------------------------------------ PhaseModal
+
+PhaseModalBehavior::PhaseModalBehavior(double takenProbabilityA,
+                                       double takenProbabilityB,
+                                       double meanPhaseLength)
+    : probabilityA(std::clamp(takenProbabilityA, 0.0, 1.0)),
+      probabilityB(std::clamp(takenProbabilityB, 0.0, 1.0)),
+      meanPhaseLength(std::max(meanPhaseLength, 1.0))
+{
+}
+
+bool
+PhaseModalBehavior::nextOutcome(BehaviorContext &ctx)
+{
+    if (!armed || remainingInPhase == 0) {
+        if (armed)
+            inPhaseA = !inPhaseA;
+        const double p = 1.0 / meanPhaseLength;
+        remainingInPhase = 1 + ctx.rng->nextGeometric(p, 1u << 22);
+        armed = true;
+    }
+    --remainingInPhase;
+    return ctx.rng->nextBool(inPhaseA ? probabilityA : probabilityB);
+}
+
+void
+PhaseModalBehavior::reset()
+{
+    inPhaseA = true;
+    remainingInPhase = 0;
+    armed = false;
+}
+
+std::string
+PhaseModalBehavior::describe() const
+{
+    std::ostringstream os;
+    os << "phase(pA=" << probabilityA << ",pB=" << probabilityB
+       << ",len=" << meanPhaseLength << ")";
+    return os.str();
+}
+
+} // namespace bpsim

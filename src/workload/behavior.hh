@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Per-branch outcome behaviour models for synthetic workloads.
+ *
+ * The paper's traces are unavailable (IBS hardware-monitor traces of
+ * a MIPS R2000 and ATOM-instrumented SPEC CINT95 runs), so the
+ * workload substrate synthesizes programs whose branches follow the
+ * behaviour families real integer code exhibits:
+ *
+ *  - strongly biased branches (error checks, guards)        Biased
+ *  - loop back-edges (taken n-1 times, exits once)          Loop
+ *  - repeating control patterns                             Pattern
+ *  - branches correlated with neighbouring outcomes         GlobalCorrelated
+ *  - branches correlated with their own recent outcomes     LocalCorrelated
+ *  - branches whose bias flips between program phases       PhaseModal
+ *  - weakly biased data-dependent branches                  Biased(p~0.5)
+ *
+ * Each model decides outcomes from the *actual executed* global and
+ * local history carried in BehaviorContext, so history correlation
+ * in the generated trace is real, not injected.
+ */
+
+#ifndef BPSIM_WORKLOAD_BEHAVIOR_HH
+#define BPSIM_WORKLOAD_BEHAVIOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/random.hh"
+
+namespace bpsim
+{
+
+/** Execution context visible to a behaviour when deciding an outcome. */
+struct BehaviorContext
+{
+    /** Per-site RNG stream (deterministic per workload seed). */
+    Rng *rng = nullptr;
+    /** Executed global outcome history, newest outcome in bit 0. */
+    std::uint64_t globalHistory = 0;
+    /** Executed history of this branch site, newest in bit 0. */
+    std::uint64_t localHistory = 0;
+};
+
+/** Abstract per-site outcome model. */
+class BranchBehavior
+{
+  public:
+    virtual ~BranchBehavior() = default;
+
+    /** Decides the next outcome of this branch site. */
+    virtual bool nextOutcome(BehaviorContext &ctx) = 0;
+
+    /** Restores the initial internal state (loop counters, phases). */
+    virtual void reset() = 0;
+
+    /** Short description for debugging and workload dumps. */
+    virtual std::string describe() const = 0;
+};
+
+using BehaviorPtr = std::unique_ptr<BranchBehavior>;
+
+/** Bernoulli outcomes with fixed probability. */
+class BiasedBehavior : public BranchBehavior
+{
+  public:
+    /** @param takenProbability probability of a taken outcome */
+    explicit BiasedBehavior(double takenProbability);
+
+    bool nextOutcome(BehaviorContext &ctx) override;
+    void reset() override {}
+    std::string describe() const override;
+
+    double takenProbability() const { return probability; }
+
+  private:
+    double probability;
+};
+
+/**
+ * Loop back-edge: taken until the trip count is exhausted, then one
+ * not-taken exit. The trip count is resampled for each loop entry
+ * around the configured mean (geometrically), so the pattern is
+ * "almost periodic" the way real loop bounds are.
+ */
+class LoopBehavior : public BranchBehavior
+{
+  public:
+    /**
+     * @param meanTrips mean iterations per entry (>= 1)
+     * @param deterministic when true every entry runs exactly
+     *        meanTrips iterations (fully history-predictable)
+     */
+    LoopBehavior(double meanTrips, bool deterministic);
+
+    bool nextOutcome(BehaviorContext &ctx) override;
+    void reset() override;
+    std::string describe() const override;
+
+  private:
+    void resample(Rng &rng);
+
+    double meanTrips;
+    bool deterministic;
+    std::uint64_t remaining = 0;
+    bool armed = false;
+};
+
+/** Cycles through a fixed outcome pattern. */
+class PatternBehavior : public BranchBehavior
+{
+  public:
+    /** @param pattern outcome sequence; must be non-empty */
+    explicit PatternBehavior(std::vector<bool> pattern);
+
+    bool nextOutcome(BehaviorContext &ctx) override;
+    void reset() override { position = 0; }
+    std::string describe() const override;
+
+  private:
+    std::vector<bool> pattern;
+    std::size_t position = 0;
+};
+
+/**
+ * Outcome is a fixed random boolean function of a few *specific*
+ * bits of the executed global history (the way real if-then-else
+ * correlation works: "this guard repeats the decision the branch
+ * two blocks ago made"), flipped with a small noise probability.
+ *
+ * The function reads 1-3 bit positions drawn within the configured
+ * depth, so a global-history predictor whose history reaches the
+ * deepest position learns the branch to (1 - noise) accuracy while
+ * the branch's pattern working set stays small (2, 4 or 8 history
+ * patterns per site, not 2^depth). To an address-indexed predictor
+ * the branch looks weakly biased.
+ */
+class GlobalCorrelatedBehavior : public BranchBehavior
+{
+  public:
+    /**
+     * @param depth deepest history position read (1..16)
+     * @param noise probability of deviating from the function
+     * @param tableSeed seeds the bit selection and truth table
+     * @param bias fraction of truth-table entries that map to taken
+     */
+    GlobalCorrelatedBehavior(unsigned depth, double noise,
+                             std::uint64_t tableSeed, double bias = 0.5);
+
+    bool nextOutcome(BehaviorContext &ctx) override;
+    void reset() override {}
+    std::string describe() const override;
+
+    unsigned depth() const { return depthBits; }
+
+  private:
+    unsigned depthBits;
+    double noise;
+    /** History bit positions the function reads (newest = 0). */
+    std::vector<unsigned> inputBits;
+    std::vector<bool> truthTable;
+};
+
+/** Like GlobalCorrelatedBehavior but keyed on the site's own recent
+ *  outcomes — the behaviour class per-address history exploits. */
+class LocalCorrelatedBehavior : public BranchBehavior
+{
+  public:
+    LocalCorrelatedBehavior(unsigned depth, double noise,
+                            std::uint64_t tableSeed, double bias = 0.5);
+
+    bool nextOutcome(BehaviorContext &ctx) override;
+    void reset() override {}
+    std::string describe() const override;
+
+  private:
+    unsigned depthBits;
+    double noise;
+    std::vector<unsigned> inputBits;
+    std::vector<bool> truthTable;
+};
+
+/**
+ * Bias that flips between two phases with geometrically distributed
+ * phase lengths: the "current mode of the program" behaviour the
+ * bi-mode choice predictor tracks.
+ */
+class PhaseModalBehavior : public BranchBehavior
+{
+  public:
+    /**
+     * @param takenProbabilityA bias during phase A
+     * @param takenProbabilityB bias during phase B
+     * @param meanPhaseLength mean executions per phase
+     */
+    PhaseModalBehavior(double takenProbabilityA, double takenProbabilityB,
+                       double meanPhaseLength);
+
+    bool nextOutcome(BehaviorContext &ctx) override;
+    void reset() override;
+    std::string describe() const override;
+
+  private:
+    double probabilityA;
+    double probabilityB;
+    double meanPhaseLength;
+    bool inPhaseA = true;
+    std::uint64_t remainingInPhase = 0;
+    bool armed = false;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_WORKLOAD_BEHAVIOR_HH

@@ -1,0 +1,420 @@
+#include "workload/benchmarks.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "util/logging.hh"
+
+namespace bpsim
+{
+
+namespace
+{
+
+/** Table 2 of the paper: (static, dynamic) conditional branches. */
+struct PaperCounts
+{
+    std::uint64_t staticBranches;
+    std::uint64_t dynamicBranches;
+};
+
+const std::map<std::string, PaperCounts> &
+paperTable2()
+{
+    static const std::map<std::string, PaperCounts> table = {
+        {"compress", {482, 10'114'353}},
+        {"gcc", {16'035, 26'520'618}},
+        {"go", {5'112, 17'873'772}},
+        {"xlisp", {636, 25'008'567}},
+        {"perl", {1'974, 39'714'684}},
+        {"vortex", {6'599, 27'792'020}},
+        {"groff", {6'333, 11'901'481}},
+        {"gs", {12'852, 16'307'247}},
+        {"mpeg_play", {5'598, 9'566'290}},
+        {"nroff", {5'249, 22'574'884}},
+        {"real_gcc", {17'361, 14'309'867}},
+        {"sdet", {5'310, 5'514'439}},
+        {"verilog", {4'636, 6'212'381}},
+        {"video_play", {4'606, 5'759'231}},
+    };
+    return table;
+}
+
+/** Dynamic counts are scaled to keep full sweeps laptop-scale. */
+std::uint64_t
+scaledDynamic(std::uint64_t paper_dynamic)
+{
+    return std::min<std::uint64_t>(paper_dynamic / 10, 2'500'000);
+}
+
+/** Starts a spec with the Table 2 population and a per-benchmark
+ *  seed. */
+WorkloadSpec
+baseSpec(const std::string &name, const std::string &suite,
+         std::uint64_t seed)
+{
+    const auto it = paperTable2().find(name);
+    if (it == paperTable2().end())
+        BPSIM_PANIC("no Table 2 entry for benchmark '" << name << "'");
+    WorkloadSpec spec;
+    spec.name = name;
+    spec.suite = suite;
+    spec.staticBranches = it->second.staticBranches;
+    spec.dynamicBranches = scaledDynamic(it->second.dynamicBranches);
+    spec.seed = seed;
+    return spec;
+}
+
+// --------------------------------------------------------------- SPEC 95
+
+/**
+ * compress: tiny static footprint (482 branches), dominated by the
+ * compression inner loops, with data-dependent hash-hit branches
+ * correlated with deep global history. With almost no aliasing
+ * pressure, the longest-history configuration (gshare.1PHT) wins —
+ * the paper's Figure 3 exception.
+ */
+WorkloadSpec
+makeCompress()
+{
+    WorkloadSpec spec = baseSpec("compress", "SPEC CINT95", 0xc0317e55);
+    spec.mix.stronglyBiased = 0.20;
+    spec.mix.loop = 0.24;
+    spec.mix.globalCorrelated = 0.40;
+    spec.mix.localCorrelated = 0.02;
+    spec.mix.pattern = 0.06;
+    spec.mix.phaseModal = 0.01;
+    spec.mix.weaklyBiased = 0.04;
+    spec.params.corrDepthLo = 8;
+    spec.params.corrDepthHi = 14;
+    spec.params.corrNoise = 0.008;
+    spec.params.loopTripLo = 5.0;
+    spec.params.loopTripHi = 18.0;
+    spec.params.loopDeterministicShare = 0.97;
+    spec.params.patternLenLo = 7;
+    spec.params.patternLenHi = 14;
+    spec.sitesPerRoutine = 14.0;
+    return spec;
+}
+
+/**
+ * gcc: the paper's canonical aliasing-bound program — 16k static
+ * branches overwhelm small tables. A broad mix of guard branches in
+ * both directions plus moderate-depth correlation.
+ */
+WorkloadSpec
+makeGcc()
+{
+    WorkloadSpec spec = baseSpec("gcc", "SPEC CINT95", 0x9cc00001);
+    spec.mix.stronglyBiased = 0.36;
+    spec.mix.loop = 0.12;
+    spec.mix.globalCorrelated = 0.26;
+    spec.mix.localCorrelated = 0.05;
+    spec.mix.pattern = 0.03;
+    spec.mix.phaseModal = 0.04;
+    spec.mix.weaklyBiased = 0.10;
+    spec.params.corrDepthLo = 2;
+    spec.params.corrDepthHi = 9;
+    spec.params.corrNoise = 0.02;
+    return spec;
+}
+
+/**
+ * go: intrinsically hard — the paper measures about half of its
+ * dynamic branches as weakly biased, so mispredictions are dominated
+ * by the WB class and de-aliasing has little room (Figure 8).
+ */
+WorkloadSpec
+makeGo()
+{
+    WorkloadSpec spec = baseSpec("go", "SPEC CINT95", 0x90909090);
+    spec.mix.stronglyBiased = 0.24;
+    spec.mix.loop = 0.08;
+    spec.mix.globalCorrelated = 0.32;
+    spec.mix.localCorrelated = 0.03;
+    spec.mix.pattern = 0.02;
+    spec.mix.phaseModal = 0.02;
+    spec.mix.weaklyBiased = 0.24;
+    spec.params.weakLo = 0.52;
+    spec.params.weakHi = 0.78;
+    spec.params.corrDepthLo = 2;
+    spec.params.corrDepthHi = 6;
+    spec.params.corrNoise = 0.06;
+    spec.params.corrOutputBias = 0.68;
+    return spec;
+}
+
+/**
+ * xlisp: 636 static branches of recursive list traversal — deep
+ * history correlation, minimal aliasing; the other Figure 3
+ * exception where gshare.1PHT beats everything.
+ */
+WorkloadSpec
+makeXlisp()
+{
+    WorkloadSpec spec = baseSpec("xlisp", "SPEC CINT95", 0x11597411);
+    spec.mix.stronglyBiased = 0.24;
+    spec.mix.loop = 0.10;
+    spec.mix.globalCorrelated = 0.43;
+    spec.mix.localCorrelated = 0.02;
+    spec.mix.pattern = 0.08;
+    spec.mix.phaseModal = 0.01;
+    spec.mix.weaklyBiased = 0.06;
+    spec.params.corrDepthLo = 7;
+    spec.params.corrDepthHi = 14;
+    spec.params.corrNoise = 0.008;
+    spec.params.loopDeterministicShare = 0.97;
+    spec.params.patternLenLo = 6;
+    spec.params.patternLenHi = 14;
+    spec.sitesPerRoutine = 14.0;
+    return spec;
+}
+
+/** perl: small footprint, interpreter dispatch — quite predictable
+ *  with history; moderate aliasing. */
+WorkloadSpec
+makePerl()
+{
+    WorkloadSpec spec = baseSpec("perl", "SPEC CINT95", 0x9e71a111);
+    spec.mix.stronglyBiased = 0.38;
+    spec.mix.loop = 0.14;
+    spec.mix.globalCorrelated = 0.28;
+    spec.mix.localCorrelated = 0.05;
+    spec.mix.pattern = 0.04;
+    spec.mix.phaseModal = 0.03;
+    spec.mix.weaklyBiased = 0.08;
+    spec.params.corrDepthLo = 3;
+    spec.params.corrDepthHi = 11;
+    spec.params.corrNoise = 0.015;
+    return spec;
+}
+
+/** vortex: large footprint but extremely biased branches — the most
+ *  predictable CINT95 program in the paper (~1-2% floor). */
+WorkloadSpec
+makeVortex()
+{
+    WorkloadSpec spec = baseSpec("vortex", "SPEC CINT95", 0x40e7ec5);
+    spec.mix.stronglyBiased = 0.68;
+    spec.mix.loop = 0.09;
+    spec.mix.globalCorrelated = 0.14;
+    spec.mix.localCorrelated = 0.02;
+    spec.mix.pattern = 0.02;
+    spec.mix.phaseModal = 0.03;
+    spec.mix.weaklyBiased = 0.02;
+    spec.params.strongLo = 0.975;
+    spec.params.corrDepthLo = 2;
+    spec.params.corrDepthHi = 8;
+    spec.params.corrNoise = 0.01;
+    spec.params.corrOutputBias = 0.85;
+    return spec;
+}
+
+// ------------------------------------------------------------ IBS-Ultrix
+
+/** groff: text formatter with OS activity; mid-size footprint,
+ *  fairly predictable. */
+WorkloadSpec
+makeGroff()
+{
+    WorkloadSpec spec = baseSpec("groff", "IBS-Ultrix", 0x62aff001);
+    spec.mix.stronglyBiased = 0.42;
+    spec.mix.loop = 0.13;
+    spec.mix.globalCorrelated = 0.24;
+    spec.mix.localCorrelated = 0.04;
+    spec.mix.pattern = 0.03;
+    spec.mix.phaseModal = 0.04;
+    spec.mix.weaklyBiased = 0.10;
+    spec.params.corrDepthLo = 2;
+    spec.params.corrDepthHi = 10;
+    spec.params.corrNoise = 0.02;
+    return spec;
+}
+
+/** gs: ghostscript — large 12.9k-branch footprint, aliasing-bound
+ *  like gcc but with more biased guards. */
+WorkloadSpec
+makeGs()
+{
+    WorkloadSpec spec = baseSpec("gs", "IBS-Ultrix", 0x6705c817);
+    spec.mix.stronglyBiased = 0.44;
+    spec.mix.loop = 0.12;
+    spec.mix.globalCorrelated = 0.22;
+    spec.mix.localCorrelated = 0.04;
+    spec.mix.pattern = 0.03;
+    spec.mix.phaseModal = 0.04;
+    spec.mix.weaklyBiased = 0.11;
+    spec.params.corrDepthLo = 2;
+    spec.params.corrDepthHi = 9;
+    spec.params.corrNoise = 0.02;
+    return spec;
+}
+
+/** mpeg_play: media decode loops — loop heavy, phase-modal across
+ *  frame types. */
+WorkloadSpec
+makeMpegPlay()
+{
+    WorkloadSpec spec = baseSpec("mpeg_play", "IBS-Ultrix", 0x3be90b1a);
+    spec.mix.stronglyBiased = 0.34;
+    spec.mix.loop = 0.22;
+    spec.mix.globalCorrelated = 0.20;
+    spec.mix.localCorrelated = 0.04;
+    spec.mix.pattern = 0.06;
+    spec.mix.phaseModal = 0.06;
+    spec.mix.weaklyBiased = 0.08;
+    spec.params.corrDepthLo = 2;
+    spec.params.corrDepthHi = 9;
+    spec.params.corrNoise = 0.02;
+    return spec;
+}
+
+/** nroff: formatter; similar to groff with a smaller footprint and
+ *  longer runs. */
+WorkloadSpec
+makeNroff()
+{
+    WorkloadSpec spec = baseSpec("nroff", "IBS-Ultrix", 0x0a0ff317);
+    spec.mix.stronglyBiased = 0.40;
+    spec.mix.loop = 0.14;
+    spec.mix.globalCorrelated = 0.26;
+    spec.mix.localCorrelated = 0.04;
+    spec.mix.pattern = 0.03;
+    spec.mix.phaseModal = 0.03;
+    spec.mix.weaklyBiased = 0.10;
+    spec.params.corrDepthLo = 2;
+    spec.params.corrDepthHi = 10;
+    spec.params.corrNoise = 0.018;
+    return spec;
+}
+
+/** real_gcc: the IBS gcc trace with kernel activity — the largest
+ *  footprint in the suite (17.4k branches) and the hardest IBS
+ *  program in the paper. */
+WorkloadSpec
+makeRealGcc()
+{
+    WorkloadSpec spec = baseSpec("real_gcc", "IBS-Ultrix", 0x4ea19cc0);
+    spec.mix.stronglyBiased = 0.34;
+    spec.mix.loop = 0.11;
+    spec.mix.globalCorrelated = 0.25;
+    spec.mix.localCorrelated = 0.05;
+    spec.mix.pattern = 0.03;
+    spec.mix.phaseModal = 0.05;
+    spec.mix.weaklyBiased = 0.17;
+    spec.params.corrDepthLo = 2;
+    spec.params.corrDepthHi = 9;
+    spec.params.corrNoise = 0.03;
+    return spec;
+}
+
+/** sdet: SPEC SDM systems workload — kernel-heavy, biased guards. */
+WorkloadSpec
+makeSdet()
+{
+    WorkloadSpec spec = baseSpec("sdet", "IBS-Ultrix", 0x5de70bb5);
+    spec.mix.stronglyBiased = 0.44;
+    spec.mix.loop = 0.12;
+    spec.mix.globalCorrelated = 0.22;
+    spec.mix.localCorrelated = 0.04;
+    spec.mix.pattern = 0.03;
+    spec.mix.phaseModal = 0.04;
+    spec.mix.weaklyBiased = 0.11;
+    spec.params.corrDepthLo = 2;
+    spec.params.corrDepthHi = 9;
+    spec.params.corrNoise = 0.022;
+    return spec;
+}
+
+/** verilog: event-driven simulation — dispatch correlation plus
+ *  data-dependent evaluation branches. */
+WorkloadSpec
+makeVerilog()
+{
+    WorkloadSpec spec = baseSpec("verilog", "IBS-Ultrix", 0x7e1170c0);
+    spec.mix.stronglyBiased = 0.38;
+    spec.mix.loop = 0.12;
+    spec.mix.globalCorrelated = 0.26;
+    spec.mix.localCorrelated = 0.05;
+    spec.mix.pattern = 0.04;
+    spec.mix.phaseModal = 0.03;
+    spec.mix.weaklyBiased = 0.12;
+    spec.params.corrDepthLo = 2;
+    spec.params.corrDepthHi = 10;
+    spec.params.corrNoise = 0.022;
+    return spec;
+}
+
+/** video_play: like mpeg_play; decode loops and phases. */
+WorkloadSpec
+makeVideoPlay()
+{
+    WorkloadSpec spec = baseSpec("video_play", "IBS-Ultrix", 0x71de0b1a);
+    spec.mix.stronglyBiased = 0.34;
+    spec.mix.loop = 0.20;
+    spec.mix.globalCorrelated = 0.20;
+    spec.mix.localCorrelated = 0.04;
+    spec.mix.pattern = 0.06;
+    spec.mix.phaseModal = 0.06;
+    spec.mix.weaklyBiased = 0.10;
+    spec.params.corrDepthLo = 2;
+    spec.params.corrDepthHi = 9;
+    spec.params.corrNoise = 0.022;
+    return spec;
+}
+
+} // namespace
+
+std::vector<WorkloadSpec>
+specCint95Benchmarks()
+{
+    return {makeCompress(), makeGcc(), makeGo(), makeXlisp(), makePerl(),
+            makeVortex()};
+}
+
+std::vector<WorkloadSpec>
+ibsBenchmarks()
+{
+    return {makeGroff(), makeGs(), makeMpegPlay(), makeNroff(),
+            makeRealGcc(), makeSdet(), makeVerilog(), makeVideoPlay()};
+}
+
+std::vector<WorkloadSpec>
+allBenchmarks()
+{
+    std::vector<WorkloadSpec> all = specCint95Benchmarks();
+    std::vector<WorkloadSpec> ibs = ibsBenchmarks();
+    all.insert(all.end(), std::make_move_iterator(ibs.begin()),
+               std::make_move_iterator(ibs.end()));
+    return all;
+}
+
+std::optional<WorkloadSpec>
+findBenchmark(const std::string &name)
+{
+    for (auto &spec : allBenchmarks()) {
+        if (spec.name == name)
+            return spec;
+    }
+    return std::nullopt;
+}
+
+std::uint64_t
+paperDynamicCount(const std::string &name)
+{
+    const auto it = paperTable2().find(name);
+    if (it == paperTable2().end())
+        BPSIM_FATAL("unknown benchmark '" << name << "'");
+    return it->second.dynamicBranches;
+}
+
+std::uint64_t
+paperStaticCount(const std::string &name)
+{
+    const auto it = paperTable2().find(name);
+    if (it == paperTable2().end())
+        BPSIM_FATAL("unknown benchmark '" << name << "'");
+    return it->second.staticBranches;
+}
+
+} // namespace bpsim

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The built-in benchmark suite: synthetic mirrors of the paper's
+ * SPEC CINT95 and IBS-Ultrix programs (Table 2).
+ *
+ * Each spec reproduces the program's static conditional branch count
+ * from Table 2 exactly and its dynamic count scaled by ~1/10 (capped
+ * at 2.5M so the full figure sweeps stay laptop-scale), with a
+ * behaviour mix tuned to the hardness profile the paper reports:
+ * go weakly-biased-dominated, compress/xlisp tiny static footprints
+ * with deep history correlation, gcc/real_gcc large aliasing-bound
+ * footprints, vortex highly predictable, and so on.
+ */
+
+#ifndef BPSIM_WORKLOAD_BENCHMARKS_HH
+#define BPSIM_WORKLOAD_BENCHMARKS_HH
+
+#include <optional>
+#include <vector>
+
+#include "workload/workload_spec.hh"
+
+namespace bpsim
+{
+
+/** The six SPEC CINT95 mirrors, in the paper's Table 2 order. */
+std::vector<WorkloadSpec> specCint95Benchmarks();
+
+/** The eight IBS-Ultrix mirrors, in the paper's Table 2 order. */
+std::vector<WorkloadSpec> ibsBenchmarks();
+
+/** All fourteen benchmarks, SPEC first. */
+std::vector<WorkloadSpec> allBenchmarks();
+
+/** Looks a benchmark up by name across both suites. */
+std::optional<WorkloadSpec> findBenchmark(const std::string &name);
+
+/** The paper's Table 2 dynamic branch counts (for reporting the
+ *  scaling factor next to measured counts). */
+std::uint64_t paperDynamicCount(const std::string &name);
+
+/** The paper's Table 2 static branch counts. */
+std::uint64_t paperStaticCount(const std::string &name);
+
+} // namespace bpsim
+
+#endif // BPSIM_WORKLOAD_BENCHMARKS_HH

@@ -1,0 +1,32 @@
+#include "workload/program.hh"
+
+namespace bpsim
+{
+
+void
+Program::addRoutine(Routine routine)
+{
+    routines.push_back(std::move(routine));
+}
+
+std::size_t
+Program::siteCount() const
+{
+    std::size_t total = 0;
+    for (const auto &routine : routines)
+        total += routine.sites.size();
+    return total;
+}
+
+void
+Program::resetState()
+{
+    for (auto &routine : routines) {
+        for (auto &site : routine.sites) {
+            site.behavior->reset();
+            site.localHistory = 0;
+        }
+    }
+}
+
+} // namespace bpsim

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The static shape of a synthetic program.
+ *
+ * A Program is a set of routines; each routine is a straight-line
+ * sequence of conditional branch sites. Executing a routine walks
+ * its sites in order: a loop site repeats itself while taken (a back
+ * edge), and a non-loop site taken with a skip amount jumps over the
+ * next few sites (an if-then-else diamond). A dispatcher re-enters
+ * routines with Zipf-skewed frequencies, giving static branches the
+ * heavy-tailed execution distribution real programs show.
+ */
+
+#ifndef BPSIM_WORKLOAD_PROGRAM_HH
+#define BPSIM_WORKLOAD_PROGRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/behavior.hh"
+
+namespace bpsim
+{
+
+/** One static conditional branch site. */
+struct BranchSite
+{
+    /** Instruction address (4-byte aligned). */
+    std::uint64_t pc = 0;
+    /** Taken-path target address. */
+    std::uint64_t takenTarget = 0;
+    /** Outcome model. */
+    BehaviorPtr behavior;
+    /** Back edge: the site re-executes while taken. */
+    bool isLoop = false;
+    /** Diamond shape: sites skipped within the routine when taken
+     *  (0 = plain fall-through semantics). */
+    unsigned skipOnTaken = 0;
+    /** Executed local history, maintained by the generator. */
+    std::uint64_t localHistory = 0;
+};
+
+/** A straight-line routine of branch sites. */
+struct Routine
+{
+    std::vector<BranchSite> sites;
+};
+
+/** A complete synthetic program. */
+class Program
+{
+  public:
+    Program() = default;
+
+    // Behaviours hold unique_ptrs; the program moves, never copies.
+    Program(const Program &) = delete;
+    Program &operator=(const Program &) = delete;
+    Program(Program &&) = default;
+    Program &operator=(Program &&) = default;
+
+    void addRoutine(Routine routine);
+
+    std::size_t routineCount() const { return routines.size(); }
+    Routine &routine(std::size_t i) { return routines[i]; }
+    const Routine &routine(std::size_t i) const { return routines[i]; }
+
+    /** Total branch sites across all routines. */
+    std::size_t siteCount() const;
+
+    /** Resets every site's behaviour state and local history. */
+    void resetState();
+
+  private:
+    std::vector<Routine> routines;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_WORKLOAD_PROGRAM_HH

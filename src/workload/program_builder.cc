@@ -1,0 +1,193 @@
+#include "workload/program_builder.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace bpsim
+{
+
+namespace
+{
+
+/** Behaviour family tags, in BehaviorMix order. */
+enum class Family
+{
+    StronglyBiased,
+    Loop,
+    GlobalCorrelated,
+    LocalCorrelated,
+    Pattern,
+    PhaseModal,
+    WeaklyBiased,
+};
+
+Family
+sampleFamily(const BehaviorMix &mix, Rng &rng)
+{
+    const std::vector<double> weights = {
+        mix.stronglyBiased, mix.loop, mix.globalCorrelated,
+        mix.localCorrelated, mix.pattern, mix.phaseModal,
+        mix.weaklyBiased,
+    };
+    return static_cast<Family>(rng.nextWeighted(weights));
+}
+
+/** Log-uniform draw from [lo, hi]. */
+double
+logUniform(Rng &rng, double lo, double hi)
+{
+    const double log_lo = std::log(std::max(lo, 1e-9));
+    const double log_hi = std::log(std::max(hi, lo));
+    return std::exp(log_lo + rng.nextDouble() * (log_hi - log_lo));
+}
+
+BehaviorPtr
+makeBehavior(Family family, const BehaviorParams &p, Rng &rng,
+             unsigned depthCap)
+{
+    switch (family) {
+      case Family::StronglyBiased: {
+        // Quadratic skew toward strongHi: most guards are nearly
+        // always one-sided.
+        const double u = rng.nextDouble();
+        const double strength =
+            p.strongHi - (p.strongHi - p.strongLo) * u * u;
+        const bool taken_side = rng.nextBool(p.strongTakenShare);
+        return std::make_unique<BiasedBehavior>(
+            taken_side ? strength : 1.0 - strength);
+      }
+      case Family::Loop: {
+        const double trips = logUniform(rng, p.loopTripLo, p.loopTripHi);
+        const bool det = rng.nextBool(p.loopDeterministicShare);
+        return std::make_unique<LoopBehavior>(trips, det);
+      }
+      case Family::GlobalCorrelated: {
+        unsigned depth = static_cast<unsigned>(
+            rng.nextRange(p.corrDepthLo, p.corrDepthHi));
+        // A branch early in its routine mostly sees outcomes from
+        // whichever routine ran before it; cap its correlation depth
+        // so the function reads history the control flow actually
+        // makes meaningful.
+        depth = std::min(depth, std::max(depthCap, p.corrDepthLo));
+        const double table_bias = rng.nextBool(0.5)
+            ? p.corrOutputBias : 1.0 - p.corrOutputBias;
+        return std::make_unique<GlobalCorrelatedBehavior>(
+            depth, p.corrNoise, rng.next64(), table_bias);
+      }
+      case Family::LocalCorrelated: {
+        const unsigned depth = static_cast<unsigned>(
+            rng.nextRange(p.localDepthLo, p.localDepthHi));
+        const double table_bias = rng.nextBool(0.5)
+            ? p.corrOutputBias : 1.0 - p.corrOutputBias;
+        return std::make_unique<LocalCorrelatedBehavior>(
+            depth, p.corrNoise, rng.next64(), table_bias);
+      }
+      case Family::Pattern: {
+        const unsigned len = static_cast<unsigned>(
+            rng.nextRange(p.patternLenLo, p.patternLenHi));
+        std::vector<bool> pattern(len);
+        // Avoid all-same patterns; those are just biased branches.
+        bool saw_taken = false, saw_not = false;
+        for (unsigned i = 0; i < len; ++i) {
+            pattern[i] = rng.nextBool(0.5);
+            (pattern[i] ? saw_taken : saw_not) = true;
+        }
+        if (!saw_taken)
+            pattern[0] = true;
+        if (!saw_not)
+            pattern[len > 1 ? 1 : 0] = false;
+        return std::make_unique<PatternBehavior>(std::move(pattern));
+      }
+      case Family::PhaseModal: {
+        // Strong-taken in one phase, strong-not-taken in the other.
+        const double pa =
+            p.strongLo + rng.nextDouble() * (p.strongHi - p.strongLo);
+        const double pb = 1.0 -
+            (p.strongLo + rng.nextDouble() * (p.strongHi - p.strongLo));
+        return std::make_unique<PhaseModalBehavior>(pa, pb, p.phaseLength);
+      }
+      case Family::WeaklyBiased: {
+        const double strength =
+            p.weakLo + rng.nextDouble() * (p.weakHi - p.weakLo);
+        const bool taken_side = rng.nextBool(0.5);
+        return std::make_unique<BiasedBehavior>(
+            taken_side ? strength : 1.0 - strength);
+      }
+    }
+    BPSIM_PANIC("unreachable behaviour family");
+}
+
+} // namespace
+
+Program
+buildProgram(const WorkloadSpec &spec)
+{
+    if (spec.staticBranches == 0)
+        BPSIM_FATAL("workload '" << spec.name
+                    << "' must have at least one static branch");
+
+    Rng rng(spec.seed);
+    Program program;
+
+    std::uint64_t next_pc = spec.codeBase;
+    std::uint64_t sites_built = 0;
+
+    while (sites_built < spec.staticBranches) {
+        Routine routine;
+        // Routine sizes vary around the mean, at least 2 sites.
+        const double jitter = 0.5 + rng.nextDouble();
+        std::uint64_t size = std::max<std::uint64_t>(
+            2, static_cast<std::uint64_t>(
+                   std::llround(spec.sitesPerRoutine * jitter)));
+        size = std::min(size, spec.staticBranches - sites_built);
+        if (size == 0)
+            break;
+
+        routine.sites.reserve(size);
+        for (std::uint64_t i = 0; i < size; ++i) {
+            BranchSite site;
+            // Real branches are several instructions apart; random
+            // spacing spreads the low pc bits predictors index with.
+            next_pc += 4 * static_cast<std::uint64_t>(
+                rng.nextRange(1, 8));
+            site.pc = next_pc;
+            const Family family = sampleFamily(spec.mix, rng);
+            // Sites later in a routine have more same-path history
+            // in front of them and may correlate deeper.
+            const unsigned depth_cap =
+                static_cast<unsigned>(std::min<std::uint64_t>(2 * i + 2,
+                                                              16));
+            site.behavior =
+                makeBehavior(family, spec.params, rng, depth_cap);
+            site.isLoop = family == Family::Loop;
+            if (site.isLoop) {
+                // Back edge: target a little before the branch.
+                site.takenTarget =
+                    site.pc - 4 * static_cast<std::uint64_t>(
+                                      rng.nextRange(2, 16));
+            } else {
+                // Some diamonds: taken skips a couple of sites.
+                if (rng.nextBool(0.15))
+                    site.skipOnTaken =
+                        static_cast<unsigned>(rng.nextRange(1, 3));
+                // Forward target (patched after the routine is laid
+                // out would be more precise; an approximate forward
+                // displacement is enough for the trace consumers).
+                site.takenTarget =
+                    site.pc + 4 * static_cast<std::uint64_t>(
+                                      rng.nextRange(2, 32));
+            }
+            routine.sites.push_back(std::move(site));
+        }
+        sites_built += routine.sites.size();
+        program.addRoutine(std::move(routine));
+        // Gap between routines.
+        next_pc += 4 * static_cast<std::uint64_t>(rng.nextRange(4, 64));
+    }
+
+    return program;
+}
+
+} // namespace bpsim

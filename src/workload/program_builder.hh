@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Materializes a WorkloadSpec into a static Program.
+ */
+
+#ifndef BPSIM_WORKLOAD_PROGRAM_BUILDER_HH
+#define BPSIM_WORKLOAD_PROGRAM_BUILDER_HH
+
+#include "workload/program.hh"
+#include "workload/workload_spec.hh"
+
+namespace bpsim
+{
+
+/**
+ * Builds the static program for @p spec.
+ *
+ * Deterministic: the same spec (including seed) always produces the
+ * same routines, addresses and behaviour assignments.
+ */
+Program buildProgram(const WorkloadSpec &spec);
+
+} // namespace bpsim
+
+#endif // BPSIM_WORKLOAD_PROGRAM_BUILDER_HH

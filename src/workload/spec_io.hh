@@ -1,0 +1,48 @@
+/**
+ * @file
+ * WorkloadSpec serialization: a simple `key = value` text format so
+ * custom workloads can be described in files and shared, instead of
+ * recompiling.
+ *
+ * Example:
+ *
+ *   # my workload
+ *   name = myapp
+ *   static_branches = 3000
+ *   dynamic_branches = 1000000
+ *   seed = 42
+ *   mix.strongly_biased = 0.4
+ *   mix.weakly_biased = 0.1
+ *   params.corr_depth_hi = 12
+ *
+ * Unset keys keep the WorkloadSpec defaults. Unknown keys are fatal
+ * (typos should not silently produce a different workload).
+ */
+
+#ifndef BPSIM_WORKLOAD_SPEC_IO_HH
+#define BPSIM_WORKLOAD_SPEC_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/workload_spec.hh"
+
+namespace bpsim
+{
+
+/** Parses a spec from an input stream; fatal() on malformed input. */
+WorkloadSpec parseWorkloadSpec(std::istream &in,
+                               const std::string &sourceName = "<spec>");
+
+/** Loads a spec from a file; fatal() if unreadable or malformed. */
+WorkloadSpec loadWorkloadSpec(const std::string &path);
+
+/** Writes a spec in the same format (all keys, commented header). */
+void writeWorkloadSpec(std::ostream &out, const WorkloadSpec &spec);
+
+/** Saves a spec to a file; fatal() on I/O failure. */
+void saveWorkloadSpec(const std::string &path, const WorkloadSpec &spec);
+
+} // namespace bpsim
+
+#endif // BPSIM_WORKLOAD_SPEC_IO_HH

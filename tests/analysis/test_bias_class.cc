@@ -1,0 +1,60 @@
+/** @file Tests for bias classification (paper §4.1 definitions). */
+
+#include <gtest/gtest.h>
+
+#include "analysis/bias_class.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+TEST(BiasClass, Names)
+{
+    EXPECT_STREQ(biasClassName(BiasClass::StronglyTaken), "ST");
+    EXPECT_STREQ(biasClassName(BiasClass::StronglyNotTaken), "SNT");
+    EXPECT_STREQ(biasClassName(BiasClass::WeaklyBiased), "WB");
+}
+
+TEST(BiasClass, NinetyPercentBoundaryIsInclusive)
+{
+    // "strongly taken (ST) if the outcomes are taken 90% of the time
+    // or more".
+    EXPECT_EQ(classifyStream(90, 100), BiasClass::StronglyTaken);
+    EXPECT_EQ(classifyStream(89, 100), BiasClass::WeaklyBiased);
+    EXPECT_EQ(classifyStream(10, 100), BiasClass::StronglyNotTaken);
+    EXPECT_EQ(classifyStream(11, 100), BiasClass::WeaklyBiased);
+}
+
+TEST(BiasClass, PureStreams)
+{
+    EXPECT_EQ(classifyStream(100, 100), BiasClass::StronglyTaken);
+    EXPECT_EQ(classifyStream(0, 100), BiasClass::StronglyNotTaken);
+}
+
+TEST(BiasClass, SingleOutcomeStreams)
+{
+    EXPECT_EQ(classifyStream(1, 1), BiasClass::StronglyTaken);
+    EXPECT_EQ(classifyStream(0, 1), BiasClass::StronglyNotTaken);
+}
+
+TEST(BiasClass, EmptyStreamIsWeak)
+{
+    EXPECT_EQ(classifyStream(0, 0), BiasClass::WeaklyBiased);
+}
+
+TEST(BiasClass, CustomThreshold)
+{
+    EXPECT_EQ(classifyStream(80, 100, 0.8), BiasClass::StronglyTaken);
+    EXPECT_EQ(classifyStream(79, 100, 0.8), BiasClass::WeaklyBiased);
+    EXPECT_EQ(classifyStream(20, 100, 0.8),
+              BiasClass::StronglyNotTaken);
+}
+
+TEST(BiasClass, MidpointIsWeak)
+{
+    EXPECT_EQ(classifyStream(50, 100), BiasClass::WeaklyBiased);
+}
+
+} // namespace
+} // namespace bpsim

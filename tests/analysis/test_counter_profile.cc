@@ -1,0 +1,141 @@
+/** @file Tests for per-counter bias profiles, including the paper's
+ *  Table 3 worked example. */
+
+#include <gtest/gtest.h>
+
+#include "analysis/counter_profile.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+TEST(CounterProfile, Table3WorkedExample)
+{
+    // Paper Table 3: four streams incident on the same counter c.
+    //   0x001: 12 outcomes, 11 taken  -> ST,  N = 24%
+    //   0x005: 20 outcomes,  1 taken  -> SNT, N = 40%
+    //   0x100:  8 outcomes,  3 taken  -> WB,  N = 16%
+    //   0x150: 10 outcomes,  1 taken  -> SNT, N = 20%
+    StreamTracker tracker;
+    auto feed = [&](std::uint64_t pc, int total, int taken) {
+        for (int i = 0; i < total; ++i)
+            tracker.observe(pc, 0, i < taken, false);
+    };
+    feed(0x001, 12, 11);
+    feed(0x005, 20, 1);
+    feed(0x100, 8, 3);
+    feed(0x150, 10, 1);
+
+    // Verify the stream classes first.
+    EXPECT_EQ(tracker.find(0x001, 0)->biasClass(),
+              BiasClass::StronglyTaken);
+    EXPECT_EQ(tracker.find(0x005, 0)->biasClass(),
+              BiasClass::StronglyNotTaken);
+    EXPECT_EQ(tracker.find(0x100, 0)->biasClass(),
+              BiasClass::WeaklyBiased);
+    EXPECT_EQ(tracker.find(0x150, 0)->biasClass(),
+              BiasClass::StronglyNotTaken);
+
+    const CounterProfile profile = buildCounterProfile(tracker, 1);
+    ASSERT_EQ(profile.counters.size(), 1u);
+    const CounterBias &c = profile.counters[0];
+    EXPECT_EQ(c.total, 50u);
+    // Normalized counts from the paper: ST 24%, SNT 60%, WB 16%.
+    EXPECT_NEAR(c.stShare(), 0.24, 1e-12);
+    EXPECT_NEAR(c.sntShare(), 0.60, 1e-12);
+    EXPECT_NEAR(c.wbShare(), 0.16, 1e-12);
+    // "the SNT is the dominant class in the counter c, and the ST is
+    // the non-dominant class".
+    EXPECT_EQ(c.dominantClass(), BiasClass::StronglyNotTaken);
+    EXPECT_NEAR(c.dominantShare(), 0.60, 1e-12);
+    EXPECT_NEAR(c.nonDominantShare(), 0.24, 1e-12);
+}
+
+TEST(CounterProfile, IdleCountersExcluded)
+{
+    StreamTracker tracker;
+    tracker.observe(0x1000, 3, true, false);
+    const CounterProfile profile = buildCounterProfile(tracker, 8);
+    EXPECT_EQ(profile.activeCounters, 1u);
+    EXPECT_EQ(profile.counters.size(), 1u);
+    EXPECT_EQ(profile.counters[0].counterId, 3u);
+}
+
+TEST(CounterProfile, SortedByWbShare)
+{
+    StreamTracker tracker;
+    // Counter 0: pure ST traffic (WB share 0).
+    for (int i = 0; i < 10; ++i)
+        tracker.observe(0x1000, 0, true, false);
+    // Counter 1: pure WB traffic (WB share 1).
+    for (int i = 0; i < 10; ++i)
+        tracker.observe(0x2000, 1, i % 2 == 0, false);
+    // Counter 2: half ST half WB.
+    for (int i = 0; i < 10; ++i)
+        tracker.observe(0x3000, 2, true, false);
+    for (int i = 0; i < 10; ++i)
+        tracker.observe(0x4000, 2, i % 2 == 0, false);
+
+    const CounterProfile profile = buildCounterProfile(tracker, 3);
+    ASSERT_EQ(profile.counters.size(), 3u);
+    EXPECT_EQ(profile.counters[0].counterId, 0u);
+    EXPECT_EQ(profile.counters[1].counterId, 2u);
+    EXPECT_EQ(profile.counters[2].counterId, 1u);
+}
+
+TEST(CounterProfile, MeanSharesAreAverages)
+{
+    StreamTracker tracker;
+    for (int i = 0; i < 10; ++i)
+        tracker.observe(0x1000, 0, true, false); // pure ST
+    for (int i = 0; i < 10; ++i)
+        tracker.observe(0x2000, 1, i % 2 == 0, false); // pure WB
+    const CounterProfile profile = buildCounterProfile(tracker, 2);
+    EXPECT_NEAR(profile.meanWbShare, 0.5, 1e-12);
+    EXPECT_NEAR(profile.meanDominantShare, 0.5, 1e-12);
+    EXPECT_NEAR(profile.meanNonDominantShare, 0.0, 1e-12);
+}
+
+TEST(CounterProfile, TrafficSharesWeightByVolume)
+{
+    StreamTracker tracker;
+    for (int i = 0; i < 30; ++i)
+        tracker.observe(0x1000, 0, true, false); // 30 ST
+    for (int i = 0; i < 10; ++i)
+        tracker.observe(0x2000, 1, i % 2 == 0, false); // 10 WB
+    const CounterProfile profile = buildCounterProfile(tracker, 2);
+    EXPECT_NEAR(profile.trafficWbShare, 0.25, 1e-12);
+    EXPECT_NEAR(profile.trafficDominantShare, 0.75, 1e-12);
+}
+
+TEST(CounterProfile, SharesSumToOnePerCounter)
+{
+    StreamTracker tracker;
+    StreamTracker &t = tracker;
+    for (int i = 0; i < 25; ++i)
+        t.observe(0x1000 + 8 * (i % 5), i % 3, i % 7 < 4, false);
+    const CounterProfile profile = buildCounterProfile(tracker, 3);
+    for (const CounterBias &c : profile.counters) {
+        EXPECT_NEAR(c.stShare() + c.sntShare() + c.wbShare(), 1.0,
+                    1e-12);
+        EXPECT_NEAR(c.dominantShare() + c.nonDominantShare(),
+                    c.stShare() + c.sntShare(), 1e-12);
+    }
+}
+
+TEST(CounterProfileDeath, OutOfRangeCounterPanics)
+{
+    StreamTracker tracker;
+    tracker.observe(0x1000, 9, true, false);
+    EXPECT_DEATH(buildCounterProfile(tracker, 4), "out of range");
+}
+
+TEST(CounterProfileDeath, ZeroCountersPanics)
+{
+    StreamTracker tracker;
+    EXPECT_DEATH(buildCounterProfile(tracker, 0), "needs a predictor");
+}
+
+} // namespace
+} // namespace bpsim

@@ -1,0 +1,49 @@
+/** @file Compiles the umbrella header and exercises one call through
+ *  each subsystem it exposes. */
+
+#include <gtest/gtest.h>
+
+#include "bpsim.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+TEST(Umbrella, EverySubsystemReachable)
+{
+    // Workload.
+    WorkloadSpec spec;
+    spec.name = "umbrella";
+    spec.staticBranches = 50;
+    spec.dynamicBranches = 5000;
+    spec.seed = 5;
+    const MemoryTrace trace = generateWorkloadTrace(spec);
+    EXPECT_EQ(trace.size(), 5000u);
+
+    // Predictor via the factory, simulation, analysis.
+    const PredictorPtr predictor = makePredictor("bimode:d=6");
+    auto reader = trace.reader();
+    const SimResult result = simulate(*predictor, reader);
+    EXPECT_EQ(result.branches, 5000u);
+
+    auto reader2 = trace.reader();
+    BiModePredictor analysis_target(BiModeConfig::canonical(6));
+    BiasAnalysis analysis(analysis_target, reader2);
+    analysis.run();
+    EXPECT_GT(analysis.counterProfile().activeCounters, 0u);
+
+    // Front-end substrates.
+    BranchTargetBuffer btb(BtbConfig{});
+    btb.update(0x1000, 0x2000, true);
+    EXPECT_TRUE(btb.lookup(0x1000).has_value());
+    ReturnAddressStack ras(8);
+    ras.pushCall(0x1000);
+    EXPECT_EQ(ras.popReturn(0x1004), 0x1004u);
+
+    // Pipeline model.
+    EXPECT_GT(PipelineModel{}.ipcAt(result.mispredictionRate()), 0.0);
+}
+
+} // namespace
+} // namespace bpsim

@@ -1,0 +1,136 @@
+/** @file Tests for the branch target buffer. */
+
+#include <gtest/gtest.h>
+
+#include "predictors/btb.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+BtbConfig
+tinyConfig()
+{
+    BtbConfig cfg;
+    cfg.setsLog2 = 2; // 4 sets
+    cfg.ways = 2;
+    cfg.tagBits = 8;
+    return cfg;
+}
+
+TEST(Btb, MissesWhenEmpty)
+{
+    BranchTargetBuffer btb(tinyConfig());
+    EXPECT_FALSE(btb.lookup(0x1000).has_value());
+    EXPECT_EQ(btb.stats().lookups, 1u);
+    EXPECT_EQ(btb.stats().hits, 0u);
+}
+
+TEST(Btb, HitAfterTakenUpdate)
+{
+    BranchTargetBuffer btb(tinyConfig());
+    btb.update(0x1000, 0x2000, true);
+    const auto target = btb.lookup(0x1000);
+    ASSERT_TRUE(target.has_value());
+    EXPECT_EQ(*target, 0x2000u);
+    EXPECT_EQ(btb.stats().allocations, 1u);
+}
+
+TEST(Btb, NotTakenDoesNotAllocate)
+{
+    BranchTargetBuffer btb(tinyConfig());
+    btb.update(0x1000, 0x2000, false);
+    EXPECT_FALSE(btb.lookup(0x1000).has_value());
+    EXPECT_EQ(btb.stats().allocations, 0u);
+}
+
+TEST(Btb, TargetChangeIsTrackedAndCounted)
+{
+    BranchTargetBuffer btb(tinyConfig());
+    btb.update(0x1000, 0x2000, true);
+    btb.update(0x1000, 0x3000, true);
+    EXPECT_EQ(btb.stats().targetMismatches, 1u);
+    EXPECT_EQ(*btb.lookup(0x1000), 0x3000u);
+}
+
+TEST(Btb, AssociativityHoldsConflictingEntries)
+{
+    BranchTargetBuffer btb(tinyConfig());
+    // Two pcs mapping to the same set (4 sets -> 16-byte stride on
+    // word-aligned index bits): 2-way must hold both.
+    const std::uint64_t pc_a = 0x1000;
+    const std::uint64_t pc_b = pc_a + (4u << 2); // same set, diff tag
+    btb.update(pc_a, 0xa, true);
+    btb.update(pc_b, 0xb, true);
+    EXPECT_EQ(*btb.lookup(pc_a), 0xau);
+    EXPECT_EQ(*btb.lookup(pc_b), 0xbu);
+}
+
+TEST(Btb, LruEvictsOldest)
+{
+    BranchTargetBuffer btb(tinyConfig());
+    const std::uint64_t stride = 4u << 2; // same-set stride
+    const std::uint64_t pc_a = 0x1000, pc_b = pc_a + stride,
+                        pc_c = pc_a + 2 * stride;
+    btb.update(pc_a, 0xa, true);
+    btb.update(pc_b, 0xb, true);
+    // Touch A so B becomes LRU, then insert C.
+    ASSERT_TRUE(btb.lookup(pc_a).has_value());
+    btb.update(pc_c, 0xc, true);
+    EXPECT_EQ(btb.stats().evictions, 1u);
+    EXPECT_TRUE(btb.lookup(pc_a).has_value()) << "A was recently used";
+    EXPECT_FALSE(btb.lookup(pc_b).has_value()) << "B was the victim";
+    EXPECT_TRUE(btb.lookup(pc_c).has_value());
+}
+
+TEST(Btb, HitRate)
+{
+    BranchTargetBuffer btb(tinyConfig());
+    btb.update(0x1000, 0x2000, true);
+    btb.lookup(0x1000);
+    // 0x5010 shares the set but differs in the partial tag.
+    btb.lookup(0x5010);
+    EXPECT_DOUBLE_EQ(btb.stats().hitRate(), 0.5);
+}
+
+TEST(Btb, ResetClearsEverything)
+{
+    BranchTargetBuffer btb(tinyConfig());
+    btb.update(0x1000, 0x2000, true);
+    btb.reset();
+    EXPECT_FALSE(btb.lookup(0x1000).has_value());
+    EXPECT_EQ(btb.stats().lookups, 1u) << "stats restarted";
+}
+
+TEST(Btb, StorageBits)
+{
+    BtbConfig cfg;
+    cfg.setsLog2 = 9;
+    cfg.ways = 4;
+    cfg.tagBits = 8;
+    BranchTargetBuffer btb(cfg);
+    // 2048 entries x (1 valid + 8 tag + 32 target + 2 LRU).
+    EXPECT_EQ(btb.storageBits(), 2048u * (1 + 8 + 32 + 2));
+}
+
+TEST(Btb, NameDescribesGeometry)
+{
+    EXPECT_EQ(BranchTargetBuffer(tinyConfig()).name(),
+              "btb(sets=4,ways=2,tag=8)");
+}
+
+TEST(BtbDeath, BadGeometryIsFatal)
+{
+    BtbConfig cfg = tinyConfig();
+    cfg.ways = 0;
+    EXPECT_EXIT(BranchTargetBuffer{cfg}, ::testing::ExitedWithCode(1),
+                "associativity");
+    cfg = tinyConfig();
+    cfg.tagBits = 0;
+    EXPECT_EXIT(BranchTargetBuffer{cfg}, ::testing::ExitedWithCode(1),
+                "tags");
+}
+
+} // namespace
+} // namespace bpsim

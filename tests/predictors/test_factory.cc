@@ -1,0 +1,154 @@
+/** @file Tests for the predictor factory and spec parsing. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/factory.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+TEST(PredictorSpec, ParsesKindOnly)
+{
+    const PredictorSpec spec = PredictorSpec::parse("taken");
+    EXPECT_EQ(spec.kind, "taken");
+    EXPECT_TRUE(spec.params.empty());
+}
+
+TEST(PredictorSpec, ParsesParams)
+{
+    const PredictorSpec spec = PredictorSpec::parse("gshare:n=12,h=8");
+    EXPECT_EQ(spec.kind, "gshare");
+    EXPECT_EQ(spec.require("n"), 12u);
+    EXPECT_EQ(spec.require("h"), 8u);
+}
+
+TEST(PredictorSpec, GetWithDefault)
+{
+    const PredictorSpec spec = PredictorSpec::parse("bimode:d=10");
+    EXPECT_EQ(spec.get("d", 0), 10u);
+    EXPECT_EQ(spec.get("c", 99), 99u);
+}
+
+TEST(PredictorSpec, HexValues)
+{
+    const PredictorSpec spec = PredictorSpec::parse("bimodal:n=0x0c");
+    EXPECT_EQ(spec.require("n"), 12u);
+}
+
+TEST(PredictorSpecDeath, MissingRequiredIsFatal)
+{
+    const PredictorSpec spec = PredictorSpec::parse("gshare:h=8");
+    EXPECT_EXIT(spec.require("n"), ::testing::ExitedWithCode(1),
+                "requires parameter");
+}
+
+TEST(PredictorSpecDeath, MalformedPairIsFatal)
+{
+    EXPECT_EXIT(PredictorSpec::parse("gshare:n12"),
+                ::testing::ExitedWithCode(1), "expected key=value");
+}
+
+TEST(PredictorSpecDeath, NonNumericValueIsFatal)
+{
+    EXPECT_EXIT(PredictorSpec::parse("gshare:n=abc"),
+                ::testing::ExitedWithCode(1), "not a number");
+}
+
+TEST(Factory, BuildsEveryKnownKind)
+{
+    const std::vector<std::string> configs = {
+        "taken",
+        "nottaken",
+        "btfn:l=8",
+        "bimodal:n=8",
+        "gag:h=8",
+        "gas:h=6,a=2",
+        "pag:h=6,l=6",
+        "pas:h=5,l=6,a=2",
+        "gshare:n=10,h=8",
+        "bimode:d=8",
+        "agree:n=8",
+        "gskew:n=8",
+        "yags:c=8,n=6",
+        "tournament:n=8",
+        "perceptron:n=6,h=12",
+        "filter:n=8",
+    };
+    for (const std::string &config : configs) {
+        const PredictorPtr predictor = makePredictor(config);
+        ASSERT_NE(predictor, nullptr) << config;
+        // Every predictor must answer the whole interface.
+        predictor->predict(0x1000);
+        predictor->update(0x1000, true);
+        predictor->reset();
+        EXPECT_FALSE(predictor->name().empty()) << config;
+    }
+}
+
+TEST(Factory, EveryKnownKindListedIsConstructible)
+{
+    // knownPredictorKinds() is the help text; each entry must be
+    // accepted by the factory (with generic parameters).
+    const std::map<std::string, std::string> args = {
+        {"btfn", ""},          {"bimodal", ":n=6"},
+        {"gag", ":h=6"},       {"gas", ":h=4,a=2"},
+        {"pag", ":h=4,l=4"},   {"pas", ":h=4,l=4,a=2"},
+        {"gshare", ":n=6"},    {"bimode", ":d=6"},
+        {"agree", ":n=6"},     {"gskew", ":n=6"},
+        {"yags", ":c=6,n=4"},  {"tournament", ":n=6"},
+        {"perceptron", ":n=6"}, {"filter", ":n=6"},
+        {"taken", ""},         {"nottaken", ""},
+    };
+    for (const std::string &kind : knownPredictorKinds()) {
+        const auto it = args.find(kind);
+        ASSERT_NE(it, args.end()) << "untested kind " << kind;
+        EXPECT_NE(makePredictor(kind + it->second), nullptr);
+    }
+}
+
+TEST(Factory, GshareHistoryDefaultsToIndexWidth)
+{
+    const PredictorPtr predictor = makePredictor("gshare:n=10");
+    EXPECT_EQ(predictor->name(), "gshare(n=10,h=10)");
+}
+
+TEST(Factory, BimodeDefaultsAreCanonical)
+{
+    const PredictorPtr predictor = makePredictor("bimode:d=9");
+    EXPECT_EQ(predictor->name(), "bimode(d=9,c=9,h=9)");
+}
+
+TEST(Factory, BimodeAblationFlags)
+{
+    const PredictorPtr full = makePredictor("bimode:d=6,partial=0");
+    EXPECT_NE(full->name().find("full-update"), std::string::npos);
+    const PredictorPtr choice = makePredictor("bimode:d=6,alwayschoice=1");
+    EXPECT_NE(choice->name().find("always-choice"), std::string::npos);
+}
+
+TEST(Factory, WideCounterParameter)
+{
+    const PredictorPtr predictor = makePredictor("bimodal:n=6,w=3");
+    EXPECT_EQ(predictor->storageBits(), 64u * 3);
+}
+
+TEST(FactoryDeath, UnknownKindIsFatal)
+{
+    EXPECT_EXIT(makePredictor("tage:n=10"),
+                ::testing::ExitedWithCode(1), "unknown predictor kind");
+}
+
+TEST(FactoryDeath, EmptyKindIsFatal)
+{
+    EXPECT_EXIT(makePredictor(":n=4"), ::testing::ExitedWithCode(1),
+                "empty predictor kind");
+}
+
+} // namespace
+} // namespace bpsim

@@ -1,0 +1,118 @@
+/** @file Tests for history registers. */
+
+#include <gtest/gtest.h>
+
+#include "predictors/history.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+TEST(HistoryRegister, ShiftsNewestIntoBitZero)
+{
+    HistoryRegister h(4);
+    h.push(true);
+    EXPECT_EQ(h.value(), 0b0001u);
+    h.push(false);
+    EXPECT_EQ(h.value(), 0b0010u);
+    h.push(true);
+    EXPECT_EQ(h.value(), 0b0101u);
+}
+
+TEST(HistoryRegister, MasksToWidth)
+{
+    HistoryRegister h(3);
+    for (int i = 0; i < 10; ++i)
+        h.push(true);
+    EXPECT_EQ(h.value(), 0b111u);
+}
+
+TEST(HistoryRegister, ZeroWidthStaysZero)
+{
+    HistoryRegister h(0);
+    h.push(true);
+    h.push(true);
+    EXPECT_EQ(h.value(), 0u);
+}
+
+TEST(HistoryRegister, FullWidth64)
+{
+    HistoryRegister h(64);
+    for (int i = 0; i < 64; ++i)
+        h.push(true);
+    EXPECT_EQ(h.value(), ~std::uint64_t{0});
+}
+
+TEST(HistoryRegister, LowTruncates)
+{
+    HistoryRegister h(8);
+    for (int i = 0; i < 8; ++i)
+        h.push(i % 2 == 0);
+    EXPECT_EQ(h.low(3), h.value() & 0b111u);
+    EXPECT_EQ(h.low(8), h.value());
+}
+
+TEST(HistoryRegister, ClearZeroes)
+{
+    HistoryRegister h(8);
+    h.push(true);
+    h.clear();
+    EXPECT_EQ(h.value(), 0u);
+}
+
+TEST(HistoryRegister, StorageBits)
+{
+    EXPECT_EQ(HistoryRegister(12).storageBits(), 12u);
+}
+
+TEST(LocalHistoryTable, IndexUsesWordAddress)
+{
+    LocalHistoryTable table(4, 8);
+    // pcs differing only in byte-offset bits share a register.
+    EXPECT_EQ(table.indexFor(0x1000), table.indexFor(0x1002));
+    // pcs differing in word bits use different registers.
+    EXPECT_NE(table.indexFor(0x1000), table.indexFor(0x1004));
+}
+
+TEST(LocalHistoryTable, PerAddressIsolation)
+{
+    LocalHistoryTable table(4, 8);
+    table.push(0x1000, true);
+    table.push(0x1000, true);
+    table.push(0x1004, false);
+    EXPECT_EQ(table.value(0x1000), 0b11u);
+    EXPECT_EQ(table.value(0x1004), 0b0u);
+}
+
+TEST(LocalHistoryTable, AliasedAddressesShare)
+{
+    LocalHistoryTable table(2, 4);
+    // 2-bit index: pcs 16 words apart alias.
+    table.push(0x1000, true);
+    EXPECT_EQ(table.value(0x1000 + (4 << 2)), 0b1u);
+}
+
+TEST(LocalHistoryTable, ClearZeroes)
+{
+    LocalHistoryTable table(4, 8);
+    table.push(0x1000, true);
+    table.clear();
+    EXPECT_EQ(table.value(0x1000), 0u);
+}
+
+TEST(LocalHistoryTable, StorageBits)
+{
+    LocalHistoryTable table(10, 6);
+    EXPECT_EQ(table.storageBits(), 1024u * 6);
+}
+
+TEST(PcIndexBits, DropsByteOffset)
+{
+    EXPECT_EQ(pcIndexBits(0x1000, 4), (0x1000u >> 2) & 0xf);
+    EXPECT_EQ(pcIndexBits(0x1003, 4), pcIndexBits(0x1000, 4));
+    EXPECT_EQ(pcIndexBits(0x1004, 4), pcIndexBits(0x1000, 4) + 1);
+}
+
+} // namespace
+} // namespace bpsim

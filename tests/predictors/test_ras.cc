@@ -1,0 +1,99 @@
+/** @file Tests for the return address stack. */
+
+#include <gtest/gtest.h>
+
+#include "predictors/ras.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+TEST(Ras, PredictsMatchingReturn)
+{
+    ReturnAddressStack ras(8);
+    ras.pushCall(0x1000);
+    EXPECT_EQ(ras.popReturn(0x1004), 0x1004u);
+    EXPECT_EQ(ras.stats().correctReturns, 1u);
+    EXPECT_DOUBLE_EQ(ras.stats().returnAccuracy(), 1.0);
+}
+
+TEST(Ras, NestedCallsUnwindInOrder)
+{
+    ReturnAddressStack ras(8);
+    ras.pushCall(0x1000);
+    ras.pushCall(0x2000);
+    ras.pushCall(0x3000);
+    EXPECT_EQ(ras.popReturn(0x3004), 0x3004u);
+    EXPECT_EQ(ras.popReturn(0x2004), 0x2004u);
+    EXPECT_EQ(ras.popReturn(0x1004), 0x1004u);
+    EXPECT_EQ(ras.stats().correctReturns, 3u);
+}
+
+TEST(Ras, UnderflowReturnsZero)
+{
+    ReturnAddressStack ras(4);
+    EXPECT_EQ(ras.popReturn(0x1234), 0u);
+    EXPECT_EQ(ras.stats().underflows, 1u);
+    EXPECT_EQ(ras.stats().correctReturns, 0u);
+}
+
+TEST(Ras, OverflowWrapsOldestEntry)
+{
+    ReturnAddressStack ras(2);
+    ras.pushCall(0x1000);
+    ras.pushCall(0x2000);
+    ras.pushCall(0x3000); // overwrites the 0x1000 frame
+    EXPECT_EQ(ras.stats().overflows, 1u);
+    EXPECT_EQ(ras.popReturn(0x3004), 0x3004u);
+    EXPECT_EQ(ras.popReturn(0x2004), 0x2004u);
+    // The oldest frame is gone; its return cannot be served.
+    EXPECT_EQ(ras.popReturn(0x1004), 0u);
+    EXPECT_EQ(ras.stats().underflows, 1u);
+}
+
+TEST(Ras, MispredictionCounted)
+{
+    ReturnAddressStack ras(4);
+    ras.pushCall(0x1000);
+    EXPECT_EQ(ras.popReturn(0x9999), 0x1004u);
+    EXPECT_EQ(ras.stats().correctReturns, 0u);
+    EXPECT_EQ(ras.stats().returns, 1u);
+}
+
+TEST(Ras, DepthTracking)
+{
+    ReturnAddressStack ras(4);
+    EXPECT_EQ(ras.depthInUse(), 0u);
+    ras.pushCall(0x1000);
+    ras.pushCall(0x2000);
+    EXPECT_EQ(ras.depthInUse(), 2u);
+    ras.popReturn(0x2004);
+    EXPECT_EQ(ras.depthInUse(), 1u);
+}
+
+TEST(Ras, ResetEmptiesStack)
+{
+    ReturnAddressStack ras(4);
+    ras.pushCall(0x1000);
+    ras.reset();
+    EXPECT_EQ(ras.depthInUse(), 0u);
+    EXPECT_EQ(ras.popReturn(0x1004), 0u);
+    EXPECT_EQ(ras.stats().returns, 1u) << "stats were cleared";
+}
+
+TEST(Ras, StorageAndName)
+{
+    ReturnAddressStack ras(16);
+    EXPECT_EQ(ras.storageBits(), 16u * 32 + 4);
+    EXPECT_EQ(ras.name(), "ras(depth=16)");
+}
+
+TEST(RasDeath, ZeroDepthIsFatal)
+{
+    EXPECT_EXIT(ReturnAddressStack{0}, ::testing::ExitedWithCode(1),
+                "depth");
+}
+
+} // namespace
+} // namespace bpsim

@@ -1,0 +1,114 @@
+/** @file Tests for the McFarling tournament predictor. */
+
+#include <gtest/gtest.h>
+
+#include "predictors/bimodal.hh"
+#include "predictors/gshare.hh"
+#include "predictors/static_predictors.hh"
+#include "predictors/tournament.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+TEST(Tournament, SelectsBetterComponent)
+{
+    // Component 0 always says taken, component 1 always not-taken;
+    // on an always-not-taken branch the meta table must learn to
+    // trust component 1.
+    auto c0 = std::make_unique<AlwaysTakenPredictor>();
+    auto c1 = std::make_unique<AlwaysNotTakenPredictor>();
+    TournamentPredictor predictor(std::move(c0), std::move(c1), 6);
+    for (int i = 0; i < 10; ++i)
+        predictor.update(0x1000, false);
+    EXPECT_FALSE(predictor.predict(0x1000));
+    const PredictionDetail detail = predictor.predictDetailed(0x1000);
+    EXPECT_EQ(detail.bank, 1u);
+}
+
+TEST(Tournament, SwitchesWhenBehaviorChanges)
+{
+    auto c0 = std::make_unique<AlwaysTakenPredictor>();
+    auto c1 = std::make_unique<AlwaysNotTakenPredictor>();
+    TournamentPredictor predictor(std::move(c0), std::move(c1), 6);
+    for (int i = 0; i < 10; ++i)
+        predictor.update(0x1000, false);
+    EXPECT_FALSE(predictor.predict(0x1000));
+    for (int i = 0; i < 10; ++i)
+        predictor.update(0x1000, true);
+    EXPECT_TRUE(predictor.predict(0x1000));
+}
+
+TEST(Tournament, MetaTrainsOnlyOnDisagreement)
+{
+    // Two identical components: the meta table can never train, and
+    // predictions always follow the shared direction.
+    auto c0 = std::make_unique<AlwaysTakenPredictor>();
+    auto c1 = std::make_unique<AlwaysTakenPredictor>();
+    TournamentPredictor predictor(std::move(c0), std::move(c1), 6);
+    for (int i = 0; i < 20; ++i)
+        predictor.update(0x1000, false);
+    EXPECT_TRUE(predictor.predict(0x1000));
+}
+
+TEST(Tournament, StandardConfigBeatsComponentsOnMixedWork)
+{
+    // A branch that alternates (gshare food) plus a strongly biased
+    // branch that aliases it in the gshare table (bimodal food).
+    PredictorPtr tournament = TournamentPredictor::makeStandard(6);
+    bool alt = false;
+    int wrong = 0;
+    const int rounds = 400;
+    for (int i = 0; i < rounds; ++i) {
+        wrong += tournament->predict(0x1000) != alt;
+        tournament->update(0x1000, alt);
+        alt = !alt;
+        wrong += tournament->predict(0x2004) != true;
+        tournament->update(0x2004, true);
+    }
+    EXPECT_LT(wrong, rounds / 4);
+}
+
+TEST(Tournament, CounterIdsRemappedAcrossComponents)
+{
+    auto c0 = std::make_unique<BimodalPredictor>(4);
+    auto c1 = std::make_unique<GsharePredictor>(5, 5);
+    TournamentPredictor predictor(std::move(c0), std::move(c1), 4);
+    EXPECT_EQ(predictor.directionCounters(), 16u + 32u);
+    // Fresh meta is weakly-taken -> selects component 1; its ids
+    // must be offset past component 0's range.
+    const PredictionDetail detail = predictor.predictDetailed(0x1000);
+    EXPECT_GE(detail.counterId, 16u);
+    EXPECT_LT(detail.counterId, 48u);
+}
+
+TEST(Tournament, StorageSumsComponentsAndMeta)
+{
+    auto c0 = std::make_unique<BimodalPredictor>(4);
+    auto c1 = std::make_unique<GsharePredictor>(5, 5);
+    TournamentPredictor predictor(std::move(c0), std::move(c1), 4);
+    EXPECT_EQ(predictor.counterBits(), 16u * 2 + 32u * 2 + 16u * 2);
+    EXPECT_EQ(predictor.storageBits(), 16u * 2 + 32u * 2 + 16u * 2 + 5u);
+}
+
+TEST(Tournament, ResetRestoresEverything)
+{
+    PredictorPtr predictor = TournamentPredictor::makeStandard(5);
+    for (int i = 0; i < 30; ++i)
+        predictor->update(0x1000, false);
+    predictor->reset();
+    EXPECT_TRUE(predictor->predict(0x1000));
+}
+
+TEST(Tournament, NameListsComponents)
+{
+    PredictorPtr predictor = TournamentPredictor::makeStandard(6);
+    const std::string name = predictor->name();
+    EXPECT_NE(name.find("bimodal"), std::string::npos);
+    EXPECT_NE(name.find("gshare"), std::string::npos);
+    EXPECT_NE(name.find("tournament"), std::string::npos);
+}
+
+} // namespace
+} // namespace bpsim

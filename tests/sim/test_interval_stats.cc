@@ -1,0 +1,109 @@
+/** @file Tests for the learning-curve interval measurement. */
+
+#include <gtest/gtest.h>
+
+#include "predictors/bimodal.hh"
+#include "predictors/static_predictors.hh"
+#include "sim/interval_stats.hh"
+#include "trace/memory_trace.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+BranchRecord
+cond(std::uint64_t pc, bool taken)
+{
+    BranchRecord record;
+    record.pc = pc;
+    record.target = pc + 32;
+    record.type = BranchType::Conditional;
+    record.taken = taken;
+    return record;
+}
+
+TEST(IntervalStats, ExactIntervalRates)
+{
+    // 4 intervals of 10 with known always-taken outcomes vs an
+    // always-not-taken predictor: 100% per interval.
+    MemoryTrace trace;
+    for (int i = 0; i < 40; ++i)
+        trace.append(cond(0x1000, true));
+    AlwaysNotTakenPredictor predictor;
+    auto reader = trace.reader();
+    const IntervalSeries series =
+        measureIntervals(predictor, reader, 10);
+    ASSERT_EQ(series.mispredictPercent.size(), 4u);
+    for (double v : series.mispredictPercent)
+        EXPECT_DOUBLE_EQ(v, 100.0);
+    EXPECT_DOUBLE_EQ(series.overallPercent, 100.0);
+}
+
+TEST(IntervalStats, PartialTrailingIntervalDropped)
+{
+    MemoryTrace trace;
+    for (int i = 0; i < 25; ++i)
+        trace.append(cond(0x1000, true));
+    AlwaysTakenPredictor predictor;
+    auto reader = trace.reader();
+    const IntervalSeries series =
+        measureIntervals(predictor, reader, 10);
+    EXPECT_EQ(series.mispredictPercent.size(), 2u);
+    // Overall still counts the tail.
+    EXPECT_DOUBLE_EQ(series.overallPercent, 0.0);
+}
+
+TEST(IntervalStats, WarmupVisibleForColdCounters)
+{
+    // A not-taken-biased branch: bimodal starts weakly-taken, so the
+    // first interval carries the only misprediction.
+    MemoryTrace trace;
+    for (int i = 0; i < 100; ++i)
+        trace.append(cond(0x1000, false));
+    BimodalPredictor predictor(4);
+    auto reader = trace.reader();
+    const IntervalSeries series =
+        measureIntervals(predictor, reader, 10);
+    ASSERT_EQ(series.mispredictPercent.size(), 10u);
+    EXPECT_GT(series.mispredictPercent.front(), 0.0);
+    EXPECT_DOUBLE_EQ(series.mispredictPercent.back(), 0.0);
+    EXPECT_LE(series.warmupIntervals(), 1u);
+}
+
+TEST(IntervalStats, SteadyStateUsesTail)
+{
+    IntervalSeries series;
+    series.intervalLength = 10;
+    series.mispredictPercent = {50.0, 20.0, 10.0, 10.0, 10.0, 10.0};
+    EXPECT_DOUBLE_EQ(series.steadyStatePercent(4), 10.0);
+    EXPECT_DOUBLE_EQ(series.steadyStatePercent(100), 110.0 / 6.0);
+}
+
+TEST(IntervalStats, WarmupIntervalDetection)
+{
+    IntervalSeries series;
+    series.mispredictPercent = {30.0, 14.0, 10.5, 10.0, 10.0, 10.0,
+                                10.0};
+    EXPECT_EQ(series.warmupIntervals(1.0), 2u);
+    EXPECT_EQ(series.warmupIntervals(5.0), 1u);
+}
+
+TEST(IntervalStats, EmptySeries)
+{
+    IntervalSeries series;
+    EXPECT_DOUBLE_EQ(series.steadyStatePercent(), 0.0);
+    EXPECT_EQ(series.warmupIntervals(), 0u);
+}
+
+TEST(IntervalStatsDeath, ZeroIntervalIsFatal)
+{
+    MemoryTrace trace;
+    AlwaysTakenPredictor predictor;
+    auto reader = trace.reader();
+    EXPECT_EXIT(measureIntervals(predictor, reader, 0),
+                ::testing::ExitedWithCode(1), "at least 1");
+}
+
+} // namespace
+} // namespace bpsim

@@ -1,0 +1,64 @@
+/** @file Tests for the first-order pipeline impact model. */
+
+#include <gtest/gtest.h>
+
+#include "sim/pipeline_model.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+TEST(PipelineModel, PerfectPredictionGivesBaseCpi)
+{
+    PipelineModel model;
+    EXPECT_DOUBLE_EQ(model.cpiAt(0.0), model.baseCpi);
+}
+
+TEST(PipelineModel, CpiGrowsLinearly)
+{
+    PipelineModel model;
+    model.baseCpi = 1.0;
+    model.branchFraction = 0.2;
+    model.mispredictPenaltyCycles = 10.0;
+    // 5% misprediction: 1.0 + 0.2 * 0.05 * 10 = 1.1.
+    EXPECT_DOUBLE_EQ(model.cpiAt(5.0), 1.1);
+    EXPECT_DOUBLE_EQ(model.cpiAt(10.0), 1.2);
+}
+
+TEST(PipelineModel, IpcIsReciprocal)
+{
+    PipelineModel model;
+    EXPECT_DOUBLE_EQ(model.ipcAt(4.0), 1.0 / model.cpiAt(4.0));
+}
+
+TEST(PipelineModel, SpeedupSigns)
+{
+    PipelineModel model;
+    EXPECT_GT(model.speedupPercent(10.0, 5.0), 0.0);
+    EXPECT_LT(model.speedupPercent(5.0, 10.0), 0.0);
+    EXPECT_DOUBLE_EQ(model.speedupPercent(7.0, 7.0), 0.0);
+}
+
+TEST(PipelineModel, KnownSpeedupValue)
+{
+    PipelineModel model;
+    model.baseCpi = 1.0;
+    model.branchFraction = 0.2;
+    model.mispredictPenaltyCycles = 10.0;
+    // 10% -> CPI 1.2; 5% -> CPI 1.1; speedup = 1.2/1.1 - 1.
+    EXPECT_NEAR(model.speedupPercent(10.0, 5.0),
+                (1.2 / 1.1 - 1.0) * 100.0, 1e-9);
+}
+
+TEST(PipelineModelDeath, OutOfRangeRateIsFatal)
+{
+    PipelineModel model;
+    EXPECT_EXIT(model.cpiAt(-1.0), ::testing::ExitedWithCode(1),
+                "out of range");
+    EXPECT_EXIT(model.cpiAt(101.0), ::testing::ExitedWithCode(1),
+                "out of range");
+}
+
+} // namespace
+} // namespace bpsim

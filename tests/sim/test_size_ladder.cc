@@ -1,0 +1,78 @@
+/** @file Tests for the paper's size ladder / cost model. */
+
+#include <gtest/gtest.h>
+
+#include "core/bimode.hh"
+#include "predictors/gshare.hh"
+#include "sim/size_ladder.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+TEST(SizeLadder, PaperLadderCoversQuarterKToThirtyTwoK)
+{
+    const auto ladder = paperSizeLadder();
+    ASSERT_EQ(ladder.size(), 8u);
+    EXPECT_DOUBLE_EQ(ladder.front().gshareKBytes(), 0.25);
+    EXPECT_DOUBLE_EQ(ladder.back().gshareKBytes(), 32.0);
+    EXPECT_EQ(ladder.front().gshareIndexBits, 10u);
+    EXPECT_EQ(ladder.back().gshareIndexBits, 17u);
+}
+
+TEST(SizeLadder, StepsDouble)
+{
+    const auto ladder = paperSizeLadder();
+    for (std::size_t i = 1; i < ladder.size(); ++i)
+        EXPECT_DOUBLE_EQ(ladder[i].gshareKBytes(),
+                         2.0 * ladder[i - 1].gshareKBytes());
+}
+
+TEST(SizeLadder, BimodeNaturalCostIsOneAndAHalfTimes)
+{
+    // "bi-mode predictors naturally have a cost that is 1.5 times
+    // that of the next smaller gshare scheme": the rung's bi-mode
+    // point (d = n-1) has direction storage equal to the rung's
+    // gshare (2 x 2^(n-1) = 2^n) plus a half-size choice table.
+    for (const SizePoint &point : paperSizeLadder()) {
+        EXPECT_DOUBLE_EQ(point.bimodeKBytes(),
+                         1.5 * point.gshareKBytes());
+        EXPECT_EQ(point.bimodeDirectionBits, point.gshareIndexBits - 1);
+    }
+}
+
+TEST(SizeLadder, CostsMatchRealPredictors)
+{
+    for (const SizePoint &point : paperSizeLadder()) {
+        GsharePredictor gshare(point.gshareIndexBits,
+                               point.gshareIndexBits);
+        EXPECT_DOUBLE_EQ(
+            static_cast<double>(gshare.counterBits()) / 8 / 1024,
+            point.gshareKBytes());
+        BiModePredictor bimode(
+            BiModeConfig::canonical(point.bimodeDirectionBits));
+        EXPECT_DOUBLE_EQ(
+            static_cast<double>(bimode.counterBits()) / 8 / 1024,
+            point.bimodeKBytes());
+    }
+}
+
+TEST(SizeLadder, CustomRange)
+{
+    const auto ladder = sizeLadder(8, 10);
+    ASSERT_EQ(ladder.size(), 3u);
+    EXPECT_EQ(ladder[0].gshareIndexBits, 8u);
+    EXPECT_EQ(ladder[2].gshareIndexBits, 10u);
+}
+
+TEST(SizeLadderDeath, BadRangeIsFatal)
+{
+    EXPECT_EXIT(sizeLadder(12, 10), ::testing::ExitedWithCode(1),
+                "bad size ladder");
+    EXPECT_EXIT(sizeLadder(1, 10), ::testing::ExitedWithCode(1),
+                "bad size ladder");
+}
+
+} // namespace
+} // namespace bpsim

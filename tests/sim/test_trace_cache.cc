@@ -1,0 +1,61 @@
+/** @file Tests for the benchmark trace cache. */
+
+#include <gtest/gtest.h>
+
+#include "sim/trace_cache.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+WorkloadSpec
+tinySpec(const std::string &name, std::uint64_t dynamic)
+{
+    WorkloadSpec spec;
+    spec.name = name;
+    spec.suite = "test";
+    spec.staticBranches = 100;
+    spec.dynamicBranches = dynamic;
+    spec.seed = 3;
+    return spec;
+}
+
+TEST(TraceCache, GeneratesOnFirstUse)
+{
+    TraceCache cache;
+    EXPECT_EQ(cache.generatedCount(), 0u);
+    const MemoryTrace &trace = cache.traceFor(tinySpec("a", 5000));
+    EXPECT_EQ(trace.size(), 5000u);
+    EXPECT_EQ(cache.generatedCount(), 1u);
+}
+
+TEST(TraceCache, ReturnsSameObjectOnRepeat)
+{
+    TraceCache cache;
+    const MemoryTrace &first = cache.traceFor(tinySpec("a", 5000));
+    const MemoryTrace &second = cache.traceFor(tinySpec("a", 5000));
+    EXPECT_EQ(&first, &second);
+    EXPECT_EQ(cache.generatedCount(), 1u);
+}
+
+TEST(TraceCache, DistinctBenchmarksDistinctTraces)
+{
+    TraceCache cache;
+    const MemoryTrace &a = cache.traceFor(tinySpec("a", 5000));
+    const MemoryTrace &b = cache.traceFor(tinySpec("b", 4000));
+    EXPECT_NE(&a, &b);
+    EXPECT_EQ(b.size(), 4000u);
+    EXPECT_EQ(cache.generatedCount(), 2u);
+}
+
+TEST(TraceCacheDeath, ConflictingSpecsPanic)
+{
+    TraceCache cache;
+    cache.traceFor(tinySpec("a", 5000));
+    EXPECT_DEATH(cache.traceFor(tinySpec("a", 6000)),
+                 "different dynamic counts");
+}
+
+} // namespace
+} // namespace bpsim

@@ -1,0 +1,130 @@
+/** @file Tests for the in-memory trace container and its reader. */
+
+#include <gtest/gtest.h>
+
+#include "trace/memory_trace.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+BranchRecord
+makeRecord(std::uint64_t pc, bool taken)
+{
+    BranchRecord record;
+    record.pc = pc;
+    record.target = pc + 16;
+    record.type = BranchType::Conditional;
+    record.taken = taken;
+    return record;
+}
+
+TEST(MemoryTrace, StartsEmpty)
+{
+    MemoryTrace trace;
+    EXPECT_TRUE(trace.empty());
+    EXPECT_EQ(trace.size(), 0u);
+}
+
+TEST(MemoryTrace, AppendAndIndex)
+{
+    MemoryTrace trace;
+    trace.append(makeRecord(0x1000, true));
+    trace.append(makeRecord(0x2000, false));
+    ASSERT_EQ(trace.size(), 2u);
+    EXPECT_EQ(trace[0].pc, 0x1000u);
+    EXPECT_TRUE(trace[0].taken);
+    EXPECT_EQ(trace[1].pc, 0x2000u);
+    EXPECT_FALSE(trace[1].taken);
+}
+
+TEST(MemoryTrace, ReaderDrainsInOrder)
+{
+    MemoryTrace trace;
+    for (int i = 0; i < 10; ++i)
+        trace.append(makeRecord(0x1000 + 4 * i, i % 2 == 0));
+    auto reader = trace.reader();
+    BranchRecord record;
+    int count = 0;
+    while (reader.next(record)) {
+        EXPECT_EQ(record.pc, 0x1000u + 4 * count);
+        ++count;
+    }
+    EXPECT_EQ(count, 10);
+    EXPECT_FALSE(reader.next(record));
+}
+
+TEST(MemoryTrace, ReaderRewinds)
+{
+    MemoryTrace trace;
+    trace.append(makeRecord(0x1000, true));
+    auto reader = trace.reader();
+    BranchRecord record;
+    ASSERT_TRUE(reader.next(record));
+    ASSERT_FALSE(reader.next(record));
+    reader.rewind();
+    ASSERT_TRUE(reader.next(record));
+    EXPECT_EQ(record.pc, 0x1000u);
+}
+
+TEST(MemoryTrace, ReaderReportsSize)
+{
+    MemoryTrace trace;
+    trace.append(makeRecord(0x1000, true));
+    trace.append(makeRecord(0x1004, true));
+    auto reader = trace.reader();
+    ASSERT_TRUE(reader.size().has_value());
+    EXPECT_EQ(*reader.size(), 2u);
+}
+
+TEST(MemoryTrace, ClearEmpties)
+{
+    MemoryTrace trace;
+    trace.append(makeRecord(0x1000, true));
+    trace.clear();
+    EXPECT_TRUE(trace.empty());
+}
+
+TEST(MemoryTrace, MultipleIndependentReaders)
+{
+    MemoryTrace trace;
+    for (int i = 0; i < 5; ++i)
+        trace.append(makeRecord(0x1000 + 4 * i, true));
+    auto r1 = trace.reader();
+    auto r2 = trace.reader();
+    BranchRecord a, b;
+    ASSERT_TRUE(r1.next(a));
+    ASSERT_TRUE(r1.next(a));
+    ASSERT_TRUE(r2.next(b));
+    EXPECT_EQ(b.pc, 0x1000u);
+    EXPECT_EQ(a.pc, 0x1004u);
+}
+
+TEST(BranchRecord, TypeNamesRoundTrip)
+{
+    for (BranchType type :
+         {BranchType::Conditional, BranchType::Unconditional,
+          BranchType::Call, BranchType::Return,
+          BranchType::IndirectJump}) {
+        EXPECT_EQ(branchTypeFromName(branchTypeName(type)), type);
+    }
+}
+
+TEST(BranchRecord, IsConditional)
+{
+    BranchRecord record;
+    record.type = BranchType::Conditional;
+    EXPECT_TRUE(record.isConditional());
+    record.type = BranchType::Call;
+    EXPECT_FALSE(record.isConditional());
+}
+
+TEST(BranchRecordDeath, UnknownTypeNameIsFatal)
+{
+    EXPECT_EXIT(branchTypeFromName("bogus"),
+                ::testing::ExitedWithCode(1), "unknown branch type");
+}
+
+} // namespace
+} // namespace bpsim

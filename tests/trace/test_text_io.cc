@@ -1,0 +1,131 @@
+/** @file Tests for the text trace format. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "trace/memory_trace.hh"
+#include "trace/text_io.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+class TempFile
+{
+  public:
+    explicit TempFile(const std::string &name)
+        : filePath(::testing::TempDir() + name)
+    {
+    }
+
+    ~TempFile() { std::remove(filePath.c_str()); }
+
+    const std::string &path() const { return filePath; }
+
+  private:
+    std::string filePath;
+};
+
+TEST(TextIo, RoundTrip)
+{
+    TempFile file("text_rt.trace");
+    MemoryTrace original;
+    for (int i = 0; i < 50; ++i) {
+        BranchRecord record;
+        record.pc = 0x400000 + 4 * i;
+        record.target = record.pc + 32;
+        record.type = static_cast<BranchType>(i % 5);
+        record.taken = i % 3 == 0;
+        original.append(record);
+    }
+    {
+        TextTraceWriter writer(file.path());
+        for (std::size_t i = 0; i < original.size(); ++i)
+            writer.append(original[i]);
+        writer.finish();
+    }
+    TextTraceReader reader(file.path());
+    BranchRecord record;
+    std::size_t i = 0;
+    while (reader.next(record)) {
+        ASSERT_LT(i, original.size());
+        EXPECT_EQ(record, original[i]) << "record " << i;
+        ++i;
+    }
+    EXPECT_EQ(i, original.size());
+}
+
+TEST(TextIo, SkipsCommentsAndBlanks)
+{
+    TempFile file("text_comments.trace");
+    {
+        std::ofstream out(file.path());
+        out << "# header comment\n\n"
+            << "0x1000 0x1020 cond T\n"
+            << "   \n"
+            << "0x1004 0x1030 cond N # trailing comment\n";
+    }
+    TextTraceReader reader(file.path());
+    BranchRecord record;
+    ASSERT_TRUE(reader.next(record));
+    EXPECT_EQ(record.pc, 0x1000u);
+    EXPECT_TRUE(record.taken);
+    ASSERT_TRUE(reader.next(record));
+    EXPECT_EQ(record.pc, 0x1004u);
+    EXPECT_FALSE(record.taken);
+    EXPECT_FALSE(reader.next(record));
+}
+
+TEST(TextIo, RewindRestarts)
+{
+    TempFile file("text_rewind.trace");
+    {
+        std::ofstream out(file.path());
+        out << "0x1000 0x1020 cond T\n";
+    }
+    TextTraceReader reader(file.path());
+    BranchRecord record;
+    ASSERT_TRUE(reader.next(record));
+    ASSERT_FALSE(reader.next(record));
+    reader.rewind();
+    ASSERT_TRUE(reader.next(record));
+    EXPECT_EQ(record.pc, 0x1000u);
+}
+
+TEST(TextIoDeath, MalformedLineIsFatal)
+{
+    TempFile file("text_bad.trace");
+    {
+        std::ofstream out(file.path());
+        out << "0x1000 0x1020\n";
+    }
+    TextTraceReader reader(file.path());
+    BranchRecord record;
+    EXPECT_EXIT(reader.next(record), ::testing::ExitedWithCode(1),
+                "malformed record");
+}
+
+TEST(TextIoDeath, BadOutcomeIsFatal)
+{
+    TempFile file("text_bad_outcome.trace");
+    {
+        std::ofstream out(file.path());
+        out << "0x1000 0x1020 cond X\n";
+    }
+    TextTraceReader reader(file.path());
+    BranchRecord record;
+    EXPECT_EXIT(reader.next(record), ::testing::ExitedWithCode(1),
+                "bad outcome");
+}
+
+TEST(TextIoDeath, MissingFileIsFatal)
+{
+    EXPECT_EXIT(TextTraceReader("/nonexistent/file.trace"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+} // namespace
+} // namespace bpsim

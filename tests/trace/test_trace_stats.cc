@@ -1,0 +1,124 @@
+/** @file Tests for trace statistics (the Table 2 columns). */
+
+#include <gtest/gtest.h>
+
+#include "trace/memory_trace.hh"
+#include "trace/trace_stats.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+BranchRecord
+cond(std::uint64_t pc, bool taken)
+{
+    BranchRecord record;
+    record.pc = pc;
+    record.target = pc + 16;
+    record.type = BranchType::Conditional;
+    record.taken = taken;
+    return record;
+}
+
+TEST(TraceStats, EmptyTrace)
+{
+    TraceStats stats;
+    EXPECT_EQ(stats.staticConditional(), 0u);
+    EXPECT_EQ(stats.dynamicConditional(), 0u);
+    EXPECT_EQ(stats.takenFraction(), 0.0);
+    EXPECT_EQ(stats.stronglyBiasedDynamicFraction(), 0.0);
+}
+
+TEST(TraceStats, CountsStaticAndDynamic)
+{
+    TraceStats stats;
+    stats.observe(cond(0x1000, true));
+    stats.observe(cond(0x1000, true));
+    stats.observe(cond(0x2000, false));
+    EXPECT_EQ(stats.staticConditional(), 2u);
+    EXPECT_EQ(stats.dynamicConditional(), 3u);
+    EXPECT_NEAR(stats.takenFraction(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(TraceStats, IgnoresNonConditional)
+{
+    TraceStats stats;
+    BranchRecord call = cond(0x1000, true);
+    call.type = BranchType::Call;
+    stats.observe(call);
+    EXPECT_EQ(stats.staticConditional(), 0u);
+    EXPECT_EQ(stats.dynamicConditional(), 0u);
+    EXPECT_EQ(stats.dynamicOther(), 1u);
+}
+
+TEST(TraceStats, StronglyBiasedFraction)
+{
+    TraceStats stats;
+    // Branch A: 10/10 taken (strongly biased).
+    for (int i = 0; i < 10; ++i)
+        stats.observe(cond(0x1000, true));
+    // Branch B: 5/10 taken (weak).
+    for (int i = 0; i < 10; ++i)
+        stats.observe(cond(0x2000, i < 5));
+    EXPECT_NEAR(stats.stronglyBiasedDynamicFraction(0.9), 0.5, 1e-12);
+}
+
+TEST(TraceStats, ThresholdBoundaryIsInclusive)
+{
+    TraceStats stats;
+    // Exactly 90% taken: classified strongly biased at 0.9.
+    for (int i = 0; i < 10; ++i)
+        stats.observe(cond(0x1000, i < 9));
+    EXPECT_NEAR(stats.stronglyBiasedDynamicFraction(0.9), 1.0, 1e-12);
+    // At a stricter threshold it no longer qualifies.
+    EXPECT_NEAR(stats.stronglyBiasedDynamicFraction(0.95), 0.0, 1e-12);
+}
+
+TEST(TraceStats, NotTakenBiasCountsAsStrong)
+{
+    TraceStats stats;
+    for (int i = 0; i < 20; ++i)
+        stats.observe(cond(0x1000, false));
+    EXPECT_NEAR(stats.stronglyBiasedDynamicFraction(0.9), 1.0, 1e-12);
+}
+
+TEST(TraceStats, PerBranchSortedByExecutions)
+{
+    TraceStats stats;
+    for (int i = 0; i < 3; ++i)
+        stats.observe(cond(0x1000, true));
+    for (int i = 0; i < 7; ++i)
+        stats.observe(cond(0x2000, false));
+    const auto branches = stats.perBranch();
+    ASSERT_EQ(branches.size(), 2u);
+    EXPECT_EQ(branches[0].pc, 0x2000u);
+    EXPECT_EQ(branches[0].executions, 7u);
+    EXPECT_EQ(branches[1].pc, 0x1000u);
+    EXPECT_EQ(branches[1].takenCount, 3u);
+}
+
+TEST(TraceStats, ObserveAllDrainsReader)
+{
+    MemoryTrace trace;
+    trace.append(cond(0x1000, true));
+    trace.append(cond(0x1004, false));
+    TraceStats stats;
+    auto reader = trace.reader();
+    stats.observeAll(reader);
+    EXPECT_EQ(stats.dynamicConditional(), 2u);
+}
+
+TEST(StaticBranchStats, TakenFraction)
+{
+    StaticBranchStats branch;
+    branch.executions = 4;
+    branch.takenCount = 1;
+    EXPECT_DOUBLE_EQ(branch.takenFraction(), 0.25);
+    EXPECT_FALSE(branch.isStronglyBiased(0.9));
+    branch.takenCount = 0;
+    EXPECT_TRUE(branch.isStronglyBiased(0.9));
+}
+
+} // namespace
+} // namespace bpsim

@@ -1,0 +1,138 @@
+/** @file Tests for the command-line argument parser. */
+
+#include <gtest/gtest.h>
+
+#include "util/args.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+ArgParser
+makeParser()
+{
+    ArgParser parser("prog", "test program");
+    parser.addOption("count", "10", "how many");
+    parser.addOption("name", "default", "a name");
+    parser.addOption("rate", "0.5", "a rate");
+    parser.addFlag("verbose", "talk more");
+    return parser;
+}
+
+TEST(Args, DefaultsApply)
+{
+    ArgParser parser = makeParser();
+    const char *argv[] = {"prog"};
+    ASSERT_TRUE(parser.parse(1, argv));
+    EXPECT_EQ(parser.get("count"), "10");
+    EXPECT_EQ(parser.getInt("count"), 10);
+    EXPECT_EQ(parser.get("name"), "default");
+    EXPECT_FALSE(parser.flag("verbose"));
+}
+
+TEST(Args, SpaceSeparatedValue)
+{
+    ArgParser parser = makeParser();
+    const char *argv[] = {"prog", "--count", "42"};
+    ASSERT_TRUE(parser.parse(3, argv));
+    EXPECT_EQ(parser.getInt("count"), 42);
+}
+
+TEST(Args, EqualsValue)
+{
+    ArgParser parser = makeParser();
+    const char *argv[] = {"prog", "--count=7", "--name=gcc"};
+    ASSERT_TRUE(parser.parse(3, argv));
+    EXPECT_EQ(parser.getInt("count"), 7);
+    EXPECT_EQ(parser.get("name"), "gcc");
+}
+
+TEST(Args, FlagPresence)
+{
+    ArgParser parser = makeParser();
+    const char *argv[] = {"prog", "--verbose"};
+    ASSERT_TRUE(parser.parse(2, argv));
+    EXPECT_TRUE(parser.flag("verbose"));
+}
+
+TEST(Args, Positionals)
+{
+    ArgParser parser = makeParser();
+    const char *argv[] = {"prog", "one", "--count", "3", "two"};
+    ASSERT_TRUE(parser.parse(5, argv));
+    ASSERT_EQ(parser.positional().size(), 2u);
+    EXPECT_EQ(parser.positional()[0], "one");
+    EXPECT_EQ(parser.positional()[1], "two");
+}
+
+TEST(Args, DoubleParsing)
+{
+    ArgParser parser = makeParser();
+    const char *argv[] = {"prog", "--rate=0.25"};
+    ASSERT_TRUE(parser.parse(2, argv));
+    EXPECT_DOUBLE_EQ(parser.getDouble("rate"), 0.25);
+}
+
+TEST(Args, UintRejectsNegative)
+{
+    ArgParser parser = makeParser();
+    const char *argv[] = {"prog", "--count=-5"};
+    ASSERT_TRUE(parser.parse(2, argv));
+    EXPECT_EQ(parser.getInt("count"), -5);
+    EXPECT_EXIT(parser.getUint("count"), ::testing::ExitedWithCode(1),
+                "non-negative");
+}
+
+TEST(Args, HelpReturnsFalse)
+{
+    ArgParser parser = makeParser();
+    const char *argv[] = {"prog", "--help"};
+    EXPECT_FALSE(parser.parse(2, argv));
+}
+
+TEST(Args, UsageMentionsEverything)
+{
+    ArgParser parser = makeParser();
+    const std::string usage = parser.usage();
+    EXPECT_NE(usage.find("--count"), std::string::npos);
+    EXPECT_NE(usage.find("--verbose"), std::string::npos);
+    EXPECT_NE(usage.find("default: 10"), std::string::npos);
+    EXPECT_NE(usage.find("test program"), std::string::npos);
+}
+
+TEST(ArgsDeath, UnknownOptionIsFatal)
+{
+    ArgParser parser = makeParser();
+    const char *argv[] = {"prog", "--bogus"};
+    EXPECT_EXIT(parser.parse(2, argv), ::testing::ExitedWithCode(1),
+                "unknown option");
+}
+
+TEST(ArgsDeath, MissingValueIsFatal)
+{
+    ArgParser parser = makeParser();
+    const char *argv[] = {"prog", "--count"};
+    EXPECT_EXIT(parser.parse(2, argv), ::testing::ExitedWithCode(1),
+                "needs a value");
+}
+
+TEST(ArgsDeath, FlagWithValueIsFatal)
+{
+    ArgParser parser = makeParser();
+    const char *argv[] = {"prog", "--verbose=yes"};
+    EXPECT_EXIT(parser.parse(2, argv), ::testing::ExitedWithCode(1),
+                "does not take a value");
+}
+
+TEST(ArgsDeath, NonNumericIntIsFatal)
+{
+    ArgParser parser = makeParser();
+    const char *argv[] = {"prog", "--count=abc"};
+    ASSERT_TRUE(parser.parse(2, argv));
+    EXPECT_EXIT(parser.getInt("count"), ::testing::ExitedWithCode(1),
+                "not an integer");
+}
+
+} // namespace
+} // namespace bpsim

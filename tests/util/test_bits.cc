@@ -1,0 +1,140 @@
+/** @file Unit and property tests for util/bits.hh. */
+
+#include <gtest/gtest.h>
+
+#include "util/bits.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+TEST(Bits, MaskBitsSmall)
+{
+    EXPECT_EQ(maskBits(0), 0u);
+    EXPECT_EQ(maskBits(1), 0x1u);
+    EXPECT_EQ(maskBits(2), 0x3u);
+    EXPECT_EQ(maskBits(8), 0xffu);
+    EXPECT_EQ(maskBits(16), 0xffffu);
+}
+
+TEST(Bits, MaskBitsFullWidth)
+{
+    EXPECT_EQ(maskBits(63), ~std::uint64_t{0} >> 1);
+    EXPECT_EQ(maskBits(64), ~std::uint64_t{0});
+    // Widths beyond 64 saturate rather than shifting UB-wide.
+    EXPECT_EQ(maskBits(65), ~std::uint64_t{0});
+}
+
+TEST(Bits, MaskBitsIsMonotone)
+{
+    for (unsigned n = 1; n <= 64; ++n)
+        EXPECT_GT(maskBits(n), maskBits(n - 1)) << "n=" << n;
+}
+
+TEST(Bits, BitFieldExtracts)
+{
+    const std::uint64_t value = 0xdead'beef'1234'5678ULL;
+    EXPECT_EQ(bitField(value, 0, 4), 0x8u);
+    EXPECT_EQ(bitField(value, 4, 4), 0x7u);
+    EXPECT_EQ(bitField(value, 0, 16), 0x5678u);
+    EXPECT_EQ(bitField(value, 32, 16), 0xbeefu);
+    EXPECT_EQ(bitField(value, 48, 16), 0xdeadu);
+}
+
+TEST(Bits, BitFieldZeroWidth)
+{
+    EXPECT_EQ(bitField(0xffffffffULL, 5, 0), 0u);
+}
+
+TEST(Bits, BitFieldComposition)
+{
+    // Recomposing adjacent fields yields the original low bits.
+    const std::uint64_t value = 0x0123'4567'89ab'cdefULL;
+    for (unsigned split = 1; split < 32; ++split) {
+        const std::uint64_t low = bitField(value, 0, split);
+        const std::uint64_t high = bitField(value, split, 32 - split);
+        EXPECT_EQ((high << split) | low, bitField(value, 0, 32))
+            << "split=" << split;
+    }
+}
+
+TEST(Bits, IsPowerOfTwo)
+{
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_TRUE(isPowerOfTwo(std::uint64_t{1} << 63));
+    EXPECT_FALSE(isPowerOfTwo((std::uint64_t{1} << 63) + 1));
+}
+
+TEST(Bits, PowersOfTwoSweep)
+{
+    for (unsigned n = 0; n < 64; ++n) {
+        const std::uint64_t p = std::uint64_t{1} << n;
+        EXPECT_TRUE(isPowerOfTwo(p)) << "n=" << n;
+        if (p > 2) {
+            EXPECT_FALSE(isPowerOfTwo(p - 1)) << "n=" << n;
+        }
+    }
+}
+
+TEST(Bits, Log2Exact)
+{
+    for (unsigned n = 0; n < 64; ++n)
+        EXPECT_EQ(log2Exact(std::uint64_t{1} << n), n);
+}
+
+TEST(Bits, Log2Ceil)
+{
+    EXPECT_EQ(log2Ceil(1), 0u);
+    EXPECT_EQ(log2Ceil(2), 1u);
+    EXPECT_EQ(log2Ceil(3), 2u);
+    EXPECT_EQ(log2Ceil(4), 2u);
+    EXPECT_EQ(log2Ceil(5), 3u);
+    EXPECT_EQ(log2Ceil(1024), 10u);
+    EXPECT_EQ(log2Ceil(1025), 11u);
+}
+
+TEST(Bits, FoldXorIdentityWhenNarrow)
+{
+    // Values already inside the field are unchanged.
+    for (std::uint64_t v = 0; v < 64; ++v)
+        EXPECT_EQ(foldXor(v, 6), v);
+}
+
+TEST(Bits, FoldXorCombinesChunks)
+{
+    EXPECT_EQ(foldXor(0xabcd, 8), 0xabu ^ 0xcdu);
+    EXPECT_EQ(foldXor(0x0f0f0f, 8), 0x0fu ^ 0x0fu ^ 0x0fu);
+}
+
+TEST(Bits, FoldXorZeroWidth)
+{
+    EXPECT_EQ(foldXor(0x1234, 0), 0u);
+}
+
+TEST(Bits, FoldXorStaysInRange)
+{
+    for (std::uint64_t v = 0; v < 10'000; ++v) {
+        const std::uint64_t folded = foldXor(v * 0x9e3779b9ULL, 10);
+        EXPECT_LE(folded, maskBits(10));
+    }
+}
+
+TEST(Bits, ReverseBits)
+{
+    EXPECT_EQ(reverseBits(0b001, 3), 0b100u);
+    EXPECT_EQ(reverseBits(0b110, 3), 0b011u);
+    EXPECT_EQ(reverseBits(0x1, 8), 0x80u);
+}
+
+TEST(Bits, ReverseBitsInvolution)
+{
+    for (std::uint64_t v = 0; v < 4096; ++v)
+        EXPECT_EQ(reverseBits(reverseBits(v, 12), 12), v);
+}
+
+} // namespace
+} // namespace bpsim

@@ -1,0 +1,50 @@
+/** @file Tests for the logging / error-reporting helpers. */
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+TEST(Logging, VerboseToggle)
+{
+    setVerbose(false);
+    EXPECT_FALSE(verbose());
+    setVerbose(true);
+    EXPECT_TRUE(verbose());
+    setVerbose(false);
+}
+
+TEST(LoggingDeath, FatalExitsWithOne)
+{
+    EXPECT_EXIT(BPSIM_FATAL("bad user input " << 42),
+                ::testing::ExitedWithCode(1), "bad user input 42");
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(BPSIM_PANIC("invariant " << "broken"),
+                 "invariant broken");
+}
+
+TEST(Logging, WarnDoesNotTerminate)
+{
+    BPSIM_WARN("just a warning");
+    SUCCEED();
+}
+
+TEST(Logging, InformRespectsVerbosity)
+{
+    setVerbose(false);
+    BPSIM_INFORM("should be suppressed");
+    setVerbose(true);
+    BPSIM_INFORM("should be printed");
+    setVerbose(false);
+    SUCCEED();
+}
+
+} // namespace
+} // namespace bpsim

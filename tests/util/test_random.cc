@@ -1,0 +1,250 @@
+/** @file Tests for the deterministic RNG and its distributions. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/random.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+TEST(SplitMix64, IsDeterministic)
+{
+    SplitMix64 a(7), b(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiffer)
+{
+    SplitMix64 a(1), b(2);
+    EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next64(), b.next64());
+}
+
+TEST(Rng, SeedsProduceDistinctStreams)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += a.next64() == b.next64();
+    EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, BoundedStaysInRange)
+{
+    Rng rng(9);
+    for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL,
+                                (1ULL << 40) + 17}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.nextBounded(bound), bound) << "bound=" << bound;
+    }
+}
+
+TEST(Rng, BoundedOneAlwaysZero)
+{
+    Rng rng(9);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.nextBounded(1), 0u);
+}
+
+TEST(Rng, BoundedCoversRange)
+{
+    Rng rng(5);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.nextBounded(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(77);
+    for (int i = 0; i < 10'000; ++i) {
+        const double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, DoubleMeanNearHalf)
+{
+    Rng rng(31);
+    double sum = 0.0;
+    const int n = 100'000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.nextDouble();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BernoulliFrequencyMatches)
+{
+    Rng rng(101);
+    for (double p : {0.1, 0.5, 0.9}) {
+        int hits = 0;
+        const int n = 50'000;
+        for (int i = 0; i < n; ++i)
+            hits += rng.nextBool(p);
+        EXPECT_NEAR(static_cast<double>(hits) / n, p, 0.02) << "p=" << p;
+    }
+}
+
+TEST(Rng, BernoulliDegenerate)
+{
+    Rng rng(3);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.nextBool(0.0));
+        EXPECT_TRUE(rng.nextBool(1.0));
+        EXPECT_FALSE(rng.nextBool(-1.0));
+        EXPECT_TRUE(rng.nextBool(2.0));
+    }
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(17);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        const std::int64_t v = rng.nextRange(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, RangeSingleton)
+{
+    Rng rng(17);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(rng.nextRange(42, 42), 42);
+}
+
+TEST(Rng, GeometricMeanMatches)
+{
+    Rng rng(23);
+    const double p = 0.25;
+    double sum = 0.0;
+    const int n = 50'000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(rng.nextGeometric(p, 1'000'000));
+    // Mean failures before success = (1-p)/p = 3.
+    EXPECT_NEAR(sum / n, 3.0, 0.15);
+}
+
+TEST(Rng, GeometricRespectsCap)
+{
+    Rng rng(29);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LE(rng.nextGeometric(0.001, 10), 10u);
+}
+
+TEST(Rng, GeometricDegenerate)
+{
+    Rng rng(29);
+    EXPECT_EQ(rng.nextGeometric(1.0, 100), 0u);
+    EXPECT_EQ(rng.nextGeometric(0.0, 100), 100u);
+}
+
+TEST(Rng, WeightedRespectsWeights)
+{
+    Rng rng(41);
+    const std::vector<double> weights = {1.0, 0.0, 3.0};
+    int counts[3] = {0, 0, 0};
+    const int n = 40'000;
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.nextWeighted(weights)];
+    EXPECT_EQ(counts[1], 0);
+    EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.02);
+    EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(Rng, WeightedAllZeroFallsBack)
+{
+    Rng rng(41);
+    EXPECT_EQ(rng.nextWeighted({0.0, 0.0}), 0u);
+}
+
+TEST(Rng, SplitStreamsAreIndependent)
+{
+    Rng parent(55);
+    Rng child = parent.split();
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += parent.next64() == child.next64();
+    EXPECT_EQ(equal, 0);
+}
+
+TEST(Zipf, RankZeroMostLikely)
+{
+    Rng rng(61);
+    ZipfSampler zipf(100, 1.0);
+    std::vector<int> counts(100, 0);
+    for (int i = 0; i < 50'000; ++i)
+        ++counts[zipf.sample(rng)];
+    EXPECT_GT(counts[0], counts[10]);
+    EXPECT_GT(counts[10], counts[99]);
+}
+
+TEST(Zipf, UniformWhenExponentZero)
+{
+    Rng rng(67);
+    ZipfSampler zipf(10, 0.0);
+    std::vector<int> counts(10, 0);
+    const int n = 100'000;
+    for (int i = 0; i < n; ++i)
+        ++counts[zipf.sample(rng)];
+    for (int c : counts)
+        EXPECT_NEAR(static_cast<double>(c) / n, 0.1, 0.01);
+}
+
+TEST(Zipf, OffsetFlattensHead)
+{
+    Rng rng1(71), rng2(71);
+    ZipfSampler sharp(1000, 1.5, 0.0);
+    ZipfSampler flat(1000, 1.5, 20.0);
+    int sharp_head = 0, flat_head = 0;
+    for (int i = 0; i < 20'000; ++i) {
+        sharp_head += sharp.sample(rng1) == 0;
+        flat_head += flat.sample(rng2) == 0;
+    }
+    EXPECT_GT(sharp_head, 2 * flat_head);
+}
+
+TEST(Zipf, SingleRank)
+{
+    Rng rng(73);
+    ZipfSampler zipf(1, 1.2);
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(zipf.sample(rng), 0u);
+}
+
+/** Property sweep: bounded sampling stays in range for many sizes. */
+class ZipfRangeTest : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(ZipfRangeTest, SamplesInRange)
+{
+    const std::size_t n = GetParam();
+    Rng rng(83 + n);
+    ZipfSampler zipf(n, 1.3, 5.0);
+    for (int i = 0; i < 500; ++i)
+        EXPECT_LT(zipf.sample(rng), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ZipfRangeTest,
+                         ::testing::Values(1, 2, 3, 10, 100, 1000, 4096));
+
+} // namespace
+} // namespace bpsim

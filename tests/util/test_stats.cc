@@ -1,0 +1,122 @@
+/** @file Tests for the summary-statistics helpers. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.hh"
+#include "util/stats.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.min(), 0.0);
+    EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStat, SingleValue)
+{
+    RunningStat s;
+    s.push(5.0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_EQ(s.mean(), 5.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.min(), 5.0);
+    EXPECT_EQ(s.max(), 5.0);
+    EXPECT_EQ(s.sum(), 5.0);
+}
+
+TEST(RunningStat, KnownSequence)
+{
+    RunningStat s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.push(v);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    // Sample variance with n-1 denominator: 32/7.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+    EXPECT_EQ(s.min(), 2.0);
+    EXPECT_EQ(s.max(), 9.0);
+    EXPECT_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, MatchesDirectComputation)
+{
+    Rng rng(11);
+    RunningStat s;
+    std::vector<double> values;
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.nextDouble() * 100.0 - 50.0;
+        values.push_back(v);
+        s.push(v);
+    }
+    double direct_mean = 0.0;
+    for (double v : values)
+        direct_mean += v;
+    direct_mean /= static_cast<double>(values.size());
+    double direct_var = 0.0;
+    for (double v : values)
+        direct_var += (v - direct_mean) * (v - direct_mean);
+    direct_var /= static_cast<double>(values.size() - 1);
+    EXPECT_NEAR(s.mean(), direct_mean, 1e-9);
+    EXPECT_NEAR(s.variance(), direct_var, 1e-7);
+}
+
+TEST(Mean, Basics)
+{
+    EXPECT_EQ(mean({}), 0.0);
+    EXPECT_EQ(mean({3.0}), 3.0);
+    EXPECT_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(Geomean, Basics)
+{
+    EXPECT_EQ(geomean({}), 0.0);
+    EXPECT_NEAR(geomean({4.0}), 4.0, 1e-12);
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 8.0, 4.0}), 4.0, 1e-12);
+}
+
+TEST(Geomean, ZeroDoesNotCollapseToZero)
+{
+    // Clamped to a tiny epsilon instead of log(0).
+    EXPECT_GT(geomean({0.0, 100.0}), 0.0);
+}
+
+TEST(Geomean, LeqArithmeticMean)
+{
+    Rng rng(13);
+    for (int trial = 0; trial < 50; ++trial) {
+        std::vector<double> values;
+        for (int i = 0; i < 10; ++i)
+            values.push_back(0.5 + rng.nextDouble() * 10.0);
+        EXPECT_LE(geomean(values), mean(values) + 1e-9);
+    }
+}
+
+TEST(Percent, Basics)
+{
+    EXPECT_EQ(percent(0, 0), 0.0);
+    EXPECT_EQ(percent(5, 0), 0.0);
+    EXPECT_EQ(percent(1, 4), 25.0);
+    EXPECT_EQ(percent(4, 4), 100.0);
+}
+
+TEST(RelativeChange, Basics)
+{
+    EXPECT_EQ(relativeChangePercent(0.0, 5.0), 0.0);
+    EXPECT_EQ(relativeChangePercent(10.0, 15.0), 50.0);
+    EXPECT_EQ(relativeChangePercent(10.0, 5.0), -50.0);
+}
+
+} // namespace
+} // namespace bpsim

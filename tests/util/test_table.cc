@@ -1,0 +1,102 @@
+/** @file Tests for the text table / CSV formatter. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/table.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable t;
+    t.setColumns({"name", "value"});
+    t.addRow({"a", "1"});
+    t.addRow({"longer", "23"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("name   | value"), std::string::npos) << out;
+    EXPECT_NE(out.find("a      |     1"), std::string::npos) << out;
+    EXPECT_NE(out.find("longer |    23"), std::string::npos) << out;
+}
+
+TEST(TextTable, RowCountExcludesRules)
+{
+    TextTable t;
+    t.setColumns({"x"});
+    t.addRow({"1"});
+    t.addRule();
+    t.addRow({"2"});
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(TextTable, CsvOutput)
+{
+    TextTable t;
+    t.setColumns({"bench", "misp"});
+    t.addRow({"gcc", "9.72"});
+    t.addRule();
+    t.addRow({"go", "18.10"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "bench,misp\ngcc,9.72\ngo,18.10\n");
+}
+
+TEST(TextTable, CustomAlignment)
+{
+    TextTable t;
+    t.setColumns({"l", "r"});
+    t.setAlignment({Align::Right, Align::Left});
+    t.addRow({"a", "b"});
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("a | b"), std::string::npos);
+}
+
+TEST(TextTable, FixedFormatting)
+{
+    EXPECT_EQ(TextTable::fixed(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::fixed(3.0, 0), "3");
+    EXPECT_EQ(TextTable::fixed(-1.005, 1), "-1.0");
+    EXPECT_EQ(TextTable::fixed(0.125, 3), "0.125");
+}
+
+TEST(TextTable, GroupedFormatting)
+{
+    EXPECT_EQ(TextTable::grouped(0), "0");
+    EXPECT_EQ(TextTable::grouped(999), "999");
+    EXPECT_EQ(TextTable::grouped(1000), "1,000");
+    EXPECT_EQ(TextTable::grouped(26'520'618), "26,520,618");
+    EXPECT_EQ(TextTable::grouped(1'000'000'000ULL), "1,000,000,000");
+}
+
+TEST(CsvEscape, PlainFieldUnchanged)
+{
+    EXPECT_EQ(csvEscape("hello"), "hello");
+    EXPECT_EQ(csvEscape("a b"), "a b");
+}
+
+TEST(CsvEscape, QuotesSpecials)
+{
+    EXPECT_EQ(csvEscape("a,b"), "\"a,b\"");
+    EXPECT_EQ(csvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    EXPECT_EQ(csvEscape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(TextTable, EmptyTablePrintsHeaderOnly)
+{
+    TextTable t;
+    t.setColumns({"only"});
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("only"), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 0u);
+}
+
+} // namespace
+} // namespace bpsim

@@ -1,0 +1,260 @@
+/** @file Tests for the branch behaviour models. */
+
+#include <gtest/gtest.h>
+
+#include "util/random.hh"
+#include "workload/behavior.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+BehaviorContext
+makeContext(Rng &rng, std::uint64_t global = 0, std::uint64_t local = 0)
+{
+    BehaviorContext ctx;
+    ctx.rng = &rng;
+    ctx.globalHistory = global;
+    ctx.localHistory = local;
+    return ctx;
+}
+
+TEST(BiasedBehavior, FrequencyMatchesProbability)
+{
+    Rng rng(1);
+    BiasedBehavior behavior(0.8);
+    auto ctx = makeContext(rng);
+    int taken = 0;
+    const int n = 20'000;
+    for (int i = 0; i < n; ++i)
+        taken += behavior.nextOutcome(ctx);
+    EXPECT_NEAR(static_cast<double>(taken) / n, 0.8, 0.02);
+}
+
+TEST(BiasedBehavior, DegenerateProbabilities)
+{
+    Rng rng(2);
+    BiasedBehavior always(1.0), never(0.0);
+    auto ctx = makeContext(rng);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_TRUE(always.nextOutcome(ctx));
+        EXPECT_FALSE(never.nextOutcome(ctx));
+    }
+}
+
+TEST(LoopBehavior, DeterministicTripCount)
+{
+    Rng rng(3);
+    LoopBehavior loop(5.0, true);
+    auto ctx = makeContext(rng);
+    // Each entry: 4 taken iterations then one not-taken exit.
+    for (int entry = 0; entry < 10; ++entry) {
+        for (int i = 0; i < 4; ++i)
+            EXPECT_TRUE(loop.nextOutcome(ctx)) << "entry " << entry;
+        EXPECT_FALSE(loop.nextOutcome(ctx)) << "entry " << entry;
+    }
+}
+
+TEST(LoopBehavior, TripOfOneNeverTakes)
+{
+    Rng rng(4);
+    LoopBehavior loop(1.0, true);
+    auto ctx = makeContext(rng);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_FALSE(loop.nextOutcome(ctx));
+}
+
+TEST(LoopBehavior, RandomTripsAverageOut)
+{
+    Rng rng(5);
+    LoopBehavior loop(8.0, false);
+    auto ctx = makeContext(rng);
+    // Count iterations per entry over many entries.
+    std::uint64_t iterations = 0, entries = 0;
+    for (int i = 0; i < 200'000; ++i) {
+        ++iterations;
+        if (!loop.nextOutcome(ctx))
+            ++entries;
+    }
+    const double mean_trips =
+        static_cast<double>(iterations) / static_cast<double>(entries);
+    EXPECT_NEAR(mean_trips, 8.0, 0.5);
+}
+
+TEST(LoopBehavior, ResetRearms)
+{
+    Rng rng(6);
+    LoopBehavior loop(3.0, true);
+    auto ctx = makeContext(rng);
+    EXPECT_TRUE(loop.nextOutcome(ctx));
+    loop.reset();
+    // After reset the trip count restarts.
+    EXPECT_TRUE(loop.nextOutcome(ctx));
+    EXPECT_TRUE(loop.nextOutcome(ctx));
+    EXPECT_FALSE(loop.nextOutcome(ctx));
+}
+
+TEST(PatternBehavior, CyclesExactly)
+{
+    Rng rng(7);
+    PatternBehavior pattern({true, true, false});
+    auto ctx = makeContext(rng);
+    for (int cycle = 0; cycle < 5; ++cycle) {
+        EXPECT_TRUE(pattern.nextOutcome(ctx));
+        EXPECT_TRUE(pattern.nextOutcome(ctx));
+        EXPECT_FALSE(pattern.nextOutcome(ctx));
+    }
+}
+
+TEST(PatternBehavior, ResetRestartsCycle)
+{
+    Rng rng(8);
+    PatternBehavior pattern({true, false});
+    auto ctx = makeContext(rng);
+    pattern.nextOutcome(ctx);
+    pattern.reset();
+    EXPECT_TRUE(pattern.nextOutcome(ctx));
+}
+
+TEST(GlobalCorrelated, DeterministicWithoutNoise)
+{
+    Rng rng(9);
+    GlobalCorrelatedBehavior behavior(4, 0.0, 42);
+    auto ctx = makeContext(rng);
+    // Same history -> same outcome, every time.
+    for (std::uint64_t history = 0; history < 16; ++history) {
+        ctx.globalHistory = history;
+        const bool first = behavior.nextOutcome(ctx);
+        for (int i = 0; i < 5; ++i)
+            EXPECT_EQ(behavior.nextOutcome(ctx), first)
+                << "history " << history;
+    }
+}
+
+TEST(GlobalCorrelated, FunctionIsNonConstant)
+{
+    Rng rng(10);
+    GlobalCorrelatedBehavior behavior(4, 0.0, 43);
+    auto ctx = makeContext(rng);
+    bool saw_taken = false, saw_not = false;
+    for (std::uint64_t history = 0; history < 16; ++history) {
+        ctx.globalHistory = history;
+        (behavior.nextOutcome(ctx) ? saw_taken : saw_not) = true;
+    }
+    EXPECT_TRUE(saw_taken);
+    EXPECT_TRUE(saw_not);
+}
+
+TEST(GlobalCorrelated, SameSeedSameFunction)
+{
+    Rng rng(11);
+    GlobalCorrelatedBehavior a(5, 0.0, 99), b(5, 0.0, 99);
+    auto ctx = makeContext(rng);
+    for (std::uint64_t history = 0; history < 32; ++history) {
+        ctx.globalHistory = history;
+        EXPECT_EQ(a.nextOutcome(ctx), b.nextOutcome(ctx));
+    }
+}
+
+TEST(GlobalCorrelated, NoiseFlipsOccasionally)
+{
+    Rng rng(12);
+    GlobalCorrelatedBehavior behavior(3, 0.2, 44);
+    auto ctx = makeContext(rng);
+    ctx.globalHistory = 5;
+    const bool base = [&] {
+        GlobalCorrelatedBehavior clean(3, 0.0, 44);
+        return clean.nextOutcome(ctx);
+    }();
+    int flips = 0;
+    const int n = 10'000;
+    for (int i = 0; i < n; ++i)
+        flips += behavior.nextOutcome(ctx) != base;
+    EXPECT_NEAR(static_cast<double>(flips) / n, 0.2, 0.03);
+}
+
+TEST(LocalCorrelated, ReadsLocalNotGlobal)
+{
+    Rng rng(13);
+    LocalCorrelatedBehavior behavior(4, 0.0, 45);
+    auto ctx = makeContext(rng);
+    ctx.localHistory = 7;
+    const bool with_local7 = behavior.nextOutcome(ctx);
+    // Changing global history must not change the outcome.
+    ctx.globalHistory = ~std::uint64_t{0};
+    EXPECT_EQ(behavior.nextOutcome(ctx), with_local7);
+}
+
+TEST(PhaseModal, FlipsBiasAcrossPhases)
+{
+    Rng rng(14);
+    PhaseModalBehavior behavior(0.98, 0.02, 500.0);
+    auto ctx = makeContext(rng);
+    // Long run: overall taken fraction near 50% even though each
+    // phase is strongly biased.
+    int taken = 0;
+    const int n = 100'000;
+    for (int i = 0; i < n; ++i)
+        taken += behavior.nextOutcome(ctx);
+    const double fraction = static_cast<double>(taken) / n;
+    EXPECT_GT(fraction, 0.3);
+    EXPECT_LT(fraction, 0.7);
+
+    // Local windows are strongly biased: measure per-100 windows.
+    behavior.reset();
+    int extreme_windows = 0, windows = 0;
+    for (int w = 0; w < 500; ++w) {
+        int window_taken = 0;
+        for (int i = 0; i < 100; ++i)
+            window_taken += behavior.nextOutcome(ctx);
+        ++windows;
+        extreme_windows += window_taken <= 15 || window_taken >= 85;
+    }
+    EXPECT_GT(extreme_windows, windows * 3 / 4)
+        << "most windows must sit deep in one phase";
+}
+
+TEST(PhaseModal, ResetRestartsInPhaseA)
+{
+    Rng rng(15);
+    PhaseModalBehavior behavior(1.0, 0.0, 1'000'000.0);
+    auto ctx = makeContext(rng);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_TRUE(behavior.nextOutcome(ctx));
+    behavior.reset();
+    for (int i = 0; i < 100; ++i)
+        EXPECT_TRUE(behavior.nextOutcome(ctx));
+}
+
+TEST(Behaviors, DescribeIsNonEmpty)
+{
+    Rng rng(16);
+    std::vector<BehaviorPtr> behaviors;
+    behaviors.push_back(std::make_unique<BiasedBehavior>(0.5));
+    behaviors.push_back(std::make_unique<LoopBehavior>(4.0, true));
+    behaviors.push_back(
+        std::make_unique<PatternBehavior>(std::vector<bool>{true, false}));
+    behaviors.push_back(
+        std::make_unique<GlobalCorrelatedBehavior>(4, 0.1, 1));
+    behaviors.push_back(
+        std::make_unique<LocalCorrelatedBehavior>(4, 0.1, 2));
+    behaviors.push_back(
+        std::make_unique<PhaseModalBehavior>(0.9, 0.1, 100.0));
+    for (const auto &behavior : behaviors)
+        EXPECT_FALSE(behavior->describe().empty());
+}
+
+TEST(BehaviorsDeath, EmptyPatternPanics)
+{
+    EXPECT_DEATH(PatternBehavior(std::vector<bool>{}), "non-empty");
+}
+
+TEST(BehaviorsDeath, BadCorrelationDepthPanics)
+{
+    EXPECT_DEATH(GlobalCorrelatedBehavior(0, 0.0, 1), "out of range");
+    EXPECT_DEATH(GlobalCorrelatedBehavior(17, 0.0, 1), "out of range");
+}
+
+} // namespace
+} // namespace bpsim

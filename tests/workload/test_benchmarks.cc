@@ -1,0 +1,117 @@
+/** @file Tests for the built-in benchmark suite (Table 2 mirrors). */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "workload/benchmarks.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+TEST(Benchmarks, SuiteSizesMatchPaper)
+{
+    EXPECT_EQ(specCint95Benchmarks().size(), 6u);
+    EXPECT_EQ(ibsBenchmarks().size(), 8u);
+    EXPECT_EQ(allBenchmarks().size(), 14u);
+}
+
+TEST(Benchmarks, NamesMatchTable2)
+{
+    const std::set<std::string> expected = {
+        "compress", "gcc", "go", "xlisp", "perl", "vortex",
+        "groff", "gs", "mpeg_play", "nroff", "real_gcc", "sdet",
+        "verilog", "video_play"};
+    std::set<std::string> actual;
+    for (const auto &spec : allBenchmarks())
+        actual.insert(spec.name);
+    EXPECT_EQ(actual, expected);
+}
+
+TEST(Benchmarks, StaticCountsMatchTable2)
+{
+    // The paper's Table 2 static conditional branch counts.
+    const std::map<std::string, std::uint64_t> expected = {
+        {"compress", 482}, {"gcc", 16'035}, {"go", 5'112},
+        {"xlisp", 636}, {"perl", 1'974}, {"vortex", 6'599},
+        {"groff", 6'333}, {"gs", 12'852}, {"mpeg_play", 5'598},
+        {"nroff", 5'249}, {"real_gcc", 17'361}, {"sdet", 5'310},
+        {"verilog", 4'636}, {"video_play", 4'606}};
+    for (const auto &spec : allBenchmarks()) {
+        ASSERT_TRUE(expected.count(spec.name)) << spec.name;
+        EXPECT_EQ(spec.staticBranches, expected.at(spec.name))
+            << spec.name;
+        EXPECT_EQ(paperStaticCount(spec.name), expected.at(spec.name));
+    }
+}
+
+TEST(Benchmarks, DynamicCountsAreScaledFromTable2)
+{
+    for (const auto &spec : allBenchmarks()) {
+        const std::uint64_t paper = paperDynamicCount(spec.name);
+        EXPECT_LE(spec.dynamicBranches, paper / 10) << spec.name;
+        EXPECT_LE(spec.dynamicBranches, 2'500'000u) << spec.name;
+        EXPECT_GE(spec.dynamicBranches, 400'000u) << spec.name;
+    }
+}
+
+TEST(Benchmarks, SuitesAreLabelled)
+{
+    for (const auto &spec : specCint95Benchmarks())
+        EXPECT_EQ(spec.suite, "SPEC CINT95") << spec.name;
+    for (const auto &spec : ibsBenchmarks())
+        EXPECT_EQ(spec.suite, "IBS-Ultrix") << spec.name;
+}
+
+TEST(Benchmarks, SeedsAreDistinct)
+{
+    std::set<std::uint64_t> seeds;
+    for (const auto &spec : allBenchmarks())
+        EXPECT_TRUE(seeds.insert(spec.seed).second)
+            << "duplicate seed in " << spec.name;
+}
+
+TEST(Benchmarks, FindByName)
+{
+    const auto gcc = findBenchmark("gcc");
+    ASSERT_TRUE(gcc.has_value());
+    EXPECT_EQ(gcc->name, "gcc");
+    EXPECT_FALSE(findBenchmark("doom").has_value());
+}
+
+TEST(Benchmarks, GoIsWeaklyBiasedHeavy)
+{
+    // Section 4.4: go's WB class dominates. Its weak share must be
+    // the largest in the suite.
+    const auto go = findBenchmark("go");
+    ASSERT_TRUE(go.has_value());
+    for (const auto &spec : allBenchmarks()) {
+        if (spec.name != "go") {
+            EXPECT_GT(go->mix.weaklyBiased, spec.mix.weaklyBiased)
+                << spec.name;
+        }
+    }
+}
+
+TEST(Benchmarks, DeepHistoryExceptionsConfigured)
+{
+    // compress and xlisp carry the deepest correlation structure
+    // (the gshare.1PHT exception benchmarks).
+    for (const char *name : {"compress", "xlisp"}) {
+        const auto spec = findBenchmark(name);
+        ASSERT_TRUE(spec.has_value());
+        EXPECT_GE(spec->params.corrDepthHi, 12u) << name;
+    }
+}
+
+TEST(BenchmarksDeath, UnknownPaperCountIsFatal)
+{
+    EXPECT_EXIT(paperDynamicCount("doom"), ::testing::ExitedWithCode(1),
+                "unknown benchmark");
+}
+
+} // namespace
+} // namespace bpsim

@@ -1,0 +1,169 @@
+/** @file Tests for trace generation. */
+
+#include <gtest/gtest.h>
+
+#include "trace/trace_stats.hh"
+#include "workload/generator.hh"
+#include "workload/program_builder.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+WorkloadSpec
+smallSpec()
+{
+    WorkloadSpec spec;
+    spec.name = "gen-test";
+    spec.suite = "test";
+    spec.staticBranches = 400;
+    spec.dynamicBranches = 60'000;
+    spec.seed = 21;
+    return spec;
+}
+
+TEST(Generator, ProducesRequestedCount)
+{
+    const MemoryTrace trace = generateWorkloadTrace(smallSpec());
+    EXPECT_EQ(trace.size(), 60'000u);
+}
+
+TEST(Generator, AllRecordsAreConditional)
+{
+    const MemoryTrace trace = generateWorkloadTrace(smallSpec());
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        EXPECT_TRUE(trace[i].isConditional());
+}
+
+TEST(Generator, DeterministicForSameSeed)
+{
+    const MemoryTrace a = generateWorkloadTrace(smallSpec());
+    const MemoryTrace b = generateWorkloadTrace(smallSpec());
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        ASSERT_EQ(a[i], b[i]) << "record " << i;
+}
+
+TEST(Generator, DifferentSeedsProduceDifferentTraces)
+{
+    WorkloadSpec other = smallSpec();
+    other.seed = 22;
+    const MemoryTrace a = generateWorkloadTrace(smallSpec());
+    const MemoryTrace b = generateWorkloadTrace(other);
+    std::size_t differing = 0;
+    for (std::size_t i = 0; i < std::min(a.size(), b.size()); ++i)
+        differing += !(a[i] == b[i]);
+    EXPECT_GT(differing, a.size() / 10);
+}
+
+TEST(Generator, PcsComeFromTheProgram)
+{
+    WorkloadSpec spec = smallSpec();
+    Program program = buildProgram(spec);
+    std::set<std::uint64_t> valid_pcs;
+    for (std::size_t r = 0; r < program.routineCount(); ++r) {
+        for (const BranchSite &site : program.routine(r).sites)
+            valid_pcs.insert(site.pc);
+    }
+    TraceGenerator generator(program, spec);
+    MemoryTrace trace;
+    generator.generate(5000, trace);
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        EXPECT_TRUE(valid_pcs.count(trace[i].pc))
+            << "pc 0x" << std::hex << trace[i].pc;
+}
+
+TEST(Generator, ColdSweepTouchesMostSites)
+{
+    const MemoryTrace trace = generateWorkloadTrace(smallSpec());
+    TraceStats stats;
+    auto reader = trace.reader();
+    stats.observeAll(reader);
+    // The cold sweep plus steady state must execute nearly the whole
+    // static population (a few diamond arms may stay unexecuted).
+    EXPECT_GE(stats.staticConditional(), 380u);
+    EXPECT_LE(stats.staticConditional(), 400u);
+}
+
+TEST(Generator, TakenFractionIsPlausible)
+{
+    const MemoryTrace trace = generateWorkloadTrace(smallSpec());
+    TraceStats stats;
+    auto reader = trace.reader();
+    stats.observeAll(reader);
+    // Integer code runs 55-75% taken.
+    EXPECT_GT(stats.takenFraction(), 0.4);
+    EXPECT_LT(stats.takenFraction(), 0.85);
+}
+
+TEST(Generator, RestartReproducesTrace)
+{
+    WorkloadSpec spec = smallSpec();
+    Program program = buildProgram(spec);
+    TraceGenerator generator(program, spec);
+    MemoryTrace first;
+    generator.generate(10'000, first);
+    generator.restart();
+    MemoryTrace second;
+    generator.generate(10'000, second);
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t i = 0; i < first.size(); ++i)
+        ASSERT_EQ(first[i], second[i]) << "record " << i;
+}
+
+TEST(Generator, HotSetIsConcentrated)
+{
+    const MemoryTrace trace = generateWorkloadTrace(smallSpec());
+    TraceStats stats;
+    auto reader = trace.reader();
+    stats.observeAll(reader);
+    const auto branches = stats.perBranch();
+    // Top 20% of sites must carry most of the traffic.
+    std::uint64_t top = 0, total = 0;
+    for (std::size_t i = 0; i < branches.size(); ++i) {
+        if (i < branches.size() / 5)
+            top += branches[i].executions;
+        total += branches[i].executions;
+    }
+    EXPECT_GT(static_cast<double>(top) / static_cast<double>(total), 0.5);
+}
+
+TEST(Generator, LoopSitesEmitRuns)
+{
+    // An all-deterministic-loop workload: the trace must consist of
+    // taken-runs terminated by single not-taken exits.
+    WorkloadSpec spec = smallSpec();
+    spec.mix = BehaviorMix{};
+    spec.mix.stronglyBiased = 0;
+    spec.mix.loop = 1.0;
+    spec.mix.globalCorrelated = 0;
+    spec.mix.localCorrelated = 0;
+    spec.mix.pattern = 0;
+    spec.mix.phaseModal = 0;
+    spec.mix.weaklyBiased = 0;
+    spec.params.loopDeterministicShare = 1.0;
+    spec.params.loopTripLo = 4.0;
+    spec.params.loopTripHi = 4.0;
+    const MemoryTrace trace = generateWorkloadTrace(spec);
+    // Every consecutive same-pc run must be 'taken...taken,not-taken'.
+    std::size_t i = 0;
+    while (i < trace.size()) {
+        const std::uint64_t pc = trace[i].pc;
+        std::size_t run_length = 0;
+        bool saw_exit = false;
+        while (i < trace.size() && trace[i].pc == pc) {
+            saw_exit = !trace[i].taken;
+            ++run_length;
+            ++i;
+            if (saw_exit)
+                break;
+        }
+        if (i < trace.size() && run_length > 0 && saw_exit) {
+            EXPECT_LE(run_length, 4u) << "trip count is 4";
+        }
+    }
+}
+
+} // namespace
+} // namespace bpsim

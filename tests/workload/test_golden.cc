@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Golden regression pins for workload determinism.
+ *
+ * The entire experimental record (EXPERIMENTS.md) rests on the
+ * workloads being bit-reproducible; these tests freeze an FNV-1a
+ * hash of the first 100k records of four benchmarks. A change here
+ * means every recorded number in EXPERIMENTS.md is stale — either
+ * revert the behaviour change or regenerate the document.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/codec.hh"
+#include "workload/benchmarks.hh"
+#include "workload/generator.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+std::uint64_t
+hashTrace(const MemoryTrace &trace, std::size_t n)
+{
+    Fnv1a hash;
+    for (std::size_t i = 0; i < std::min(n, trace.size()); ++i) {
+        const BranchRecord &record = trace[i];
+        std::uint8_t buffer[18];
+        for (int b = 0; b < 8; ++b)
+            buffer[b] =
+                static_cast<std::uint8_t>(record.pc >> (8 * b));
+        for (int b = 0; b < 8; ++b)
+            buffer[8 + b] =
+                static_cast<std::uint8_t>(record.target >> (8 * b));
+        buffer[16] = static_cast<std::uint8_t>(record.type);
+        buffer[17] = record.taken ? 1 : 0;
+        hash.update(buffer, sizeof(buffer));
+    }
+    return hash.digest();
+}
+
+std::uint64_t
+benchmarkHash(const std::string &name)
+{
+    auto spec = findBenchmark(name);
+    EXPECT_TRUE(spec.has_value());
+    spec->dynamicBranches = 100'000;
+    const MemoryTrace trace = generateWorkloadTrace(*spec);
+    return hashTrace(trace, 100'000);
+}
+
+TEST(GoldenTraces, Gcc)
+{
+    EXPECT_EQ(benchmarkHash("gcc"), 0xdcd5deb081652d96ULL);
+}
+
+TEST(GoldenTraces, Compress)
+{
+    EXPECT_EQ(benchmarkHash("compress"), 0x8834ea59184a242fULL);
+}
+
+TEST(GoldenTraces, Go)
+{
+    EXPECT_EQ(benchmarkHash("go"), 0xd181c47229f9338aULL);
+}
+
+TEST(GoldenTraces, Vortex)
+{
+    EXPECT_EQ(benchmarkHash("vortex"), 0x188c4a3099709a5fULL);
+}
+
+} // namespace
+} // namespace bpsim

@@ -1,0 +1,174 @@
+/** @file Tests for synthetic program construction. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/program_builder.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+WorkloadSpec
+smallSpec()
+{
+    WorkloadSpec spec;
+    spec.name = "test";
+    spec.suite = "test";
+    spec.staticBranches = 500;
+    spec.dynamicBranches = 10'000;
+    spec.seed = 7;
+    return spec;
+}
+
+TEST(ProgramBuilder, BuildsRequestedSiteCount)
+{
+    const Program program = buildProgram(smallSpec());
+    EXPECT_EQ(program.siteCount(), 500u);
+}
+
+TEST(ProgramBuilder, ExactCountForAwkwardSizes)
+{
+    for (std::uint64_t n : {1ULL, 2ULL, 3ULL, 17ULL, 1001ULL}) {
+        WorkloadSpec spec = smallSpec();
+        spec.staticBranches = n;
+        EXPECT_EQ(buildProgram(spec).siteCount(), n) << "n=" << n;
+    }
+}
+
+TEST(ProgramBuilder, PcsAreUniqueAndAligned)
+{
+    const Program program = buildProgram(smallSpec());
+    std::set<std::uint64_t> pcs;
+    for (std::size_t r = 0; r < program.routineCount(); ++r) {
+        for (const BranchSite &site : program.routine(r).sites) {
+            EXPECT_EQ(site.pc % 4, 0u);
+            EXPECT_TRUE(pcs.insert(site.pc).second)
+                << "duplicate pc 0x" << std::hex << site.pc;
+        }
+    }
+}
+
+TEST(ProgramBuilder, PcsAreMonotoneWithinCodeRegion)
+{
+    WorkloadSpec spec = smallSpec();
+    const Program program = buildProgram(spec);
+    std::uint64_t previous = 0;
+    for (std::size_t r = 0; r < program.routineCount(); ++r) {
+        for (const BranchSite &site : program.routine(r).sites) {
+            EXPECT_GT(site.pc, previous);
+            EXPECT_GT(site.pc, spec.codeBase);
+            previous = site.pc;
+        }
+    }
+}
+
+TEST(ProgramBuilder, LoopsHaveBackwardTargets)
+{
+    const Program program = buildProgram(smallSpec());
+    int loops = 0;
+    for (std::size_t r = 0; r < program.routineCount(); ++r) {
+        for (const BranchSite &site : program.routine(r).sites) {
+            if (site.isLoop) {
+                ++loops;
+                EXPECT_LT(site.takenTarget, site.pc);
+            } else {
+                EXPECT_GT(site.takenTarget, site.pc);
+            }
+        }
+    }
+    EXPECT_GT(loops, 0) << "default mix must produce loops";
+}
+
+TEST(ProgramBuilder, EverySiteHasBehavior)
+{
+    const Program program = buildProgram(smallSpec());
+    for (std::size_t r = 0; r < program.routineCount(); ++r) {
+        for (const BranchSite &site : program.routine(r).sites)
+            ASSERT_NE(site.behavior, nullptr);
+    }
+}
+
+TEST(ProgramBuilder, RoutineSizesAreReasonable)
+{
+    WorkloadSpec spec = smallSpec();
+    spec.staticBranches = 5000;
+    const Program program = buildProgram(spec);
+    EXPECT_GT(program.routineCount(), 5000u / 30);
+    for (std::size_t r = 0; r < program.routineCount(); ++r)
+        EXPECT_GE(program.routine(r).sites.size(), 1u);
+}
+
+TEST(ProgramBuilder, DeterministicForSameSeed)
+{
+    const Program a = buildProgram(smallSpec());
+    const Program b = buildProgram(smallSpec());
+    ASSERT_EQ(a.routineCount(), b.routineCount());
+    for (std::size_t r = 0; r < a.routineCount(); ++r) {
+        const auto &ra = a.routine(r), &rb = b.routine(r);
+        ASSERT_EQ(ra.sites.size(), rb.sites.size());
+        for (std::size_t i = 0; i < ra.sites.size(); ++i) {
+            EXPECT_EQ(ra.sites[i].pc, rb.sites[i].pc);
+            EXPECT_EQ(ra.sites[i].isLoop, rb.sites[i].isLoop);
+            EXPECT_EQ(ra.sites[i].behavior->describe(),
+                      rb.sites[i].behavior->describe());
+        }
+    }
+}
+
+TEST(ProgramBuilder, DifferentSeedsDiffer)
+{
+    WorkloadSpec other = smallSpec();
+    other.seed = 8;
+    const Program a = buildProgram(smallSpec());
+    const Program b = buildProgram(other);
+    // At least the first site's behaviour or pc should differ.
+    bool differs = a.routineCount() != b.routineCount();
+    if (!differs) {
+        const auto &sa = a.routine(0).sites[0];
+        const auto &sb = b.routine(0).sites[0];
+        differs = sa.pc != sb.pc ||
+                  sa.behavior->describe() != sb.behavior->describe();
+    }
+    EXPECT_TRUE(differs);
+}
+
+TEST(ProgramBuilder, MixIsRespected)
+{
+    // An all-loop mix must produce only loop sites.
+    WorkloadSpec spec = smallSpec();
+    spec.mix = BehaviorMix{};
+    spec.mix.stronglyBiased = 0;
+    spec.mix.loop = 1.0;
+    spec.mix.globalCorrelated = 0;
+    spec.mix.localCorrelated = 0;
+    spec.mix.pattern = 0;
+    spec.mix.phaseModal = 0;
+    spec.mix.weaklyBiased = 0;
+    const Program program = buildProgram(spec);
+    for (std::size_t r = 0; r < program.routineCount(); ++r) {
+        for (const BranchSite &site : program.routine(r).sites)
+            EXPECT_TRUE(site.isLoop);
+    }
+}
+
+TEST(Program, ResetStateClearsLocalHistory)
+{
+    Program program = buildProgram(smallSpec());
+    program.routine(0).sites[0].localHistory = 0xff;
+    program.resetState();
+    EXPECT_EQ(program.routine(0).sites[0].localHistory, 0u);
+}
+
+TEST(ProgramBuilderDeath, ZeroBranchesIsFatal)
+{
+    WorkloadSpec spec = smallSpec();
+    spec.staticBranches = 0;
+    EXPECT_EXIT(buildProgram(spec), ::testing::ExitedWithCode(1),
+                "at least one static branch");
+}
+
+} // namespace
+} // namespace bpsim

@@ -1,0 +1,151 @@
+/** @file Tests for WorkloadSpec text serialization. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "workload/generator.hh"
+#include "workload/spec_io.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+TEST(SpecIo, ParsesBasicKeys)
+{
+    std::istringstream in(
+        "name = myapp\n"
+        "static_branches = 3000\n"
+        "dynamic_branches = 123456\n"
+        "seed = 0x2a\n"
+        "mix.weakly_biased = 0.4\n"
+        "params.corr_depth_hi = 12\n");
+    const WorkloadSpec spec = parseWorkloadSpec(in);
+    EXPECT_EQ(spec.name, "myapp");
+    EXPECT_EQ(spec.staticBranches, 3000u);
+    EXPECT_EQ(spec.dynamicBranches, 123456u);
+    EXPECT_EQ(spec.seed, 42u);
+    EXPECT_DOUBLE_EQ(spec.mix.weaklyBiased, 0.4);
+    EXPECT_EQ(spec.params.corrDepthHi, 12u);
+}
+
+TEST(SpecIo, UnsetKeysKeepDefaults)
+{
+    std::istringstream in("name = x\n");
+    const WorkloadSpec spec = parseWorkloadSpec(in);
+    const WorkloadSpec defaults;
+    EXPECT_EQ(spec.staticBranches, defaults.staticBranches);
+    EXPECT_DOUBLE_EQ(spec.zipfExponent, defaults.zipfExponent);
+    EXPECT_DOUBLE_EQ(spec.mix.loop, defaults.mix.loop);
+}
+
+TEST(SpecIo, CommentsAndBlanksIgnored)
+{
+    std::istringstream in(
+        "# full-line comment\n"
+        "\n"
+        "   \n"
+        "seed = 7   # trailing comment\n");
+    EXPECT_EQ(parseWorkloadSpec(in).seed, 7u);
+}
+
+TEST(SpecIo, RoundTripThroughText)
+{
+    WorkloadSpec original;
+    original.name = "roundtrip";
+    original.suite = "custom";
+    original.staticBranches = 777;
+    original.dynamicBranches = 98'765;
+    original.seed = 0xdeadbeef;
+    original.zipfExponent = 1.75;
+    original.mix.stronglyBiased = 0.11;
+    original.mix.weaklyBiased = 0.33;
+    original.params.corrDepthLo = 3;
+    original.params.corrDepthHi = 11;
+    original.params.phaseLength = 12345.0;
+
+    std::ostringstream out;
+    writeWorkloadSpec(out, original);
+    std::istringstream in(out.str());
+    const WorkloadSpec loaded = parseWorkloadSpec(in);
+
+    EXPECT_EQ(loaded.name, original.name);
+    EXPECT_EQ(loaded.suite, original.suite);
+    EXPECT_EQ(loaded.staticBranches, original.staticBranches);
+    EXPECT_EQ(loaded.dynamicBranches, original.dynamicBranches);
+    EXPECT_EQ(loaded.seed, original.seed);
+    EXPECT_DOUBLE_EQ(loaded.zipfExponent, original.zipfExponent);
+    EXPECT_DOUBLE_EQ(loaded.mix.stronglyBiased,
+                     original.mix.stronglyBiased);
+    EXPECT_DOUBLE_EQ(loaded.mix.weaklyBiased,
+                     original.mix.weaklyBiased);
+    EXPECT_EQ(loaded.params.corrDepthLo, original.params.corrDepthLo);
+    EXPECT_EQ(loaded.params.corrDepthHi, original.params.corrDepthHi);
+    EXPECT_DOUBLE_EQ(loaded.params.phaseLength,
+                     original.params.phaseLength);
+}
+
+TEST(SpecIo, RoundTripProducesIdenticalTraces)
+{
+    WorkloadSpec original;
+    original.name = "trace-identical";
+    original.staticBranches = 300;
+    original.dynamicBranches = 20'000;
+    original.seed = 99;
+
+    std::ostringstream out;
+    writeWorkloadSpec(out, original);
+    std::istringstream in(out.str());
+    const WorkloadSpec loaded = parseWorkloadSpec(in);
+
+    const MemoryTrace a = generateWorkloadTrace(original);
+    const MemoryTrace b = generateWorkloadTrace(loaded);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        ASSERT_EQ(a[i], b[i]) << "record " << i;
+}
+
+TEST(SpecIo, FileRoundTrip)
+{
+    const std::string path = ::testing::TempDir() + "spec_io_test.spec";
+    WorkloadSpec original;
+    original.name = "file-test";
+    original.seed = 31337;
+    saveWorkloadSpec(path, original);
+    const WorkloadSpec loaded = loadWorkloadSpec(path);
+    EXPECT_EQ(loaded.name, "file-test");
+    EXPECT_EQ(loaded.seed, 31337u);
+    std::remove(path.c_str());
+}
+
+TEST(SpecIoDeath, UnknownKeyIsFatal)
+{
+    std::istringstream in("bogus_key = 1\n");
+    EXPECT_EXIT(parseWorkloadSpec(in), ::testing::ExitedWithCode(1),
+                "unknown spec key");
+}
+
+TEST(SpecIoDeath, MissingEqualsIsFatal)
+{
+    std::istringstream in("name myapp\n");
+    EXPECT_EXIT(parseWorkloadSpec(in), ::testing::ExitedWithCode(1),
+                "expected 'key = value'");
+}
+
+TEST(SpecIoDeath, BadNumberIsFatal)
+{
+    std::istringstream in("seed = banana\n");
+    EXPECT_EXIT(parseWorkloadSpec(in), ::testing::ExitedWithCode(1),
+                "not an integer");
+}
+
+TEST(SpecIoDeath, MissingFileIsFatal)
+{
+    EXPECT_EXIT(loadWorkloadSpec("/nonexistent/x.spec"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+} // namespace
+} // namespace bpsim
