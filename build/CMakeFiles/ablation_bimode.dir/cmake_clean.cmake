@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bimode.dir/bench/ablation_bimode.cc.o"
+  "CMakeFiles/ablation_bimode.dir/bench/ablation_bimode.cc.o.d"
+  "bench/ablation_bimode"
+  "bench/ablation_bimode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bimode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

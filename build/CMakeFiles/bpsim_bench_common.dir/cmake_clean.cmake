@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpsim_bench_common.dir/bench/common/bench_common.cc.o"
+  "CMakeFiles/bpsim_bench_common.dir/bench/common/bench_common.cc.o.d"
+  "libbpsim_bench_common.a"
+  "libbpsim_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpsim_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

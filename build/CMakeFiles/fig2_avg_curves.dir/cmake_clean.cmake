@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_avg_curves.dir/bench/fig2_avg_curves.cc.o"
+  "CMakeFiles/fig2_avg_curves.dir/bench/fig2_avg_curves.cc.o.d"
+  "bench/fig2_avg_curves"
+  "bench/fig2_avg_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_avg_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

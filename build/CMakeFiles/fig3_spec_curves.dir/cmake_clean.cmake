@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_spec_curves.dir/bench/fig3_spec_curves.cc.o"
+  "CMakeFiles/fig3_spec_curves.dir/bench/fig3_spec_curves.cc.o.d"
+  "bench/fig3_spec_curves"
+  "bench/fig3_spec_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_spec_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_ibs_curves.dir/bench/fig4_ibs_curves.cc.o"
+  "CMakeFiles/fig4_ibs_curves.dir/bench/fig4_ibs_curves.cc.o.d"
+  "bench/fig4_ibs_curves"
+  "bench/fig4_ibs_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_ibs_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_bias_gshare.dir/bench/fig5_bias_gshare.cc.o"
+  "CMakeFiles/fig5_bias_gshare.dir/bench/fig5_bias_gshare.cc.o.d"
+  "bench/fig5_bias_gshare"
+  "bench/fig5_bias_gshare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_bias_gshare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

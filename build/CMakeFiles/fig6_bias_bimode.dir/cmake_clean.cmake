@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_bias_bimode.dir/bench/fig6_bias_bimode.cc.o"
+  "CMakeFiles/fig6_bias_bimode.dir/bench/fig6_bias_bimode.cc.o.d"
+  "bench/fig6_bias_bimode"
+  "bench/fig6_bias_bimode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_bias_bimode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_breakdown_gcc.dir/bench/fig7_breakdown_gcc.cc.o"
+  "CMakeFiles/fig7_breakdown_gcc.dir/bench/fig7_breakdown_gcc.cc.o.d"
+  "bench/fig7_breakdown_gcc"
+  "bench/fig7_breakdown_gcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_breakdown_gcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_breakdown_go.dir/bench/fig8_breakdown_go.cc.o"
+  "CMakeFiles/fig8_breakdown_go.dir/bench/fig8_breakdown_go.cc.o.d"
+  "bench/fig8_breakdown_go"
+  "bench/fig8_breakdown_go.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_breakdown_go.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

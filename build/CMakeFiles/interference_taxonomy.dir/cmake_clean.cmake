@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interference_taxonomy.dir/bench/interference_taxonomy.cc.o"
+  "CMakeFiles/interference_taxonomy.dir/bench/interference_taxonomy.cc.o.d"
+  "bench/interference_taxonomy"
+  "bench/interference_taxonomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interference_taxonomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

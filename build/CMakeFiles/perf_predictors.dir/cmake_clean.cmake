@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_predictors.dir/bench/perf_predictors.cc.o"
+  "CMakeFiles/perf_predictors.dir/bench/perf_predictors.cc.o.d"
+  "bench/perf_predictors"
+  "bench/perf_predictors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_predictors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

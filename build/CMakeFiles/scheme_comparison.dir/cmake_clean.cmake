@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheme_comparison.dir/bench/scheme_comparison.cc.o"
+  "CMakeFiles/scheme_comparison.dir/bench/scheme_comparison.cc.o.d"
+  "bench/scheme_comparison"
+  "bench/scheme_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheme_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_normalized_counts.dir/bench/table3_normalized_counts.cc.o"
+  "CMakeFiles/table3_normalized_counts.dir/bench/table3_normalized_counts.cc.o.d"
+  "bench/table3_normalized_counts"
+  "bench/table3_normalized_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_normalized_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

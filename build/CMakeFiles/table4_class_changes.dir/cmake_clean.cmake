@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_class_changes.dir/bench/table4_class_changes.cc.o"
+  "CMakeFiles/table4_class_changes.dir/bench/table4_class_changes.cc.o.d"
+  "bench/table4_class_changes"
+  "bench/table4_class_changes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_class_changes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aliasing_demo.dir/aliasing_demo.cpp.o"
+  "CMakeFiles/aliasing_demo.dir/aliasing_demo.cpp.o.d"
+  "aliasing_demo"
+  "aliasing_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aliasing_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

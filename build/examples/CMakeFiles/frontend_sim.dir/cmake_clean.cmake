@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frontend_sim.dir/frontend_sim.cpp.o"
+  "CMakeFiles/frontend_sim.dir/frontend_sim.cpp.o.d"
+  "frontend_sim"
+  "frontend_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frontend_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inspect_workload.dir/inspect_workload.cpp.o"
+  "CMakeFiles/inspect_workload.dir/inspect_workload.cpp.o.d"
+  "inspect_workload"
+  "inspect_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspect_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

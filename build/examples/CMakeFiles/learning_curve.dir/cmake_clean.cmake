@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/learning_curve.dir/learning_curve.cpp.o"
+  "CMakeFiles/learning_curve.dir/learning_curve.cpp.o.d"
+  "learning_curve"
+  "learning_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/learning_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

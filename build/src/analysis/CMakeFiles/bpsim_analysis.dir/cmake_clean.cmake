@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpsim_analysis.dir/bias_analysis.cc.o"
+  "CMakeFiles/bpsim_analysis.dir/bias_analysis.cc.o.d"
+  "CMakeFiles/bpsim_analysis.dir/bias_class.cc.o"
+  "CMakeFiles/bpsim_analysis.dir/bias_class.cc.o.d"
+  "CMakeFiles/bpsim_analysis.dir/counter_profile.cc.o"
+  "CMakeFiles/bpsim_analysis.dir/counter_profile.cc.o.d"
+  "CMakeFiles/bpsim_analysis.dir/interference.cc.o"
+  "CMakeFiles/bpsim_analysis.dir/interference.cc.o.d"
+  "CMakeFiles/bpsim_analysis.dir/stream_tracker.cc.o"
+  "CMakeFiles/bpsim_analysis.dir/stream_tracker.cc.o.d"
+  "libbpsim_analysis.a"
+  "libbpsim_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpsim_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/predictors/agree.cc" "src/predictors/CMakeFiles/bpsim_predictors.dir/agree.cc.o" "gcc" "src/predictors/CMakeFiles/bpsim_predictors.dir/agree.cc.o.d"
+  "/root/repo/src/predictors/bimodal.cc" "src/predictors/CMakeFiles/bpsim_predictors.dir/bimodal.cc.o" "gcc" "src/predictors/CMakeFiles/bpsim_predictors.dir/bimodal.cc.o.d"
+  "/root/repo/src/predictors/btb.cc" "src/predictors/CMakeFiles/bpsim_predictors.dir/btb.cc.o" "gcc" "src/predictors/CMakeFiles/bpsim_predictors.dir/btb.cc.o.d"
+  "/root/repo/src/predictors/filter.cc" "src/predictors/CMakeFiles/bpsim_predictors.dir/filter.cc.o" "gcc" "src/predictors/CMakeFiles/bpsim_predictors.dir/filter.cc.o.d"
+  "/root/repo/src/predictors/gshare.cc" "src/predictors/CMakeFiles/bpsim_predictors.dir/gshare.cc.o" "gcc" "src/predictors/CMakeFiles/bpsim_predictors.dir/gshare.cc.o.d"
+  "/root/repo/src/predictors/gskew.cc" "src/predictors/CMakeFiles/bpsim_predictors.dir/gskew.cc.o" "gcc" "src/predictors/CMakeFiles/bpsim_predictors.dir/gskew.cc.o.d"
+  "/root/repo/src/predictors/perceptron.cc" "src/predictors/CMakeFiles/bpsim_predictors.dir/perceptron.cc.o" "gcc" "src/predictors/CMakeFiles/bpsim_predictors.dir/perceptron.cc.o.d"
+  "/root/repo/src/predictors/ras.cc" "src/predictors/CMakeFiles/bpsim_predictors.dir/ras.cc.o" "gcc" "src/predictors/CMakeFiles/bpsim_predictors.dir/ras.cc.o.d"
+  "/root/repo/src/predictors/static_predictors.cc" "src/predictors/CMakeFiles/bpsim_predictors.dir/static_predictors.cc.o" "gcc" "src/predictors/CMakeFiles/bpsim_predictors.dir/static_predictors.cc.o.d"
+  "/root/repo/src/predictors/tournament.cc" "src/predictors/CMakeFiles/bpsim_predictors.dir/tournament.cc.o" "gcc" "src/predictors/CMakeFiles/bpsim_predictors.dir/tournament.cc.o.d"
+  "/root/repo/src/predictors/twolevel.cc" "src/predictors/CMakeFiles/bpsim_predictors.dir/twolevel.cc.o" "gcc" "src/predictors/CMakeFiles/bpsim_predictors.dir/twolevel.cc.o.d"
+  "/root/repo/src/predictors/yags.cc" "src/predictors/CMakeFiles/bpsim_predictors.dir/yags.cc.o" "gcc" "src/predictors/CMakeFiles/bpsim_predictors.dir/yags.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bpsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

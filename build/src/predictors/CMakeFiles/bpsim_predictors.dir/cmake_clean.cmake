@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpsim_predictors.dir/agree.cc.o"
+  "CMakeFiles/bpsim_predictors.dir/agree.cc.o.d"
+  "CMakeFiles/bpsim_predictors.dir/bimodal.cc.o"
+  "CMakeFiles/bpsim_predictors.dir/bimodal.cc.o.d"
+  "CMakeFiles/bpsim_predictors.dir/btb.cc.o"
+  "CMakeFiles/bpsim_predictors.dir/btb.cc.o.d"
+  "CMakeFiles/bpsim_predictors.dir/filter.cc.o"
+  "CMakeFiles/bpsim_predictors.dir/filter.cc.o.d"
+  "CMakeFiles/bpsim_predictors.dir/gshare.cc.o"
+  "CMakeFiles/bpsim_predictors.dir/gshare.cc.o.d"
+  "CMakeFiles/bpsim_predictors.dir/gskew.cc.o"
+  "CMakeFiles/bpsim_predictors.dir/gskew.cc.o.d"
+  "CMakeFiles/bpsim_predictors.dir/perceptron.cc.o"
+  "CMakeFiles/bpsim_predictors.dir/perceptron.cc.o.d"
+  "CMakeFiles/bpsim_predictors.dir/ras.cc.o"
+  "CMakeFiles/bpsim_predictors.dir/ras.cc.o.d"
+  "CMakeFiles/bpsim_predictors.dir/static_predictors.cc.o"
+  "CMakeFiles/bpsim_predictors.dir/static_predictors.cc.o.d"
+  "CMakeFiles/bpsim_predictors.dir/tournament.cc.o"
+  "CMakeFiles/bpsim_predictors.dir/tournament.cc.o.d"
+  "CMakeFiles/bpsim_predictors.dir/twolevel.cc.o"
+  "CMakeFiles/bpsim_predictors.dir/twolevel.cc.o.d"
+  "CMakeFiles/bpsim_predictors.dir/yags.cc.o"
+  "CMakeFiles/bpsim_predictors.dir/yags.cc.o.d"
+  "libbpsim_predictors.a"
+  "libbpsim_predictors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpsim_predictors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

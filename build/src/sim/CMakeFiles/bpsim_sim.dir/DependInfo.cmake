@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/gshare_sweep.cc" "src/sim/CMakeFiles/bpsim_sim.dir/gshare_sweep.cc.o" "gcc" "src/sim/CMakeFiles/bpsim_sim.dir/gshare_sweep.cc.o.d"
+  "/root/repo/src/sim/interval_stats.cc" "src/sim/CMakeFiles/bpsim_sim.dir/interval_stats.cc.o" "gcc" "src/sim/CMakeFiles/bpsim_sim.dir/interval_stats.cc.o.d"
+  "/root/repo/src/sim/pipeline_model.cc" "src/sim/CMakeFiles/bpsim_sim.dir/pipeline_model.cc.o" "gcc" "src/sim/CMakeFiles/bpsim_sim.dir/pipeline_model.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/sim/CMakeFiles/bpsim_sim.dir/simulator.cc.o" "gcc" "src/sim/CMakeFiles/bpsim_sim.dir/simulator.cc.o.d"
+  "/root/repo/src/sim/size_ladder.cc" "src/sim/CMakeFiles/bpsim_sim.dir/size_ladder.cc.o" "gcc" "src/sim/CMakeFiles/bpsim_sim.dir/size_ladder.cc.o.d"
+  "/root/repo/src/sim/trace_cache.cc" "src/sim/CMakeFiles/bpsim_sim.dir/trace_cache.cc.o" "gcc" "src/sim/CMakeFiles/bpsim_sim.dir/trace_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/predictors/CMakeFiles/bpsim_predictors.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bpsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/bpsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/bpsim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bpsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpsim_sim.dir/gshare_sweep.cc.o"
+  "CMakeFiles/bpsim_sim.dir/gshare_sweep.cc.o.d"
+  "CMakeFiles/bpsim_sim.dir/interval_stats.cc.o"
+  "CMakeFiles/bpsim_sim.dir/interval_stats.cc.o.d"
+  "CMakeFiles/bpsim_sim.dir/pipeline_model.cc.o"
+  "CMakeFiles/bpsim_sim.dir/pipeline_model.cc.o.d"
+  "CMakeFiles/bpsim_sim.dir/simulator.cc.o"
+  "CMakeFiles/bpsim_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/bpsim_sim.dir/size_ladder.cc.o"
+  "CMakeFiles/bpsim_sim.dir/size_ladder.cc.o.d"
+  "CMakeFiles/bpsim_sim.dir/trace_cache.cc.o"
+  "CMakeFiles/bpsim_sim.dir/trace_cache.cc.o.d"
+  "libbpsim_sim.a"
+  "libbpsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

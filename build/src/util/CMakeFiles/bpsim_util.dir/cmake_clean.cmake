@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpsim_util.dir/args.cc.o"
+  "CMakeFiles/bpsim_util.dir/args.cc.o.d"
+  "CMakeFiles/bpsim_util.dir/logging.cc.o"
+  "CMakeFiles/bpsim_util.dir/logging.cc.o.d"
+  "CMakeFiles/bpsim_util.dir/random.cc.o"
+  "CMakeFiles/bpsim_util.dir/random.cc.o.d"
+  "CMakeFiles/bpsim_util.dir/stats.cc.o"
+  "CMakeFiles/bpsim_util.dir/stats.cc.o.d"
+  "CMakeFiles/bpsim_util.dir/table.cc.o"
+  "CMakeFiles/bpsim_util.dir/table.cc.o.d"
+  "libbpsim_util.a"
+  "libbpsim_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpsim_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

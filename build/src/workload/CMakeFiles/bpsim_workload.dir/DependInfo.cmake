@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/behavior.cc" "src/workload/CMakeFiles/bpsim_workload.dir/behavior.cc.o" "gcc" "src/workload/CMakeFiles/bpsim_workload.dir/behavior.cc.o.d"
+  "/root/repo/src/workload/benchmarks.cc" "src/workload/CMakeFiles/bpsim_workload.dir/benchmarks.cc.o" "gcc" "src/workload/CMakeFiles/bpsim_workload.dir/benchmarks.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/workload/CMakeFiles/bpsim_workload.dir/generator.cc.o" "gcc" "src/workload/CMakeFiles/bpsim_workload.dir/generator.cc.o.d"
+  "/root/repo/src/workload/program.cc" "src/workload/CMakeFiles/bpsim_workload.dir/program.cc.o" "gcc" "src/workload/CMakeFiles/bpsim_workload.dir/program.cc.o.d"
+  "/root/repo/src/workload/program_builder.cc" "src/workload/CMakeFiles/bpsim_workload.dir/program_builder.cc.o" "gcc" "src/workload/CMakeFiles/bpsim_workload.dir/program_builder.cc.o.d"
+  "/root/repo/src/workload/spec_io.cc" "src/workload/CMakeFiles/bpsim_workload.dir/spec_io.cc.o" "gcc" "src/workload/CMakeFiles/bpsim_workload.dir/spec_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bpsim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/bpsim_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpsim_workload.dir/behavior.cc.o"
+  "CMakeFiles/bpsim_workload.dir/behavior.cc.o.d"
+  "CMakeFiles/bpsim_workload.dir/benchmarks.cc.o"
+  "CMakeFiles/bpsim_workload.dir/benchmarks.cc.o.d"
+  "CMakeFiles/bpsim_workload.dir/generator.cc.o"
+  "CMakeFiles/bpsim_workload.dir/generator.cc.o.d"
+  "CMakeFiles/bpsim_workload.dir/program.cc.o"
+  "CMakeFiles/bpsim_workload.dir/program.cc.o.d"
+  "CMakeFiles/bpsim_workload.dir/program_builder.cc.o"
+  "CMakeFiles/bpsim_workload.dir/program_builder.cc.o.d"
+  "CMakeFiles/bpsim_workload.dir/spec_io.cc.o"
+  "CMakeFiles/bpsim_workload.dir/spec_io.cc.o.d"
+  "libbpsim_workload.a"
+  "libbpsim_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpsim_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/test_bias_analysis.cc" "tests/CMakeFiles/test_analysis.dir/analysis/test_bias_analysis.cc.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/test_bias_analysis.cc.o.d"
+  "/root/repo/tests/analysis/test_bias_class.cc" "tests/CMakeFiles/test_analysis.dir/analysis/test_bias_class.cc.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/test_bias_class.cc.o.d"
+  "/root/repo/tests/analysis/test_counter_profile.cc" "tests/CMakeFiles/test_analysis.dir/analysis/test_counter_profile.cc.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/test_counter_profile.cc.o.d"
+  "/root/repo/tests/analysis/test_interference.cc" "tests/CMakeFiles/test_analysis.dir/analysis/test_interference.cc.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/test_interference.cc.o.d"
+  "/root/repo/tests/analysis/test_stream_tracker.cc" "tests/CMakeFiles/test_analysis.dir/analysis/test_stream_tracker.cc.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/test_stream_tracker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/bpsim_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bpsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bpsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/predictors/CMakeFiles/bpsim_predictors.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/bpsim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/bpsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bpsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis.dir/analysis/test_bias_analysis.cc.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_bias_analysis.cc.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_bias_class.cc.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_bias_class.cc.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_counter_profile.cc.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_counter_profile.cc.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_interference.cc.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_interference.cc.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_stream_tracker.cc.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_stream_tracker.cc.o.d"
+  "test_analysis"
+  "test_analysis.pdb"
+  "test_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/predictors/test_agree.cc" "tests/CMakeFiles/test_predictors.dir/predictors/test_agree.cc.o" "gcc" "tests/CMakeFiles/test_predictors.dir/predictors/test_agree.cc.o.d"
+  "/root/repo/tests/predictors/test_bimodal.cc" "tests/CMakeFiles/test_predictors.dir/predictors/test_bimodal.cc.o" "gcc" "tests/CMakeFiles/test_predictors.dir/predictors/test_bimodal.cc.o.d"
+  "/root/repo/tests/predictors/test_btb.cc" "tests/CMakeFiles/test_predictors.dir/predictors/test_btb.cc.o" "gcc" "tests/CMakeFiles/test_predictors.dir/predictors/test_btb.cc.o.d"
+  "/root/repo/tests/predictors/test_counter.cc" "tests/CMakeFiles/test_predictors.dir/predictors/test_counter.cc.o" "gcc" "tests/CMakeFiles/test_predictors.dir/predictors/test_counter.cc.o.d"
+  "/root/repo/tests/predictors/test_factory.cc" "tests/CMakeFiles/test_predictors.dir/predictors/test_factory.cc.o" "gcc" "tests/CMakeFiles/test_predictors.dir/predictors/test_factory.cc.o.d"
+  "/root/repo/tests/predictors/test_filter.cc" "tests/CMakeFiles/test_predictors.dir/predictors/test_filter.cc.o" "gcc" "tests/CMakeFiles/test_predictors.dir/predictors/test_filter.cc.o.d"
+  "/root/repo/tests/predictors/test_gshare.cc" "tests/CMakeFiles/test_predictors.dir/predictors/test_gshare.cc.o" "gcc" "tests/CMakeFiles/test_predictors.dir/predictors/test_gshare.cc.o.d"
+  "/root/repo/tests/predictors/test_gskew.cc" "tests/CMakeFiles/test_predictors.dir/predictors/test_gskew.cc.o" "gcc" "tests/CMakeFiles/test_predictors.dir/predictors/test_gskew.cc.o.d"
+  "/root/repo/tests/predictors/test_history.cc" "tests/CMakeFiles/test_predictors.dir/predictors/test_history.cc.o" "gcc" "tests/CMakeFiles/test_predictors.dir/predictors/test_history.cc.o.d"
+  "/root/repo/tests/predictors/test_perceptron.cc" "tests/CMakeFiles/test_predictors.dir/predictors/test_perceptron.cc.o" "gcc" "tests/CMakeFiles/test_predictors.dir/predictors/test_perceptron.cc.o.d"
+  "/root/repo/tests/predictors/test_properties.cc" "tests/CMakeFiles/test_predictors.dir/predictors/test_properties.cc.o" "gcc" "tests/CMakeFiles/test_predictors.dir/predictors/test_properties.cc.o.d"
+  "/root/repo/tests/predictors/test_ras.cc" "tests/CMakeFiles/test_predictors.dir/predictors/test_ras.cc.o" "gcc" "tests/CMakeFiles/test_predictors.dir/predictors/test_ras.cc.o.d"
+  "/root/repo/tests/predictors/test_static.cc" "tests/CMakeFiles/test_predictors.dir/predictors/test_static.cc.o" "gcc" "tests/CMakeFiles/test_predictors.dir/predictors/test_static.cc.o.d"
+  "/root/repo/tests/predictors/test_tournament.cc" "tests/CMakeFiles/test_predictors.dir/predictors/test_tournament.cc.o" "gcc" "tests/CMakeFiles/test_predictors.dir/predictors/test_tournament.cc.o.d"
+  "/root/repo/tests/predictors/test_twolevel.cc" "tests/CMakeFiles/test_predictors.dir/predictors/test_twolevel.cc.o" "gcc" "tests/CMakeFiles/test_predictors.dir/predictors/test_twolevel.cc.o.d"
+  "/root/repo/tests/predictors/test_yags.cc" "tests/CMakeFiles/test_predictors.dir/predictors/test_yags.cc.o" "gcc" "tests/CMakeFiles/test_predictors.dir/predictors/test_yags.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/bpsim_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bpsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bpsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/predictors/CMakeFiles/bpsim_predictors.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/bpsim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/bpsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bpsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

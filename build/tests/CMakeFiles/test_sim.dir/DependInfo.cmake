@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/test_gshare_sweep.cc" "tests/CMakeFiles/test_sim.dir/sim/test_gshare_sweep.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_gshare_sweep.cc.o.d"
+  "/root/repo/tests/sim/test_interval_stats.cc" "tests/CMakeFiles/test_sim.dir/sim/test_interval_stats.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_interval_stats.cc.o.d"
+  "/root/repo/tests/sim/test_pipeline_model.cc" "tests/CMakeFiles/test_sim.dir/sim/test_pipeline_model.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_pipeline_model.cc.o.d"
+  "/root/repo/tests/sim/test_simulator.cc" "tests/CMakeFiles/test_sim.dir/sim/test_simulator.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_simulator.cc.o.d"
+  "/root/repo/tests/sim/test_size_ladder.cc" "tests/CMakeFiles/test_sim.dir/sim/test_size_ladder.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_size_ladder.cc.o.d"
+  "/root/repo/tests/sim/test_trace_cache.cc" "tests/CMakeFiles/test_sim.dir/sim/test_trace_cache.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_trace_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/bpsim_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bpsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bpsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/predictors/CMakeFiles/bpsim_predictors.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/bpsim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/bpsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bpsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/test_gshare_sweep.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_gshare_sweep.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_interval_stats.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_interval_stats.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_pipeline_model.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_pipeline_model.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_simulator.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_simulator.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_size_ladder.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_size_ladder.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_trace_cache.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_trace_cache.cc.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace.dir/trace/test_binary_io.cc.o"
+  "CMakeFiles/test_trace.dir/trace/test_binary_io.cc.o.d"
+  "CMakeFiles/test_trace.dir/trace/test_codec.cc.o"
+  "CMakeFiles/test_trace.dir/trace/test_codec.cc.o.d"
+  "CMakeFiles/test_trace.dir/trace/test_memory_trace.cc.o"
+  "CMakeFiles/test_trace.dir/trace/test_memory_trace.cc.o.d"
+  "CMakeFiles/test_trace.dir/trace/test_text_io.cc.o"
+  "CMakeFiles/test_trace.dir/trace/test_text_io.cc.o.d"
+  "CMakeFiles/test_trace.dir/trace/test_trace_stats.cc.o"
+  "CMakeFiles/test_trace.dir/trace/test_trace_stats.cc.o.d"
+  "test_trace"
+  "test_trace.pdb"
+  "test_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util.dir/util/test_args.cc.o"
+  "CMakeFiles/test_util.dir/util/test_args.cc.o.d"
+  "CMakeFiles/test_util.dir/util/test_bits.cc.o"
+  "CMakeFiles/test_util.dir/util/test_bits.cc.o.d"
+  "CMakeFiles/test_util.dir/util/test_logging.cc.o"
+  "CMakeFiles/test_util.dir/util/test_logging.cc.o.d"
+  "CMakeFiles/test_util.dir/util/test_random.cc.o"
+  "CMakeFiles/test_util.dir/util/test_random.cc.o.d"
+  "CMakeFiles/test_util.dir/util/test_stats.cc.o"
+  "CMakeFiles/test_util.dir/util/test_stats.cc.o.d"
+  "CMakeFiles/test_util.dir/util/test_table.cc.o"
+  "CMakeFiles/test_util.dir/util/test_table.cc.o.d"
+  "test_util"
+  "test_util.pdb"
+  "test_util[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

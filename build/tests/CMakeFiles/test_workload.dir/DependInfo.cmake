@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workload/test_behavior.cc" "tests/CMakeFiles/test_workload.dir/workload/test_behavior.cc.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/test_behavior.cc.o.d"
+  "/root/repo/tests/workload/test_benchmarks.cc" "tests/CMakeFiles/test_workload.dir/workload/test_benchmarks.cc.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/test_benchmarks.cc.o.d"
+  "/root/repo/tests/workload/test_calls_returns.cc" "tests/CMakeFiles/test_workload.dir/workload/test_calls_returns.cc.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/test_calls_returns.cc.o.d"
+  "/root/repo/tests/workload/test_generator.cc" "tests/CMakeFiles/test_workload.dir/workload/test_generator.cc.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/test_generator.cc.o.d"
+  "/root/repo/tests/workload/test_golden.cc" "tests/CMakeFiles/test_workload.dir/workload/test_golden.cc.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/test_golden.cc.o.d"
+  "/root/repo/tests/workload/test_program_builder.cc" "tests/CMakeFiles/test_workload.dir/workload/test_program_builder.cc.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/test_program_builder.cc.o.d"
+  "/root/repo/tests/workload/test_spec_io.cc" "tests/CMakeFiles/test_workload.dir/workload/test_spec_io.cc.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/test_spec_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/bpsim_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bpsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bpsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/predictors/CMakeFiles/bpsim_predictors.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/bpsim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/bpsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bpsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload.dir/workload/test_behavior.cc.o"
+  "CMakeFiles/test_workload.dir/workload/test_behavior.cc.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_benchmarks.cc.o"
+  "CMakeFiles/test_workload.dir/workload/test_benchmarks.cc.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_calls_returns.cc.o"
+  "CMakeFiles/test_workload.dir/workload/test_calls_returns.cc.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_generator.cc.o"
+  "CMakeFiles/test_workload.dir/workload/test_generator.cc.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_golden.cc.o"
+  "CMakeFiles/test_workload.dir/workload/test_golden.cc.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_program_builder.cc.o"
+  "CMakeFiles/test_workload.dir/workload/test_program_builder.cc.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_spec_io.cc.o"
+  "CMakeFiles/test_workload.dir/workload/test_spec_io.cc.o.d"
+  "test_workload"
+  "test_workload.pdb"
+  "test_workload[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
