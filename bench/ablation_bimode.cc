@@ -8,35 +8,18 @@
  *  3. choice table sizing (half / equal / double the bank size)
  *  4. history length relative to the direction index width
  *
- * Run on gcc (aliasing-bound) and the SPEC CINT95 average.
+ * Run on gcc (aliasing-bound) and the SPEC CINT95 average. All
+ * variant × benchmark cells form one campaign grid executed on the
+ * --jobs worker pool (the gcc column reuses the suite run's gcc
+ * cell — every cell is simulated exactly once).
  */
 
 #include <iostream>
 
 #include "common/bench_common.hh"
-#include "sim/simulator.hh"
-#include "core/factory.hh"
 
 using namespace bpsim;
 using namespace bpsim::bench;
-
-namespace
-{
-
-double
-averageOver(TraceCache &cache, const std::vector<WorkloadSpec> &specs,
-            const std::string &config)
-{
-    double total = 0.0;
-    for (const auto &spec : specs) {
-        const PredictorPtr predictor = makePredictor(config);
-        auto reader = cache.traceFor(spec).reader();
-        total += simulate(*predictor, reader).mispredictionRate();
-    }
-    return total / static_cast<double>(specs.size());
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
@@ -53,7 +36,8 @@ main(int argc, char **argv)
 
     TraceCache cache;
     const auto suite = scaledSuite(specCint95Benchmarks(), divisor);
-    const std::vector<WorkloadSpec> gcc_only = {suite[1]};
+    // Suite order is the paper's Table 2 order; index 1 is gcc.
+    const std::size_t gcc_index = 1;
 
     struct Variant
     {
@@ -74,19 +58,43 @@ main(int argc, char **argv)
         {"history d-4", base + ",h=" + std::to_string(d - 4)},
     };
 
+    Campaign campaign;
+    std::vector<std::string> configs;
+    configs.reserve(variants.size());
+    for (const Variant &variant : variants)
+        configs.push_back(variant.config);
+    campaign.addGrid(configs, resolveTraces(cache, suite));
+    const auto results = campaign.run(0, verboseProgress());
+    maybeEmitJson(args, results, "bi-mode ablations");
+
     TextTable table;
     table.setColumns(
         {"variant", "gcc misp %", "CINT95 avg misp %", "counter KB"});
-    for (const Variant &variant : variants) {
-        const PredictorPtr probe = makePredictor(variant.config);
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+        const std::size_t first = v * suite.size();
+        std::string error;
+        double total = 0.0;
+        for (std::size_t b = 0; b < suite.size(); ++b) {
+            const JobResult &job = results[first + b];
+            if (!job.ok()) {
+                error = job.error;
+                break;
+            }
+            total += job.result.mispredictionRate();
+        }
+        if (!error.empty()) {
+            table.addRow({variants[v].label, "--", "error: " + error,
+                          "--"});
+            continue;
+        }
         table.addRow({
-            variant.label,
-            TextTable::fixed(averageOver(cache, gcc_only,
-                                         variant.config), 2),
-            TextTable::fixed(averageOver(cache, suite, variant.config),
-                             2),
+            variants[v].label,
             TextTable::fixed(
-                static_cast<double>(probe->counterBits()) / 8 / 1024, 3),
+                results[first + gcc_index].result.mispredictionRate(),
+                2),
+            TextTable::fixed(
+                total / static_cast<double>(suite.size()), 2),
+            TextTable::fixed(results[first].result.counterKBytes(), 3),
         });
     }
     emitTable(args, table, "Bi-mode ablations (d=" + std::to_string(d) +

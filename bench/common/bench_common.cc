@@ -4,7 +4,6 @@
 #include <iostream>
 
 #include "analysis/bias_analysis.hh"
-#include "core/bimode.hh"
 #include "core/factory.hh"
 #include "sim/simulator.hh"
 #include "util/logging.hh"
@@ -18,6 +17,10 @@ addCommonOptions(ArgParser &args)
 {
     args.addFlag("quick", "scale dynamic branch counts down 5x");
     args.addFlag("csv", "also emit tables as CSV");
+    args.addFlag("json", "also dump per-job campaign results as JSON");
+    args.addOption("jobs", "0",
+                   "campaign worker threads (0 = one per hardware "
+                   "thread)");
     args.addFlag("verbose", "progress logging to stderr");
 }
 
@@ -25,7 +28,35 @@ std::uint64_t
 applyCommonOptions(const ArgParser &args)
 {
     setVerbose(args.flag("verbose"));
+    setDefaultWorkerCount(static_cast<unsigned>(args.getUint("jobs")));
     return args.flag("quick") ? 5 : 1;
+}
+
+ProgressFn
+verboseProgress()
+{
+    if (!verbose())
+        return {};
+    return [](const CampaignProgress &progress) {
+        BPSIM_INFORM("[" << progress.completed << "/" << progress.total
+                     << "] " << progress.latest->benchmark << " × "
+                     << progress.latest->configText
+                     << (progress.latest->ok()
+                             ? ""
+                             : " FAILED: " + progress.latest->error));
+    };
+}
+
+void
+maybeEmitJson(const ArgParser &args,
+              const std::vector<JobResult> &results,
+              const std::string &title)
+{
+    if (!args.flag("json"))
+        return;
+    std::cout << "\n[json] " << title << "\n";
+    writeResultsJson(std::cout, results);
+    std::cout.flush();
 }
 
 std::vector<WorkloadSpec>
@@ -69,8 +100,13 @@ measureSchemeCurves(TraceCache &cache,
                     const std::vector<WorkloadSpec> &specs,
                     const std::vector<SizePoint> &ladder)
 {
-    const std::vector<const MemoryTrace *> traces =
-        suiteTraces(cache, specs);
+    const std::vector<BenchmarkTrace> benchmarks =
+        resolveTraces(cache, specs);
+    std::vector<const MemoryTrace *> traces;
+    traces.reserve(benchmarks.size());
+    for (const BenchmarkTrace &benchmark : benchmarks)
+        traces.push_back(benchmark.trace);
+
     std::vector<SchemeCurvePoint> curve;
     curve.reserve(ladder.size());
 
@@ -79,8 +115,9 @@ measureSchemeCurves(TraceCache &cache,
         SchemeCurvePoint point;
         point.size = size;
 
-        // Exhaustive history sweep (paper section 3.1). The m == n
-        // point doubles as gshare.1PHT.
+        // Exhaustive history sweep (paper section 3.1), a campaign
+        // grid inside sweepGshare(). The m == n point doubles as
+        // gshare.1PHT.
         const GshareSweepResult sweep =
             sweepGshare(size.gshareIndexBits, traces);
         const GshareSweepPoint &best = sweep.best();
@@ -91,15 +128,21 @@ measureSchemeCurves(TraceCache &cache,
         point.best = best.perBenchmark;
         point.bestAverage = best.average;
 
-        // The natural bi-mode point at this rung.
+        // The natural bi-mode point at this rung: one campaign of
+        // the canonical config over the whole suite. The factory's
+        // "bimode:d=<d>" defaults are BiModeConfig::canonical(d).
+        Campaign bimodeJobs;
+        bimodeJobs.addGrid(
+            {"bimode:d=" + std::to_string(size.bimodeDirectionBits)},
+            benchmarks);
+        const std::vector<JobResult> results =
+            bimodeJobs.run(0, verboseProgress());
         double total = 0.0;
-        for (const MemoryTrace *trace : traces) {
-            BiModePredictor bimode(
-                BiModeConfig::canonical(size.bimodeDirectionBits));
-            auto reader = trace->reader();
-            const SimResult result = simulate(bimode, reader);
-            point.bimode.push_back(result.mispredictionRate());
-            total += result.mispredictionRate();
+        for (const JobResult &job : results) {
+            if (!job.ok())
+                BPSIM_FATAL("bi-mode job failed: " << job.error);
+            point.bimode.push_back(job.result.mispredictionRate());
+            total += job.result.mispredictionRate();
         }
         point.bimodeAverage =
             total / static_cast<double>(traces.size());

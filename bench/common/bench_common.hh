@@ -6,6 +6,9 @@
  *   --quick        scale dynamic branch counts down 5x (fast smoke
  *                  runs; the shapes survive, the noise grows)
  *   --csv          also emit each table as CSV after the aligned view
+ *   --json         also dump raw per-job campaign results as JSON
+ *   --jobs N       campaign worker threads (0 = one per hardware
+ *                  thread); results are identical for every N
  *   --verbose      progress logging to stderr
  */
 
@@ -16,6 +19,8 @@
 #include <vector>
 
 #include "analysis/counter_profile.hh"
+#include "campaign/campaign.hh"
+#include "campaign/emitters.hh"
 #include "sim/gshare_sweep.hh"
 #include "sim/size_ladder.hh"
 #include "sim/trace_cache.hh"
@@ -29,8 +34,17 @@ namespace bpsim::bench
 /** Declares the common options on @p args. */
 void addCommonOptions(ArgParser &args);
 
-/** Applies --verbose and returns the --quick dynamic scale-down. */
+/** Applies --verbose and --jobs; returns the --quick scale-down. */
 std::uint64_t applyCommonOptions(const ArgParser &args);
+
+/** A campaign progress hook that logs each completed job when
+ *  --verbose is on. */
+ProgressFn verboseProgress();
+
+/** Dumps @p results as JSON to stdout when --json was given. */
+void maybeEmitJson(const ArgParser &args,
+                   const std::vector<JobResult> &results,
+                   const std::string &title);
 
 /** Scales a suite's dynamic counts down by @p divisor (>= 1). */
 std::vector<WorkloadSpec> scaledSuite(std::vector<WorkloadSpec> specs,
@@ -66,7 +80,9 @@ struct SchemeCurvePoint
 /**
  * Runs the Figure 2/3/4 measurement: for each ladder rung, sweeps
  * gshare history lengths over the suite (paper §3.1), then measures
- * gshare.1PHT, gshare.best and the natural bi-mode point.
+ * gshare.1PHT, gshare.best and the natural bi-mode point. Both
+ * stages run as campaign grids on the --jobs worker pool; results
+ * are identical at any worker count.
  */
 std::vector<SchemeCurvePoint>
 measureSchemeCurves(TraceCache &cache,

@@ -13,6 +13,10 @@
  * The expected shape (paper): bi-mode lowest at every size,
  * gshare.best between, gshare.1PHT highest; bi-mode needs roughly
  * half the hardware of gshare for equal accuracy at >= 4KB.
+ *
+ * The measurement runs as campaign grids on the --jobs worker pool
+ * (traces generated once, simulated many); output is identical at
+ * any worker count.
  */
 
 #include <iostream>

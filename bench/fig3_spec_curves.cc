@@ -7,6 +7,9 @@
  * the *suite-average* misprediction at each size (not the per-
  * benchmark optimum), so individual programs can and do invert:
  * compress and xlisp favour gshare.1PHT; go favours multiple PHTs.
+ *
+ * Runs as campaign grids on the --jobs worker pool; output is
+ * identical at any worker count.
  */
 
 #include <iostream>

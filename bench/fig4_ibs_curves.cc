@@ -3,6 +3,9 @@
  * Reproduces Figure 4 of the paper: per-benchmark misprediction
  * curves for the eight IBS-Ultrix programs. Same methodology as
  * Figure 3 (gshare.best chosen on the suite average).
+ *
+ * Runs as campaign grids on the --jobs worker pool; output is
+ * identical at any worker count.
  */
 
 #include <iostream>

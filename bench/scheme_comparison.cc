@@ -12,13 +12,15 @@
  * for small low cost systems; for large systems the bi-mode scheme
  * is the best cost-effective scheme" among the 1997 proposals. The
  * perceptron (2001) is included as the out-of-era reference point.
+ *
+ * Each budget class is one campaign grid (configs × 14 benchmarks)
+ * executed on the --jobs worker pool; a bad configuration shows up
+ * as an error row instead of killing the run.
  */
 
 #include <iostream>
 
 #include "common/bench_common.hh"
-#include "core/factory.hh"
-#include "sim/simulator.hh"
 
 using namespace bpsim;
 using namespace bpsim::bench;
@@ -47,7 +49,7 @@ main(int argc, char **argv)
 
     TraceCache cache;
     const auto specs = scaledSuite(allBenchmarks(), divisor);
-    const auto traces = suiteTraces(cache, specs);
+    const auto benchmarks = resolveTraces(cache, specs);
 
     // Configurations sized to land at (or just under) each budget.
     const std::vector<BudgetClass> budgets = {
@@ -69,23 +71,33 @@ main(int argc, char **argv)
     };
 
     for (const BudgetClass &budget : budgets) {
+        Campaign campaign;
+        campaign.addGrid(budget.configs, benchmarks);
+        const auto results = campaign.run(0, verboseProgress());
+        maybeEmitJson(args, results,
+                      std::string("scheme comparison ") + budget.label);
+
         TextTable table;
         table.setColumns({"scheme", "counter KB", "suite avg misp %",
                           "CINT95 avg %", "IBS avg %"});
-        for (const std::string &config : budget.configs) {
+        for (std::size_t c = 0; c < budget.configs.size(); ++c) {
+            // The grid is config-major: this config's results form
+            // one contiguous run in suite order.
+            const std::size_t base = c * specs.size();
             double total = 0.0, cint = 0.0, ibs = 0.0;
             std::size_t cint_count = 0, ibs_count = 0;
             std::string name;
             double kbytes = 0.0;
+            std::string error;
             for (std::size_t b = 0; b < specs.size(); ++b) {
-                const PredictorPtr predictor = makePredictor(config);
-                name = predictor->name();
-                kbytes =
-                    static_cast<double>(predictor->counterBits()) / 8 /
-                    1024;
-                auto reader = traces[b]->reader();
-                const double rate =
-                    simulate(*predictor, reader).mispredictionRate();
+                const JobResult &job = results[base + b];
+                if (!job.ok()) {
+                    error = job.error;
+                    break;
+                }
+                name = job.result.predictorName;
+                kbytes = job.result.counterKBytes();
+                const double rate = job.result.mispredictionRate();
                 total += rate;
                 if (specs[b].suite == "SPEC CINT95") {
                     cint += rate;
@@ -94,6 +106,11 @@ main(int argc, char **argv)
                     ibs += rate;
                     ++ibs_count;
                 }
+            }
+            if (!error.empty()) {
+                table.addRow({budget.configs[c], "--",
+                              "error: " + error, "--", "--"});
+                continue;
             }
             table.addRow({
                 name,

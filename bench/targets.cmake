@@ -6,8 +6,8 @@ add_library(bpsim_bench_common bench/common/bench_common.cc)
 target_include_directories(bpsim_bench_common
     PUBLIC ${CMAKE_SOURCE_DIR}/bench)
 target_link_libraries(bpsim_bench_common
-    PUBLIC bpsim_analysis bpsim_sim bpsim_core bpsim_predictors
-           bpsim_workload bpsim_trace bpsim_util)
+    PUBLIC bpsim_analysis bpsim_campaign bpsim_sim bpsim_core
+           bpsim_predictors bpsim_workload bpsim_trace bpsim_util)
 
 function(bpsim_bench name)
     add_executable(${name} bench/${name}.cc)

@@ -17,6 +17,7 @@
 // Utility substrate.
 #include "util/args.hh"
 #include "util/bits.hh"
+#include "util/json.hh"
 #include "util/logging.hh"
 #include "util/random.hh"
 #include "util/stats.hh"
@@ -65,6 +66,10 @@
 #include "sim/simulator.hh"
 #include "sim/size_ladder.hh"
 #include "sim/trace_cache.hh"
+
+// Experiment campaigns (parallel grid execution).
+#include "campaign/campaign.hh"
+#include "campaign/emitters.hh"
 
 // Section 4 analyses.
 #include "analysis/bias_analysis.hh"

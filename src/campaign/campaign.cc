@@ -1,0 +1,146 @@
+#include "campaign/campaign.hh"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "core/factory.hh"
+
+namespace bpsim
+{
+
+namespace
+{
+
+/** 0 = follow the hardware; set from --jobs. */
+std::atomic<unsigned> configured_workers{0};
+
+} // namespace
+
+void
+setDefaultWorkerCount(unsigned n)
+{
+    configured_workers.store(n, std::memory_order_relaxed);
+}
+
+unsigned
+defaultWorkerCount()
+{
+    const unsigned configured =
+        configured_workers.load(std::memory_order_relaxed);
+    if (configured != 0)
+        return configured;
+    const unsigned hardware = std::thread::hardware_concurrency();
+    return hardware == 0 ? 1 : hardware;
+}
+
+Job &
+Campaign::addJob(Job job)
+{
+    job.index = jobList.size();
+    jobList.push_back(std::move(job));
+    return jobList.back();
+}
+
+Job &
+Campaign::addJob(std::string configText, const BenchmarkTrace &benchmark,
+                 const SimConfig &simConfig)
+{
+    Job job;
+    job.configText = std::move(configText);
+    job.benchmark = benchmark.name;
+    job.trace = benchmark.trace;
+    job.simConfig = simConfig;
+    return addJob(std::move(job));
+}
+
+void
+Campaign::addGrid(const std::vector<std::string> &configs,
+                  const std::vector<BenchmarkTrace> &benchmarks,
+                  const SimConfig &simConfig)
+{
+    for (const std::string &config : configs)
+        for (const BenchmarkTrace &benchmark : benchmarks)
+            addJob(config, benchmark, simConfig);
+}
+
+JobResult
+runJob(const Job &job)
+{
+    JobResult result;
+    result.index = job.index;
+    result.benchmark = job.benchmark;
+    result.configText = job.configText;
+
+    if (job.trace == nullptr) {
+        result.error = "job has no trace bound";
+        return result;
+    }
+    PredictorResult made = tryMakePredictor(job.configText);
+    if (!made.ok()) {
+        result.error = std::move(made.error);
+        return result;
+    }
+    auto reader = job.trace->reader();
+    result.result = simulate(*made.predictor, reader, job.simConfig);
+    result.result.benchmark = job.benchmark;
+    result.result.configText = job.configText;
+    return result;
+}
+
+std::vector<JobResult>
+Campaign::run(unsigned workers, const ProgressFn &progress) const
+{
+    std::vector<JobResult> results(jobList.size());
+    std::atomic<std::size_t> cursor{0};
+    std::mutex lock;
+    std::size_t completed = 0;
+
+    const auto worker_loop = [&]() {
+        for (;;) {
+            const std::size_t i =
+                cursor.fetch_add(1, std::memory_order_relaxed);
+            if (i >= jobList.size())
+                return;
+            JobResult result = runJob(jobList[i]);
+            const std::lock_guard<std::mutex> guard(lock);
+            // Results land in their job's slot, so the returned
+            // ordering never depends on the thread schedule.
+            results[i] = std::move(result);
+            ++completed;
+            if (progress)
+                progress({completed, jobList.size(), &results[i]});
+        }
+    };
+
+    if (workers == 0)
+        workers = defaultWorkerCount();
+    if (jobList.size() < workers)
+        workers = static_cast<unsigned>(jobList.size());
+
+    if (workers <= 1) {
+        worker_loop();
+        return results;
+    }
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned t = 0; t < workers; ++t)
+        pool.emplace_back(worker_loop);
+    for (std::thread &thread : pool)
+        thread.join();
+    return results;
+}
+
+std::vector<BenchmarkTrace>
+resolveTraces(TraceCache &cache, const std::vector<WorkloadSpec> &specs)
+{
+    std::vector<BenchmarkTrace> benchmarks;
+    benchmarks.reserve(specs.size());
+    for (const WorkloadSpec &spec : specs)
+        benchmarks.push_back({spec.name, &cache.traceFor(spec)});
+    return benchmarks;
+}
+
+} // namespace bpsim

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * The experiment campaign engine.
+ *
+ * The paper's evaluation — and every figure binary in bench/ — is a
+ * grid of independent measurements: predictor configurations ×
+ * benchmarks (× size rungs). A Campaign owns that shape once:
+ *
+ *   1. declare the grid (addGrid()/addJob()); each cell is a Job —
+ *      one factory configuration string run over one shared,
+ *      immutable, pre-generated MemoryTrace;
+ *   2. run() executes the jobs on a pool of worker threads pulling
+ *      from a shared atomic cursor (generate once, simulate many:
+ *      traces are read-only in simulate(), predictors are
+ *      constructed per job);
+ *   3. results come back as one JobResult per job, *in job order*,
+ *      regardless of the thread schedule — runs with different
+ *      `--jobs` values are bit-identical.
+ *
+ * Configuration errors do not kill a campaign: a job whose config
+ * string is rejected by tryMakePredictor() completes with
+ * JobResult::error set and every other job still runs.
+ *
+ * Emitters for the result list (JSON array, text table) live in
+ * campaign/emitters.hh.
+ */
+
+#ifndef BPSIM_CAMPAIGN_CAMPAIGN_HH
+#define BPSIM_CAMPAIGN_CAMPAIGN_HH
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+#include "sim/trace_cache.hh"
+#include "trace/memory_trace.hh"
+#include "workload/workload_spec.hh"
+
+namespace bpsim
+{
+
+/** A benchmark identity paired with its generated trace. */
+struct BenchmarkTrace
+{
+    std::string name;
+    /** Borrowed; must outlive any campaign run that uses it. */
+    const MemoryTrace *trace = nullptr;
+};
+
+/** One independent unit of campaign work. */
+struct Job
+{
+    /** Slot in the deterministic result ordering; assigned by
+     *  Campaign::addJob(). */
+    std::size_t index = 0;
+    /** Predictor configuration in the factory grammar. */
+    std::string configText;
+    /** Benchmark name, for reporting. */
+    std::string benchmark;
+    /** Shared immutable trace to replay. */
+    const MemoryTrace *trace = nullptr;
+    /** Per-job simulation options (warm-up, per-branch tracking). */
+    SimConfig simConfig;
+};
+
+/** Outcome of one job: a SimResult, or a per-job error. */
+struct JobResult
+{
+    std::size_t index = 0;
+    std::string benchmark;
+    std::string configText;
+    /** Empty on success; the config/setup error otherwise. */
+    std::string error;
+    /** Valid only when ok(). */
+    SimResult result;
+
+    bool ok() const { return error.empty(); }
+};
+
+/** Snapshot passed to a campaign's progress callback. */
+struct CampaignProgress
+{
+    std::size_t completed = 0;
+    std::size_t total = 0;
+    /** The result that just finished (owned by the run). */
+    const JobResult *latest = nullptr;
+};
+
+/**
+ * Progress hook; invoked after each job completes, serialized under
+ * the campaign's internal lock (callbacks never race each other).
+ */
+using ProgressFn = std::function<void(const CampaignProgress &)>;
+
+/**
+ * Sets the process-wide default worker count used when run() is
+ * called with workers == 0. Wired to the bench binaries' `--jobs`
+ * flag; 0 means "one worker per hardware thread".
+ */
+void setDefaultWorkerCount(unsigned n);
+
+/** The resolved default worker count (always >= 1). */
+unsigned defaultWorkerCount();
+
+/** A declarative batch of predictor-on-trace simulations. */
+class Campaign
+{
+  public:
+    /** Appends one job; its index is assigned here. */
+    Job &addJob(Job job);
+
+    /** Convenience: appends one config × benchmark cell. */
+    Job &addJob(std::string configText, const BenchmarkTrace &benchmark,
+                const SimConfig &simConfig = {});
+
+    /**
+     * Expands a grid in config-major order: for each config, one job
+     * per benchmark. Callers relying on result positions (sweeps,
+     * per-budget tables) index results as
+     * `configIndex * benchmarks.size() + benchmarkIndex`.
+     */
+    void addGrid(const std::vector<std::string> &configs,
+                 const std::vector<BenchmarkTrace> &benchmarks,
+                 const SimConfig &simConfig = {});
+
+    const std::vector<Job> &jobs() const { return jobList; }
+    std::size_t jobCount() const { return jobList.size(); }
+
+    /**
+     * Executes every job and returns results indexed by job order.
+     *
+     * @param workers thread count; 0 uses defaultWorkerCount(), 1
+     *                runs inline on the calling thread. The result
+     *                list is identical for every value.
+     * @param progress optional per-job completion hook
+     */
+    std::vector<JobResult> run(unsigned workers = 0,
+                               const ProgressFn &progress = {}) const;
+
+  private:
+    std::vector<Job> jobList;
+};
+
+/** Runs one job synchronously (the worker-loop body). */
+JobResult runJob(const Job &job);
+
+/**
+ * Generates (serially, through @p cache) the traces of @p specs and
+ * pairs each with its benchmark name. Campaigns share the resulting
+ * traces across all jobs; the cache must outlive the run.
+ */
+std::vector<BenchmarkTrace>
+resolveTraces(TraceCache &cache, const std::vector<WorkloadSpec> &specs);
+
+} // namespace bpsim
+
+#endif // BPSIM_CAMPAIGN_CAMPAIGN_HH

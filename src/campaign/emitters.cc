@@ -1,0 +1,56 @@
+#include "campaign/emitters.hh"
+
+#include <ostream>
+
+#include "util/json.hh"
+
+namespace bpsim
+{
+
+void
+writeResultsJson(std::ostream &os, const std::vector<JobResult> &results)
+{
+    os << "[";
+    bool first = true;
+    for (const JobResult &job : results) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n  ";
+        if (job.ok()) {
+            os << "{\"ok\":true,\"result\":";
+            job.result.toJson(os);
+            os << "}";
+        } else {
+            os << "{\"ok\":false,\"benchmark\":"
+               << jsonString(job.benchmark)
+               << ",\"config\":" << jsonString(job.configText)
+               << ",\"error\":" << jsonString(job.error) << "}";
+        }
+    }
+    os << "\n]\n";
+}
+
+TextTable
+resultsTable(const std::vector<JobResult> &results)
+{
+    TextTable table;
+    table.setColumns({"benchmark", "config", "predictor", "misp %",
+                      "counter KB"});
+    for (const JobResult &job : results) {
+        if (job.ok()) {
+            table.addRow({job.benchmark, job.configText,
+                          job.result.predictorName,
+                          TextTable::fixed(
+                              job.result.mispredictionRate(), 2),
+                          TextTable::fixed(job.result.counterKBytes(),
+                                           3)});
+        } else {
+            table.addRow({job.benchmark, job.configText,
+                          "error: " + job.error, "--", "--"});
+        }
+    }
+    return table;
+}
+
+} // namespace bpsim

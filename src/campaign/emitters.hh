@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Output emitters for campaign results.
+ *
+ * Two renderings of the same JobResult list:
+ *
+ *  - writeResultsJson(): a JSON array, one object per job in job
+ *    order. Successful jobs serialize their SimResult through
+ *    SimResult::toJson() (the single source of that schema) plus an
+ *    `"ok":true` marker; failed jobs carry `"ok":false` with the
+ *    benchmark/config identity and the error text.
+ *  - resultsTable(): an aligned TextTable, one row per job, with
+ *    errors rendered inline — the generic tabular view for tools
+ *    that do not build a bespoke table.
+ */
+
+#ifndef BPSIM_CAMPAIGN_EMITTERS_HH
+#define BPSIM_CAMPAIGN_EMITTERS_HH
+
+#include <iosfwd>
+#include <vector>
+
+#include "campaign/campaign.hh"
+#include "util/table.hh"
+
+namespace bpsim
+{
+
+/** Writes @p results as a JSON array in job order. */
+void writeResultsJson(std::ostream &os,
+                      const std::vector<JobResult> &results);
+
+/** Formats @p results as one table row per job, errors inline. */
+TextTable resultsTable(const std::vector<JobResult> &results);
+
+} // namespace bpsim
+
+#endif // BPSIM_CAMPAIGN_EMITTERS_HH

@@ -1,6 +1,7 @@
 #include "core/factory.hh"
 
 #include <cstdlib>
+#include <utility>
 
 #include "core/bimode.hh"
 #include "predictors/agree.hh"
@@ -18,16 +19,19 @@
 namespace bpsim
 {
 
-PredictorSpec
-PredictorSpec::parse(const std::string &text)
+ParseResult
+PredictorSpec::tryParse(const std::string &text)
 {
-    PredictorSpec spec;
+    ParseResult result;
+    PredictorSpec &spec = result.spec;
     const auto colon = text.find(':');
     spec.kind = text.substr(0, colon);
-    if (spec.kind.empty())
-        BPSIM_FATAL("empty predictor kind in '" << text << "'");
+    if (spec.kind.empty()) {
+        result.error = "empty predictor kind in '" + text + "'";
+        return result;
+    }
     if (colon == std::string::npos)
-        return spec;
+        return result;
 
     std::string rest = text.substr(colon + 1);
     std::size_t start = 0;
@@ -38,22 +42,43 @@ PredictorSpec::parse(const std::string &text)
         const std::string pair = rest.substr(start, comma - start);
         if (!pair.empty()) {
             const auto eq = pair.find('=');
-            if (eq == std::string::npos || eq == 0)
-                BPSIM_FATAL("bad parameter '" << pair << "' in '" << text
-                            << "' (expected key=value)");
+            if (eq == std::string::npos || eq == 0) {
+                result.error = "bad parameter '" + pair + "' in '" +
+                               text + "' (expected key=value)";
+                return result;
+            }
             const std::string key = pair.substr(0, eq);
             const std::string value_text = pair.substr(eq + 1);
             char *end = nullptr;
             const unsigned long value =
                 std::strtoul(value_text.c_str(), &end, 0);
-            if (end == value_text.c_str() || *end != '\0')
-                BPSIM_FATAL("parameter " << key << "='" << value_text
-                            << "' in '" << text << "' is not a number");
-            spec.params[key] = static_cast<unsigned>(value);
+            if (end == value_text.c_str() || *end != '\0') {
+                result.error = "parameter " + key + "='" + value_text +
+                               "' in '" + text + "' is not a number";
+                return result;
+            }
+            const bool inserted =
+                spec.params
+                    .emplace(key, static_cast<unsigned>(value))
+                    .second;
+            if (!inserted) {
+                result.error = "duplicate parameter " + key + " in '" +
+                               text + "'";
+                return result;
+            }
         }
         start = comma + 1;
     }
-    return spec;
+    return result;
+}
+
+PredictorSpec
+PredictorSpec::parse(const std::string &text)
+{
+    ParseResult result = tryParse(text);
+    if (!result.ok())
+        BPSIM_FATAL(result.error);
+    return std::move(result.spec);
 }
 
 unsigned
@@ -73,14 +98,28 @@ PredictorSpec::require(const std::string &key) const
     return it->second;
 }
 
-PredictorPtr
-makePredictor(const std::string &configText)
+namespace
 {
-    return makePredictor(PredictorSpec::parse(configText));
+
+/** Thrown by build() on configuration errors; caught and converted
+ *  to a PredictorResult by tryMakePredictor(). */
+struct SpecError
+{
+    std::string message;
+};
+
+unsigned
+requireParam(const PredictorSpec &spec, const std::string &key)
+{
+    const auto it = spec.params.find(key);
+    if (it == spec.params.end())
+        throw SpecError{"predictor '" + spec.kind +
+                        "' requires parameter " + key + "=<value>"};
+    return it->second;
 }
 
 PredictorPtr
-makePredictor(const PredictorSpec &spec)
+build(const PredictorSpec &spec)
 {
     const std::string &kind = spec.kind;
 
@@ -91,36 +130,39 @@ makePredictor(const PredictorSpec &spec)
     if (kind == "btfn")
         return std::make_unique<BtfnPredictor>(spec.get("l", 12));
     if (kind == "bimodal")
-        return std::make_unique<BimodalPredictor>(spec.require("n"),
-                                                  spec.get("w", 2));
+        return std::make_unique<BimodalPredictor>(
+            requireParam(spec, "n"), spec.get("w", 2));
     if (kind == "gag") {
-        TwoLevelConfig cfg = makeGAg(spec.require("h"));
+        TwoLevelConfig cfg = makeGAg(requireParam(spec, "h"));
         cfg.counterWidth = spec.get("w", 2);
         return std::make_unique<TwoLevelPredictor>(cfg);
     }
     if (kind == "gas") {
-        TwoLevelConfig cfg = makeGAs(spec.require("h"), spec.require("a"));
+        TwoLevelConfig cfg =
+            makeGAs(requireParam(spec, "h"), requireParam(spec, "a"));
         cfg.counterWidth = spec.get("w", 2);
         return std::make_unique<TwoLevelPredictor>(cfg);
     }
     if (kind == "pag") {
-        TwoLevelConfig cfg = makePAg(spec.require("h"), spec.require("l"));
+        TwoLevelConfig cfg =
+            makePAg(requireParam(spec, "h"), requireParam(spec, "l"));
         cfg.counterWidth = spec.get("w", 2);
         return std::make_unique<TwoLevelPredictor>(cfg);
     }
     if (kind == "pas") {
-        TwoLevelConfig cfg = makePAs(spec.require("h"), spec.require("l"),
-                                     spec.require("a"));
+        TwoLevelConfig cfg =
+            makePAs(requireParam(spec, "h"), requireParam(spec, "l"),
+                    requireParam(spec, "a"));
         cfg.counterWidth = spec.get("w", 2);
         return std::make_unique<TwoLevelPredictor>(cfg);
     }
     if (kind == "gshare") {
-        const unsigned n = spec.require("n");
+        const unsigned n = requireParam(spec, "n");
         return std::make_unique<GsharePredictor>(n, spec.get("h", n),
                                                  spec.get("w", 2));
     }
     if (kind == "bimode") {
-        const unsigned d = spec.require("d");
+        const unsigned d = requireParam(spec, "d");
         BiModeConfig cfg;
         cfg.directionIndexBits = d;
         cfg.choiceIndexBits = spec.get("c", d);
@@ -131,7 +173,7 @@ makePredictor(const PredictorSpec &spec)
         return std::make_unique<BiModePredictor>(cfg);
     }
     if (kind == "agree") {
-        const unsigned n = spec.require("n");
+        const unsigned n = requireParam(spec, "n");
         AgreeConfig cfg;
         cfg.indexBits = n;
         cfg.historyBits = spec.get("h", n);
@@ -140,7 +182,7 @@ makePredictor(const PredictorSpec &spec)
         return std::make_unique<AgreePredictor>(cfg);
     }
     if (kind == "gskew") {
-        const unsigned n = spec.require("n");
+        const unsigned n = requireParam(spec, "n");
         GskewConfig cfg;
         cfg.bankIndexBits = n;
         cfg.historyBits = spec.get("h", n);
@@ -150,17 +192,17 @@ makePredictor(const PredictorSpec &spec)
     }
     if (kind == "yags") {
         YagsConfig cfg;
-        cfg.choiceIndexBits = spec.require("c");
-        cfg.cacheIndexBits = spec.require("n");
+        cfg.choiceIndexBits = requireParam(spec, "c");
+        cfg.cacheIndexBits = requireParam(spec, "n");
         cfg.tagBits = spec.get("t", 6);
         cfg.historyBits = spec.get("h", cfg.cacheIndexBits);
         cfg.counterWidth = spec.get("w", 2);
         return std::make_unique<YagsPredictor>(cfg);
     }
     if (kind == "tournament")
-        return TournamentPredictor::makeStandard(spec.require("n"));
+        return TournamentPredictor::makeStandard(requireParam(spec, "n"));
     if (kind == "filter") {
-        const unsigned n = spec.require("n");
+        const unsigned n = requireParam(spec, "n");
         FilterConfig cfg;
         cfg.indexBits = n;
         cfg.historyBits = spec.get("h", n);
@@ -171,13 +213,52 @@ makePredictor(const PredictorSpec &spec)
     }
     if (kind == "perceptron") {
         PerceptronConfig cfg;
-        cfg.tableIndexBits = spec.require("n");
+        cfg.tableIndexBits = requireParam(spec, "n");
         cfg.historyBits = spec.get("h", 24);
         cfg.weightBits = spec.get("w", 8);
         return std::make_unique<PerceptronPredictor>(cfg);
     }
 
-    BPSIM_FATAL("unknown predictor kind '" << kind << "'");
+    throw SpecError{"unknown predictor kind '" + kind + "'"};
+}
+
+} // namespace
+
+PredictorResult
+tryMakePredictor(const PredictorSpec &spec)
+{
+    try {
+        return {build(spec), {}};
+    } catch (const SpecError &err) {
+        return {nullptr, err.message};
+    }
+}
+
+PredictorResult
+tryMakePredictor(const std::string &configText)
+{
+    ParseResult parsed = PredictorSpec::tryParse(configText);
+    if (!parsed.ok())
+        return {nullptr, std::move(parsed.error)};
+    return tryMakePredictor(parsed.spec);
+}
+
+PredictorPtr
+makePredictor(const std::string &configText)
+{
+    PredictorResult result = tryMakePredictor(configText);
+    if (!result.ok())
+        BPSIM_FATAL(result.error);
+    return std::move(result.predictor);
+}
+
+PredictorPtr
+makePredictor(const PredictorSpec &spec)
+{
+    PredictorResult result = tryMakePredictor(spec);
+    if (!result.ok())
+        BPSIM_FATAL(result.error);
+    return std::move(result.predictor);
 }
 
 std::vector<std::string>

@@ -18,6 +18,15 @@
  *
  * Every example and benchmark binary accepts these strings, making
  * any predictor in the library reachable from the command line.
+ *
+ * Two error-handling flavours are provided. The try-APIs
+ * (PredictorSpec::tryParse(), tryMakePredictor()) report syntax and
+ * configuration errors through a result object and never terminate —
+ * batch drivers such as the campaign engine use them to surface
+ * per-job errors without killing a whole run. The classic APIs
+ * (PredictorSpec::parse(), makePredictor()) are thin wrappers that
+ * fatal() on the same errors, for interactive tools where dying with
+ * a message is the right behaviour.
  */
 
 #ifndef BPSIM_CORE_FACTORY_HH
@@ -32,11 +41,20 @@
 namespace bpsim
 {
 
+struct ParseResult;
+
 /** Parsed form of a predictor configuration string. */
 struct PredictorSpec
 {
     std::string kind;
     std::map<std::string, unsigned> params;
+
+    /**
+     * Parses `kind:k=v,...` without aborting. Syntax errors (missing
+     * kind, malformed pairs, non-numeric values, duplicate keys) are
+     * reported in ParseResult::error.
+     */
+    static ParseResult tryParse(const std::string &text);
 
     /** Parses `kind:k=v,...`; fatal() on syntax errors. */
     static PredictorSpec parse(const std::string &text);
@@ -48,10 +66,43 @@ struct PredictorSpec
     unsigned require(const std::string &key) const;
 };
 
-/** Instantiates a predictor from a configuration string. */
+/** Outcome of PredictorSpec::tryParse(). */
+struct ParseResult
+{
+    PredictorSpec spec;
+    /** Empty on success; a human-readable message otherwise. */
+    std::string error;
+
+    bool ok() const { return error.empty(); }
+};
+
+/** Outcome of tryMakePredictor(). */
+struct PredictorResult
+{
+    /** Null when construction failed. */
+    PredictorPtr predictor;
+    /** Empty on success; a human-readable message otherwise. */
+    std::string error;
+
+    bool ok() const { return predictor != nullptr; }
+};
+
+/**
+ * Instantiates a predictor from a configuration string without
+ * aborting: parse errors, unknown kinds and missing required
+ * parameters all come back in PredictorResult::error.
+ */
+PredictorResult tryMakePredictor(const std::string &configText);
+
+/** Instantiates a predictor from a parsed spec without aborting. */
+PredictorResult tryMakePredictor(const PredictorSpec &spec);
+
+/** Instantiates a predictor from a configuration string; fatal() on
+ *  any error. */
 PredictorPtr makePredictor(const std::string &configText);
 
-/** Instantiates a predictor from a parsed spec. */
+/** Instantiates a predictor from a parsed spec; fatal() on any
+ *  error. */
 PredictorPtr makePredictor(const PredictorSpec &spec);
 
 /** The list of recognized predictor kinds (for help texts). */

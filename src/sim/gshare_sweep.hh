@@ -11,6 +11,12 @@
  * to the history length m in [0, n] (the remaining n-m index bits
  * are address bits, i.e. 2^(n-m) PHTs). The sweep simulates every m
  * over every benchmark and reports per-m suite averages.
+ *
+ * Internally the sweep is a campaign grid (campaign/campaign.hh)
+ * executed on defaultWorkerCount() worker threads — every m × trace
+ * pair is an independent job. Results are deterministic at any
+ * worker count. Linking note: the implementation lives in
+ * bpsim_campaign, not bpsim_sim.
  */
 
 #ifndef BPSIM_SIM_GSHARE_SWEEP_HH
@@ -46,7 +52,8 @@ struct GshareSweepResult
 
 /**
  * Sweeps gshare history lengths m in [minHistory, indexBits] at a
- * 2^indexBits-counter budget over @p traces.
+ * 2^indexBits-counter budget over @p traces, in parallel on the
+ * campaign engine's shared worker pool.
  */
 GshareSweepResult sweepGshare(unsigned indexBits,
                               const std::vector<const MemoryTrace *> &traces,

@@ -1,6 +1,9 @@
 #include "sim/simulator.hh"
 
 #include <algorithm>
+#include <ostream>
+
+#include "util/json.hh"
 
 namespace bpsim
 {
@@ -18,6 +21,21 @@ double
 SimResult::counterKBytes() const
 {
     return static_cast<double>(counterBits) / 8.0 / 1024.0;
+}
+
+void
+SimResult::toJson(std::ostream &os) const
+{
+    os << "{\"benchmark\":" << jsonString(benchmark)
+       << ",\"config\":" << jsonString(configText)
+       << ",\"predictor\":" << jsonString(predictorName)
+       << ",\"counterBits\":" << counterBits
+       << ",\"storageBits\":" << storageBits
+       << ",\"branches\":" << branches
+       << ",\"mispredictions\":" << mispredictions
+       << ",\"takenBranches\":" << takenBranches
+       << ",\"mispredictionRate\":" << jsonNumber(mispredictionRate())
+       << ",\"counterKBytes\":" << jsonNumber(counterKBytes()) << "}";
 }
 
 SimResult

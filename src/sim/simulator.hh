@@ -7,6 +7,7 @@
 #define BPSIM_SIM_SIMULATOR_HH
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -41,6 +42,13 @@ struct PerBranchResult
 struct SimResult
 {
     std::string predictorName;
+    /** Benchmark the trace came from, when the harness knows it
+     *  (campaign runs always fill it; plain simulate() leaves it
+     *  empty). Makes a serialized result self-describing. */
+    std::string benchmark;
+    /** Factory configuration string the predictor was built from,
+     *  when the harness knows it. */
+    std::string configText;
     /** Paper-convention cost (bits in prediction counters). */
     std::uint64_t counterBits = 0;
     /** Full state cost. */
@@ -61,6 +69,13 @@ struct SimResult
 
     /** Cost in the paper's x-axis unit (K bytes of counters). */
     double counterKBytes() const;
+
+    /**
+     * Writes the result as one JSON object — the single place that
+     * defines the serialized form (campaign emitters and any future
+     * exporters all call this). Per-branch detail is not serialized.
+     */
+    void toJson(std::ostream &os) const;
 };
 
 /**

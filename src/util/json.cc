@@ -1,0 +1,66 @@
+#include "util/json.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+namespace bpsim
+{
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonString(const std::string &text)
+{
+    return '"' + jsonEscape(text) + '"';
+}
+
+std::string
+jsonNumber(double value)
+{
+    // JSON has no NaN/Inf literals; null is the conventional stand-in.
+    if (!std::isfinite(value))
+        return "null";
+    std::ostringstream os;
+    os.precision(std::numeric_limits<double>::max_digits10);
+    os << value;
+    return os.str();
+}
+
+} // namespace bpsim

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Minimal JSON emission helpers.
+ *
+ * The project's machine-readable outputs (campaign results,
+ * SimResult::toJson()) are flat JSON objects and arrays; these
+ * helpers cover exactly what those writers need — string escaping
+ * and round-trippable double formatting — without pulling in a JSON
+ * library dependency.
+ */
+
+#ifndef BPSIM_UTIL_JSON_HH
+#define BPSIM_UTIL_JSON_HH
+
+#include <string>
+
+namespace bpsim
+{
+
+/** Escapes a string for embedding inside JSON double quotes. */
+std::string jsonEscape(const std::string &text);
+
+/** Quotes and escapes a string as a JSON string literal. */
+std::string jsonString(const std::string &text);
+
+/** Formats a double with enough digits to round-trip exactly. */
+std::string jsonNumber(double value);
+
+} // namespace bpsim
+
+#endif // BPSIM_UTIL_JSON_HH

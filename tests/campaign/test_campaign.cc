@@ -1,0 +1,218 @@
+/** @file Tests for the experiment campaign engine and its emitters. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hh"
+#include "campaign/emitters.hh"
+#include "util/random.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+BranchRecord
+cond(std::uint64_t pc, bool taken)
+{
+    BranchRecord record;
+    record.pc = pc;
+    record.target = pc + 32;
+    record.type = BranchType::Conditional;
+    record.taken = taken;
+    return record;
+}
+
+/** A mixed-behaviour trace: per-site bias plus noise, enough sites
+ *  to make different predictors disagree. */
+MemoryTrace
+mixedTrace(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    MemoryTrace trace;
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t site = rng.nextBounded(300);
+        const bool biased_taken = site % 3 != 0;
+        const bool outcome =
+            rng.nextBool(0.1) ? !biased_taken : biased_taken;
+        trace.append(cond(0x400000 + 4 * site, outcome));
+    }
+    return trace;
+}
+
+std::vector<BenchmarkTrace>
+threeBenchmarks(const MemoryTrace &a, const MemoryTrace &b,
+                const MemoryTrace &c)
+{
+    return {{"alpha", &a}, {"beta", &b}, {"gamma", &c}};
+}
+
+TEST(Campaign, GridExpansionIsConfigMajor)
+{
+    const MemoryTrace trace = mixedTrace(100, 1);
+    Campaign campaign;
+    campaign.addGrid({"gshare:n=6", "bimodal:n=6"},
+                     threeBenchmarks(trace, trace, trace));
+    ASSERT_EQ(campaign.jobCount(), 6u);
+    const auto &jobs = campaign.jobs();
+    EXPECT_EQ(jobs[0].configText, "gshare:n=6");
+    EXPECT_EQ(jobs[0].benchmark, "alpha");
+    EXPECT_EQ(jobs[2].configText, "gshare:n=6");
+    EXPECT_EQ(jobs[2].benchmark, "gamma");
+    EXPECT_EQ(jobs[3].configText, "bimodal:n=6");
+    EXPECT_EQ(jobs[3].benchmark, "alpha");
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        EXPECT_EQ(jobs[i].index, i);
+}
+
+TEST(Campaign, SerialAndParallelAreBitIdentical)
+{
+    const MemoryTrace a = mixedTrace(20'000, 11);
+    const MemoryTrace b = mixedTrace(20'000, 22);
+    const MemoryTrace c = mixedTrace(20'000, 33);
+    Campaign campaign;
+    campaign.addGrid({"gshare:n=8", "bimode:d=7", "bimodal:n=7",
+                      "perceptron:n=4,h=8"},
+                     threeBenchmarks(a, b, c));
+
+    const auto serial = campaign.run(1);
+    const auto parallel = campaign.run(4);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].index, parallel[i].index);
+        EXPECT_EQ(serial[i].benchmark, parallel[i].benchmark);
+        EXPECT_EQ(serial[i].configText, parallel[i].configText);
+        EXPECT_EQ(serial[i].error, parallel[i].error);
+        EXPECT_EQ(serial[i].result.predictorName,
+                  parallel[i].result.predictorName);
+        EXPECT_EQ(serial[i].result.branches,
+                  parallel[i].result.branches);
+        EXPECT_EQ(serial[i].result.mispredictions,
+                  parallel[i].result.mispredictions);
+        EXPECT_EQ(serial[i].result.takenBranches,
+                  parallel[i].result.takenBranches);
+        EXPECT_EQ(serial[i].result.counterBits,
+                  parallel[i].result.counterBits);
+    }
+}
+
+TEST(Campaign, ResultsCarryBenchmarkAndConfigIdentity)
+{
+    const MemoryTrace trace = mixedTrace(1'000, 7);
+    Campaign campaign;
+    campaign.addJob("gshare:n=6", {"alpha", &trace});
+    const auto results = campaign.run(1);
+    ASSERT_EQ(results.size(), 1u);
+    ASSERT_TRUE(results[0].ok());
+    EXPECT_EQ(results[0].result.benchmark, "alpha");
+    EXPECT_EQ(results[0].result.configText, "gshare:n=6");
+    EXPECT_EQ(results[0].result.predictorName, "gshare(n=6,h=6)");
+}
+
+TEST(Campaign, BadConfigIsAPerJobError)
+{
+    const MemoryTrace trace = mixedTrace(1'000, 5);
+    Campaign campaign;
+    campaign.addGrid({"bogus:", "gshare:n=", "gshare:n=6"},
+                     {{"alpha", &trace}});
+    const auto results = campaign.run(2);
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_FALSE(results[0].ok());
+    EXPECT_NE(results[0].error.find("unknown predictor kind"),
+              std::string::npos);
+    EXPECT_FALSE(results[1].ok());
+    EXPECT_NE(results[1].error.find("not a number"),
+              std::string::npos);
+    // The good job still ran to completion.
+    ASSERT_TRUE(results[2].ok());
+    EXPECT_GT(results[2].result.branches, 0u);
+}
+
+TEST(Campaign, MissingTraceIsAPerJobError)
+{
+    Campaign campaign;
+    campaign.addJob("gshare:n=6", {"alpha", nullptr});
+    const auto results = campaign.run(1);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_FALSE(results[0].ok());
+    EXPECT_NE(results[0].error.find("no trace"), std::string::npos);
+}
+
+TEST(Campaign, ProgressReportsEveryJobExactlyOnce)
+{
+    const MemoryTrace trace = mixedTrace(2'000, 3);
+    Campaign campaign;
+    campaign.addGrid({"gshare:n=6", "bimodal:n=6", "bimode:d=5"},
+                     threeBenchmarks(trace, trace, trace));
+    std::set<std::size_t> seen;
+    std::size_t final_completed = 0;
+    const auto results = campaign.run(
+        4, [&](const CampaignProgress &progress) {
+            // Serialized under the campaign lock: no races here.
+            seen.insert(progress.latest->index);
+            final_completed = progress.completed;
+            EXPECT_EQ(progress.total, 9u);
+        });
+    EXPECT_EQ(seen.size(), 9u);
+    EXPECT_EQ(final_completed, 9u);
+    EXPECT_EQ(results.size(), 9u);
+}
+
+TEST(Campaign, ResolveTracesGeneratesOnceAndShares)
+{
+    WorkloadSpec tiny;
+    tiny.name = "tiny";
+    tiny.staticBranches = 50;
+    tiny.dynamicBranches = 5'000;
+    TraceCache cache;
+    const auto first = resolveTraces(cache, {tiny});
+    const auto second = resolveTraces(cache, {tiny});
+    EXPECT_EQ(cache.generatedCount(), 1u);
+    ASSERT_EQ(first.size(), 1u);
+    EXPECT_EQ(first[0].trace, second[0].trace);
+    EXPECT_EQ(first[0].name, "tiny");
+}
+
+TEST(Campaign, WorkerCountDefaults)
+{
+    setDefaultWorkerCount(3);
+    EXPECT_EQ(defaultWorkerCount(), 3u);
+    setDefaultWorkerCount(0);
+    EXPECT_GE(defaultWorkerCount(), 1u);
+}
+
+TEST(CampaignEmitters, JsonCarriesResultsAndErrors)
+{
+    const MemoryTrace trace = mixedTrace(1'000, 9);
+    Campaign campaign;
+    campaign.addGrid({"gshare:n=6", "bogus:"}, {{"alpha", &trace}});
+    const auto results = campaign.run(1);
+    std::ostringstream os;
+    writeResultsJson(os, results);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"ok\":true"), std::string::npos);
+    EXPECT_NE(json.find("\"benchmark\":\"alpha\""), std::string::npos);
+    EXPECT_NE(json.find("\"config\":\"gshare:n=6\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"mispredictionRate\":"), std::string::npos);
+    EXPECT_NE(json.find("\"ok\":false"), std::string::npos);
+    EXPECT_NE(json.find("unknown predictor kind 'bogus'"),
+              std::string::npos);
+}
+
+TEST(CampaignEmitters, TableHasOneRowPerJob)
+{
+    const MemoryTrace trace = mixedTrace(1'000, 13);
+    Campaign campaign;
+    campaign.addGrid({"gshare:n=6", "bogus:"}, {{"alpha", &trace}});
+    const auto results = campaign.run(1);
+    const TextTable table = resultsTable(results);
+    EXPECT_EQ(table.rowCount(), 2u);
+}
+
+} // namespace
+} // namespace bpsim

@@ -48,6 +48,80 @@ TEST(PredictorSpecDeath, MissingRequiredIsFatal)
                 "requires parameter");
 }
 
+TEST(PredictorSpecTryParse, GoodSpecParses)
+{
+    const ParseResult result =
+        PredictorSpec::tryParse("gshare:n=12,h=8");
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.spec.kind, "gshare");
+    EXPECT_EQ(result.spec.get("n", 0), 12u);
+    EXPECT_EQ(result.spec.get("h", 0), 8u);
+}
+
+TEST(PredictorSpecTryParse, MalformedPairReturnsError)
+{
+    const ParseResult result = PredictorSpec::tryParse("gshare:n12");
+    EXPECT_FALSE(result.ok());
+    EXPECT_NE(result.error.find("expected key=value"),
+              std::string::npos);
+}
+
+TEST(PredictorSpecTryParse, EmptyValueReturnsError)
+{
+    const ParseResult result = PredictorSpec::tryParse("gshare:n=");
+    EXPECT_FALSE(result.ok());
+    EXPECT_NE(result.error.find("not a number"), std::string::npos);
+}
+
+TEST(PredictorSpecTryParse, DuplicateKeyReturnsError)
+{
+    const ParseResult result =
+        PredictorSpec::tryParse("gshare:n=4,n=5");
+    EXPECT_FALSE(result.ok());
+    EXPECT_NE(result.error.find("duplicate parameter"),
+              std::string::npos);
+}
+
+TEST(PredictorSpecTryParse, EmptyKindReturnsError)
+{
+    const ParseResult result = PredictorSpec::tryParse(":n=4");
+    EXPECT_FALSE(result.ok());
+    EXPECT_NE(result.error.find("empty predictor kind"),
+              std::string::npos);
+}
+
+TEST(FactoryTry, UnknownKindReturnsError)
+{
+    const PredictorResult result = tryMakePredictor("bogus:");
+    EXPECT_FALSE(result.ok());
+    EXPECT_EQ(result.predictor, nullptr);
+    EXPECT_NE(result.error.find("unknown predictor kind"),
+              std::string::npos);
+}
+
+TEST(FactoryTry, MissingRequiredParamReturnsError)
+{
+    const PredictorResult result = tryMakePredictor("gshare:h=8");
+    EXPECT_FALSE(result.ok());
+    EXPECT_NE(result.error.find("requires parameter"),
+              std::string::npos);
+}
+
+TEST(FactoryTry, ParseErrorPropagates)
+{
+    const PredictorResult result = tryMakePredictor("gshare:n=");
+    EXPECT_FALSE(result.ok());
+    EXPECT_NE(result.error.find("not a number"), std::string::npos);
+}
+
+TEST(FactoryTry, GoodConfigBuilds)
+{
+    const PredictorResult result = tryMakePredictor("gshare:n=10");
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result.error.empty());
+    EXPECT_EQ(result.predictor->name(), "gshare(n=10,h=10)");
+}
+
 TEST(PredictorSpecDeath, MalformedPairIsFatal)
 {
     EXPECT_EXIT(PredictorSpec::parse("gshare:n12"),

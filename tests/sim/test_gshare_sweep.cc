@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "campaign/campaign.hh"
 #include "sim/gshare_sweep.hh"
 #include "util/random.hh"
 
@@ -103,6 +104,30 @@ TEST(GshareSweep, BestIsMinimum)
     const auto &best = result.best();
     for (const auto &point : result.points)
         EXPECT_LE(best.average, point.average);
+}
+
+TEST(GshareSweep, ParallelMatchesSerialBitForBit)
+{
+    const MemoryTrace a = aliasHeavyTrace(20'000);
+    const MemoryTrace b = alternatingTrace(4'000);
+
+    setDefaultWorkerCount(1);
+    const auto serial = sweepGshare(6, {&a, &b});
+    setDefaultWorkerCount(4);
+    const auto parallel = sweepGshare(6, {&a, &b});
+    setDefaultWorkerCount(0);
+
+    ASSERT_EQ(serial.points.size(), parallel.points.size());
+    for (std::size_t i = 0; i < serial.points.size(); ++i) {
+        EXPECT_EQ(serial.points[i].historyBits,
+                  parallel.points[i].historyBits);
+        // Exact equality: same jobs, same per-point accumulation
+        // order, regardless of the thread schedule.
+        EXPECT_EQ(serial.points[i].average,
+                  parallel.points[i].average);
+        EXPECT_EQ(serial.points[i].perBenchmark,
+                  parallel.points[i].perBenchmark);
+    }
 }
 
 TEST(GshareSweepDeath, NoTracesPanics)

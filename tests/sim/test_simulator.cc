@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "predictors/static_predictors.hh"
 #include "predictors/bimodal.hh"
 #include "sim/simulator.hh"
@@ -37,6 +39,33 @@ TEST(Simulator, ExactCountsWithStaticPredictor)
     EXPECT_EQ(result.takenBranches, 2u);
     EXPECT_NEAR(result.mispredictionRate(), 100.0 / 3.0, 1e-9);
     EXPECT_NEAR(result.accuracy(), 200.0 / 3.0, 1e-9);
+}
+
+TEST(SimResult, ToJsonIsSelfDescribing)
+{
+    SimResult result;
+    result.predictorName = "gshare(n=4,h=4)";
+    result.benchmark = "gcc";
+    result.configText = "gshare:n=4";
+    result.counterBits = 32;
+    result.storageBits = 36;
+    result.branches = 8;
+    result.mispredictions = 2;
+    result.takenBranches = 5;
+    std::ostringstream os;
+    result.toJson(os);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"benchmark\":\"gcc\""), std::string::npos);
+    EXPECT_NE(json.find("\"config\":\"gshare:n=4\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"predictor\":\"gshare(n=4,h=4)\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"branches\":8"), std::string::npos);
+    EXPECT_NE(json.find("\"mispredictions\":2"), std::string::npos);
+    EXPECT_NE(json.find("\"mispredictionRate\":25"),
+              std::string::npos);
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
 }
 
 TEST(Simulator, EmptyTrace)
