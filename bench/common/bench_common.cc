@@ -21,6 +21,9 @@ addCommonOptions(ArgParser &args)
     args.addOption("jobs", "0",
                    "campaign worker threads (0 = one per hardware "
                    "thread)");
+    args.addFlag("timing",
+                 "include machine-dependent wall time / throughput in "
+                 "JSON output");
     args.addFlag("verbose", "progress logging to stderr");
 }
 
@@ -55,7 +58,9 @@ maybeEmitJson(const ArgParser &args,
     if (!args.flag("json"))
         return;
     std::cout << "\n[json] " << title << "\n";
-    writeResultsJson(std::cout, results);
+    // Timing is opt-in so default JSON stays byte-identical across
+    // machines and --jobs values.
+    writeResultsJson(std::cout, results, args.flag("timing"));
     std::cout.flush();
 }
 

@@ -9,6 +9,9 @@
  *   --json         also dump raw per-job campaign results as JSON
  *   --jobs N       campaign worker threads (0 = one per hardware
  *                  thread); results are identical for every N
+ *   --timing       include machine-dependent wall time / throughput
+ *                  fields in JSON output (off by default so output
+ *                  stays byte-identical across machines)
  *   --verbose      progress logging to stderr
  */
 

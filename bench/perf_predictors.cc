@@ -28,6 +28,21 @@ sharedTrace()
     return trace;
 }
 
+/** Conditional-record count of the shared trace — the unit of work
+ *  simulate() actually performs (non-conditional records are
+ *  skipped), so items/s is comparable with perf_replay. */
+std::int64_t
+sharedConditionals()
+{
+    static const std::int64_t count = [] {
+        std::int64_t conditionals = 0;
+        for (const bpsim::BranchRecord &record : sharedTrace().data())
+            conditionals += record.isConditional() ? 1 : 0;
+        return conditionals;
+    }();
+    return count;
+}
+
 void
 runPredictor(benchmark::State &state, const std::string &config)
 {
@@ -41,7 +56,7 @@ runPredictor(benchmark::State &state, const std::string &config)
     }
     state.SetItemsProcessed(
         static_cast<std::int64_t>(state.iterations()) *
-        static_cast<std::int64_t>(trace.size()));
+        sharedConditionals());
 }
 
 void BM_Bimodal(benchmark::State &state) { runPredictor(state, "bimodal:n=12"); }

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Head-to-head throughput of the two replay paths: the virtual
+ * simulate() loop versus the devirtualized batched kernel behind
+ * simulateAny() (sim/replay_kernel.hh). Not a paper figure — this
+ * measures the simulator itself, and records the speedup that makes
+ * the paper's sweeps affordable.
+ *
+ * Every kernel-eligible predictor kind is timed on both paths over
+ * the same gcc-like trace; the per-kind best-of-N timings land in a
+ * JSON report (default BENCH_replay.json) together with the measured
+ * speedup. The binary also re-checks the bit-identity contract on
+ * every pair and exits non-zero on any mismatch, so a stale baseline
+ * can never hide a divergence.
+ */
+
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <sstream>
+
+#include "common/bench_common.hh"
+#include "core/factory.hh"
+#include "sim/replay.hh"
+#include "util/json.hh"
+#include "util/logging.hh"
+
+using namespace bpsim;
+using namespace bpsim::bench;
+
+namespace
+{
+
+/** Runs @p body @p reps times and keeps the fastest result — the
+ *  usual best-of-N protocol for wall-clock microbenchmarks. */
+SimResult
+bestOf(unsigned reps, const std::function<SimResult()> &body)
+{
+    SimResult best;
+    for (unsigned rep = 0; rep < reps; ++rep) {
+        SimResult result = body();
+        if (rep == 0 || result.wallNanos < best.wallNanos)
+            best = result;
+    }
+    return best;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("perf_replay",
+                   "Virtual-loop vs devirtualized-kernel replay "
+                   "throughput for every kernel-eligible predictor.");
+    addCommonOptions(args);
+    args.addOption("branches", "2000000",
+                   "dynamic branch count of the timing trace");
+    args.addOption("reps", "3", "timed repetitions per path (best-of)");
+    args.addOption("out", "BENCH_replay.json",
+                   "path of the JSON throughput report");
+    if (!args.parse(argc, argv))
+        return 0;
+    const std::uint64_t divisor = applyCommonOptions(args);
+    const unsigned reps =
+        static_cast<unsigned>(std::max<std::uint64_t>(
+            args.getUint("reps"), 1));
+
+    auto spec = findBenchmark("gcc");
+    spec->dynamicBranches =
+        std::max<std::uint64_t>(args.getUint("branches") / divisor,
+                                50'000);
+    TraceCache cache;
+    const MemoryTrace &trace = cache.traceFor(*spec);
+    const PackedTrace &packed = cache.packedFor(*spec);
+    BPSIM_INFORM("timing trace: " << trace.size() << " records, "
+                 << packed.size() << " conditionals");
+
+    // One representative configuration per kernel-eligible kind,
+    // matching perf_predictors' sizes.
+    const std::vector<std::string> configs = {
+        "bimodal:n=12",  "gshare:n=12",      "bimode:d=11",
+        "agree:n=12",    "gskew:n=11",       "yags:c=12,n=10",
+        "tournament:n=11"};
+
+    TextTable table;
+    table.setColumns({"config", "predictor", "virtual Mbr/s",
+                      "kernel Mbr/s", "speedup"});
+
+    std::ostringstream json;
+    json << "[";
+    bool mismatch = false;
+    bool first = true;
+    for (const std::string &config : configs) {
+        const PredictorPtr predictor = makePredictor(config);
+
+        const SimResult virtual_best = bestOf(reps, [&] {
+            predictor->reset();
+            auto reader = trace.reader();
+            return simulate(*predictor, reader);
+        });
+        // simulateAny() dispatches every one of these configs to the
+        // kernel (all kinds here satisfy hasFastReplay()).
+        const SimResult kernel_best = bestOf(reps, [&] {
+            predictor->reset();
+            auto reader = trace.reader();
+            return simulateAny(*predictor, reader, &packed);
+        });
+
+        const bool identical =
+            virtual_best.branches == kernel_best.branches &&
+            virtual_best.mispredictions == kernel_best.mispredictions &&
+            virtual_best.takenBranches == kernel_best.takenBranches;
+        if (!identical) {
+            mismatch = true;
+            BPSIM_WARN("replay paths DIVERGED for " << config);
+        }
+
+        const double speedup =
+            virtual_best.wallNanos == 0 || kernel_best.wallNanos == 0
+                ? 0.0
+                : static_cast<double>(virtual_best.wallNanos) /
+                      static_cast<double>(kernel_best.wallNanos);
+
+        table.addRow({config, virtual_best.predictorName,
+                      TextTable::fixed(
+                          virtual_best.branchesPerSec() / 1e6, 2),
+                      TextTable::fixed(
+                          kernel_best.branchesPerSec() / 1e6, 2),
+                      TextTable::fixed(speedup, 2)});
+
+        if (!first)
+            json << ",";
+        first = false;
+        json << "\n  {\"config\":" << jsonString(config)
+             << ",\"predictor\":"
+             << jsonString(virtual_best.predictorName)
+             << ",\"branches\":" << virtual_best.branches
+             << ",\"mispredictions\":" << virtual_best.mispredictions
+             << ",\"virtualNanos\":" << virtual_best.wallNanos
+             << ",\"kernelNanos\":" << kernel_best.wallNanos
+             << ",\"virtualBranchesPerSec\":"
+             << jsonNumber(virtual_best.branchesPerSec())
+             << ",\"kernelBranchesPerSec\":"
+             << jsonNumber(kernel_best.branchesPerSec())
+             << ",\"speedup\":" << jsonNumber(speedup)
+             << ",\"identical\":" << (identical ? "true" : "false")
+             << "}";
+    }
+    json << "\n]\n";
+
+    emitTable(args, table, "Replay-path throughput (best of " +
+                               std::to_string(reps) + ")");
+
+    const std::string out = args.get("out");
+    std::ofstream file(out);
+    if (!file) {
+        std::cerr << "cannot write " << out << "\n";
+        return 1;
+    }
+    file << json.str();
+    std::cout << "\nwrote " << out << "\n";
+
+    return mismatch ? 1 : 0;
+}

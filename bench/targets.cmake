@@ -29,6 +29,7 @@ bpsim_bench(fig8_breakdown_go)
 bpsim_bench(ablation_bimode)
 bpsim_bench(interference_taxonomy)
 bpsim_bench(scheme_comparison)
+bpsim_bench(perf_replay)
 
 add_executable(perf_predictors bench/perf_predictors.cc)
 target_link_libraries(perf_predictors PRIVATE

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/factory.hh"
+#include "sim/replay.hh"
 
 namespace bpsim
 {
@@ -51,6 +52,7 @@ Campaign::addJob(std::string configText, const BenchmarkTrace &benchmark,
     job.configText = std::move(configText);
     job.benchmark = benchmark.name;
     job.trace = benchmark.trace;
+    job.packed = benchmark.packed;
     job.simConfig = simConfig;
     return addJob(std::move(job));
 }
@@ -83,7 +85,8 @@ runJob(const Job &job)
         return result;
     }
     auto reader = job.trace->reader();
-    result.result = simulate(*made.predictor, reader, job.simConfig);
+    result.result =
+        simulateAny(*made.predictor, reader, job.packed, job.simConfig);
     result.result.benchmark = job.benchmark;
     result.result.configText = job.configText;
     return result;
@@ -138,8 +141,12 @@ resolveTraces(TraceCache &cache, const std::vector<WorkloadSpec> &specs)
 {
     std::vector<BenchmarkTrace> benchmarks;
     benchmarks.reserve(specs.size());
-    for (const WorkloadSpec &spec : specs)
-        benchmarks.push_back({spec.name, &cache.traceFor(spec)});
+    for (const WorkloadSpec &spec : specs) {
+        // Pack once per benchmark (serially, like trace generation);
+        // every job on the benchmark then shares both forms.
+        benchmarks.push_back(
+            {spec.name, &cache.traceFor(spec), &cache.packedFor(spec)});
+    }
     return benchmarks;
 }
 

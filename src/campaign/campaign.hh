@@ -47,6 +47,10 @@ struct BenchmarkTrace
     std::string name;
     /** Borrowed; must outlive any campaign run that uses it. */
     const MemoryTrace *trace = nullptr;
+    /** Packed form of the same trace for the devirtualized replay
+     *  kernel; null disables the fast path for jobs on this
+     *  benchmark. Borrowed like @ref trace. */
+    const PackedTrace *packed = nullptr;
 };
 
 /** One independent unit of campaign work. */
@@ -61,6 +65,9 @@ struct Job
     std::string benchmark;
     /** Shared immutable trace to replay. */
     const MemoryTrace *trace = nullptr;
+    /** Packed trace for the fast replay path; may be null (the job
+     *  then always uses the virtual simulate() loop). */
+    const PackedTrace *packed = nullptr;
     /** Per-job simulation options (warm-up, per-branch tracking). */
     SimConfig simConfig;
 };

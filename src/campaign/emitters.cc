@@ -8,7 +8,8 @@ namespace bpsim
 {
 
 void
-writeResultsJson(std::ostream &os, const std::vector<JobResult> &results)
+writeResultsJson(std::ostream &os, const std::vector<JobResult> &results,
+                 bool withTiming)
 {
     os << "[";
     bool first = true;
@@ -19,7 +20,7 @@ writeResultsJson(std::ostream &os, const std::vector<JobResult> &results)
         os << "\n  ";
         if (job.ok()) {
             os << "{\"ok\":true,\"result\":";
-            job.result.toJson(os);
+            job.result.toJson(os, withTiming);
             os << "}";
         } else {
             os << "{\"ok\":false,\"benchmark\":"
@@ -32,23 +33,33 @@ writeResultsJson(std::ostream &os, const std::vector<JobResult> &results)
 }
 
 TextTable
-resultsTable(const std::vector<JobResult> &results)
+resultsTable(const std::vector<JobResult> &results, bool withTiming)
 {
     TextTable table;
-    table.setColumns({"benchmark", "config", "predictor", "misp %",
-                      "counter KB"});
+    std::vector<std::string> columns = {"benchmark", "config",
+                                        "predictor", "misp %",
+                                        "counter KB"};
+    if (withTiming)
+        columns.push_back("Mbr/s");
+    table.setColumns(columns);
     for (const JobResult &job : results) {
+        std::vector<std::string> row;
         if (job.ok()) {
-            table.addRow({job.benchmark, job.configText,
-                          job.result.predictorName,
-                          TextTable::fixed(
-                              job.result.mispredictionRate(), 2),
-                          TextTable::fixed(job.result.counterKBytes(),
-                                           3)});
+            row = {job.benchmark, job.configText,
+                   job.result.predictorName,
+                   TextTable::fixed(job.result.mispredictionRate(), 2),
+                   TextTable::fixed(job.result.counterKBytes(), 3)};
+            if (withTiming) {
+                row.push_back(TextTable::fixed(
+                    job.result.branchesPerSec() / 1e6, 2));
+            }
         } else {
-            table.addRow({job.benchmark, job.configText,
-                          "error: " + job.error, "--", "--"});
+            row = {job.benchmark, job.configText,
+                   "error: " + job.error, "--", "--"};
+            if (withTiming)
+                row.push_back("--");
         }
+        table.addRow(row);
     }
     return table;
 }

@@ -26,12 +26,20 @@
 namespace bpsim
 {
 
-/** Writes @p results as a JSON array in job order. */
+/**
+ * Writes @p results as a JSON array in job order. Timing fields
+ * (wall time, throughput) are machine-dependent, so they are only
+ * emitted when @p withTiming is set; the default output is
+ * byte-identical across machines and `--jobs` values.
+ */
 void writeResultsJson(std::ostream &os,
-                      const std::vector<JobResult> &results);
+                      const std::vector<JobResult> &results,
+                      bool withTiming = false);
 
-/** Formats @p results as one table row per job, errors inline. */
-TextTable resultsTable(const std::vector<JobResult> &results);
+/** Formats @p results as one table row per job, errors inline. A
+ *  throughput column is appended when @p withTiming is set. */
+TextTable resultsTable(const std::vector<JobResult> &results,
+                       bool withTiming = false);
 
 } // namespace bpsim
 

@@ -35,19 +35,6 @@ BiModePredictor::BiModePredictor(const BiModeConfig &config)
                     << cfg.directionIndexBits << " bits)");
 }
 
-std::size_t
-BiModePredictor::directionIndexFor(std::uint64_t pc) const
-{
-    const std::uint64_t address = pcIndexBits(pc, cfg.directionIndexBits);
-    return static_cast<std::size_t>(address ^ history.value());
-}
-
-std::size_t
-BiModePredictor::choiceIndexFor(std::uint64_t pc) const
-{
-    return static_cast<std::size_t>(pcIndexBits(pc, cfg.choiceIndexBits));
-}
-
 PredictionDetail
 BiModePredictor::predictDetailed(std::uint64_t pc) const
 {
@@ -66,30 +53,7 @@ BiModePredictor::predictDetailed(std::uint64_t pc) const
 void
 BiModePredictor::update(std::uint64_t pc, bool taken)
 {
-    const std::size_t choice_index = choiceIndexFor(pc);
-    const bool choice_taken = choice.predictTaken(choice_index);
-    const std::uint32_t bank = choice_taken ? kTakenBank : kNotTakenBank;
-    const std::size_t index = directionIndexFor(pc);
-    const bool prediction = banks[bank].predictTaken(index);
-
-    // Direction banks: partial update — only the serving counter
-    // learns the outcome, so the unselected bank's state for this
-    // history pattern is preserved for the branches that live there.
-    banks[bank].update(index, taken);
-    if (!cfg.partialUpdate)
-        banks[bank ^ 1].update(index, taken);
-
-    // Choice table: always trained toward the outcome, except when
-    // it chose the "wrong" bank but that bank still predicted
-    // correctly — evicting the branch from a bank that serves it
-    // well would only create new interference.
-    const bool keep_choice =
-        !cfg.alwaysUpdateChoice &&
-        choice_taken != taken && prediction == taken;
-    if (!keep_choice)
-        choice.update(choice_index, taken);
-
-    history.push(taken);
+    updateFast(pc, taken);
 }
 
 void

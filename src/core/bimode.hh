@@ -85,10 +85,75 @@ class BiModePredictor : public BranchPredictor
     std::uint64_t directionCounters() const override;
 
     /** Direction-bank index for @p pc under the current history. */
-    std::size_t directionIndexFor(std::uint64_t pc) const;
+    std::size_t
+    directionIndexFor(std::uint64_t pc) const
+    {
+        const std::uint64_t address =
+            pcIndexBits(pc, cfg.directionIndexBits);
+        return static_cast<std::size_t>(address ^ history.value());
+    }
 
     /** Choice-table index for @p pc. */
-    std::size_t choiceIndexFor(std::uint64_t pc) const;
+    std::size_t
+    choiceIndexFor(std::uint64_t pc) const
+    {
+        return static_cast<std::size_t>(
+            pcIndexBits(pc, cfg.choiceIndexBits));
+    }
+
+    /** Devirtualized hot path: == predictDetailed().taken. */
+    bool
+    predictFast(std::uint64_t pc) const
+    {
+        const std::uint32_t bank = choice.predictTaken(choiceIndexFor(pc))
+            ? kTakenBank : kNotTakenBank;
+        return banks[bank].predictTaken(directionIndexFor(pc));
+    }
+
+    /**
+     * Fused hot path: predict and update sharing one set of table
+     * lookups. Returns the prediction predictFast() would have made
+     * immediately before updateFast(); the state transition is
+     * identical to predict-then-update.
+     */
+    bool
+    stepFast(std::uint64_t pc, bool taken)
+    {
+        const std::size_t choice_index = choiceIndexFor(pc);
+        const bool choice_taken = choice.predictTaken(choice_index);
+        const std::uint32_t bank =
+            choice_taken ? kTakenBank : kNotTakenBank;
+        const std::size_t index = directionIndexFor(pc);
+        const bool prediction = banks[bank].predictTaken(index);
+
+        // Direction banks: partial update — only the serving counter
+        // learns the outcome, so the unselected bank's state for this
+        // history pattern is preserved for the branches that live
+        // there.
+        banks[bank].update(index, taken);
+        if (!cfg.partialUpdate)
+            banks[bank ^ 1].update(index, taken);
+
+        // Choice table: always trained toward the outcome, except
+        // when it chose the "wrong" bank but that bank still
+        // predicted correctly — evicting the branch from a bank that
+        // serves it well would only create new interference.
+        const bool keep_choice =
+            !cfg.alwaysUpdateChoice &&
+            choice_taken != taken && prediction == taken;
+        if (!keep_choice)
+            choice.update(choice_index, taken);
+
+        history.push(taken);
+        return prediction;
+    }
+
+    /** Devirtualized hot path: the state transition of update(). */
+    void
+    updateFast(std::uint64_t pc, bool taken)
+    {
+        (void)stepFast(pc, taken);
+    }
 
     const BiModeConfig &config() const { return cfg; }
 

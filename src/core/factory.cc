@@ -269,4 +269,12 @@ knownPredictorKinds()
             "tournament", "perceptron", "filter"};
 }
 
+bool
+hasFastReplay(const std::string &kind)
+{
+    return kind == "bimodal" || kind == "gshare" || kind == "bimode" ||
+           kind == "agree" || kind == "gskew" || kind == "yags" ||
+           kind == "tournament";
+}
+
 } // namespace bpsim

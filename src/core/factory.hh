@@ -108,6 +108,15 @@ PredictorPtr makePredictor(const PredictorSpec &spec);
 /** The list of recognized predictor kinds (for help texts). */
 std::vector<std::string> knownPredictorKinds();
 
+/**
+ * True when predictors of @p kind have a devirtualized batched replay
+ * kernel (sim/replay.hh). Runs of other kinds — and runs needing
+ * per-branch tracking — use the virtual simulate() loop. The two
+ * paths are bit-identical; this only classifies which one the
+ * dispatcher may take.
+ */
+bool hasFastReplay(const std::string &kind);
+
 } // namespace bpsim
 
 #endif // BPSIM_CORE_FACTORY_HH

@@ -19,19 +19,6 @@ AgreePredictor::AgreePredictor(const AgreeConfig &config)
         BPSIM_FATAL("agree history cannot exceed the index width");
 }
 
-std::size_t
-AgreePredictor::counterIndexFor(std::uint64_t pc) const
-{
-    const std::uint64_t address = pcIndexBits(pc, cfg.indexBits);
-    return static_cast<std::size_t>(address ^ history.value());
-}
-
-std::size_t
-AgreePredictor::biasIndexFor(std::uint64_t pc) const
-{
-    return static_cast<std::size_t>(pcIndexBits(pc, cfg.biasIndexBits));
-}
-
 PredictionDetail
 AgreePredictor::predictDetailed(std::uint64_t pc) const
 {
@@ -53,15 +40,7 @@ AgreePredictor::predictDetailed(std::uint64_t pc) const
 void
 AgreePredictor::update(std::uint64_t pc, bool taken)
 {
-    const std::size_t bias_index = biasIndexFor(pc);
-    if (!biasValid[bias_index]) {
-        // First encounter fixes the biasing bit to the outcome.
-        biasValid[bias_index] = 1;
-        biasBit[bias_index] = taken ? 1 : 0;
-    }
-    const bool bias = biasBit[bias_index] != 0;
-    counters.update(counterIndexFor(pc), taken == bias);
-    history.push(taken);
+    updateFast(pc, taken);
 }
 
 void

@@ -52,16 +52,80 @@ class AgreePredictor : public BranchPredictor
     std::uint64_t counterBits() const override;
     std::uint64_t directionCounters() const override;
 
+    /** Devirtualized hot path: == predictDetailed().taken. */
+    bool
+    predictFast(std::uint64_t pc) const
+    {
+        const std::size_t bias_index = biasIndexFor(pc);
+        // An unseen branch has no bias yet; treat the bias as taken
+        // (matching the counters' weakly-taken start).
+        const bool bias =
+            biasValid[bias_index] ? biasBit[bias_index] != 0 : true;
+        return counters.predictTaken(counterIndexFor(pc)) == bias;
+    }
+
+    /** Devirtualized hot path: the state transition of update(). */
+    void
+    updateFast(std::uint64_t pc, bool taken)
+    {
+        const std::size_t bias_index = biasIndexFor(pc);
+        if (!biasValid[bias_index]) {
+            // First encounter fixes the biasing bit to the outcome.
+            biasValid[bias_index] = 1;
+            biasBit[bias_index] = taken ? 1 : 0;
+        }
+        const bool bias = biasBit[bias_index] != 0;
+        counters.update(counterIndexFor(pc), taken == bias);
+        history.push(taken);
+    }
+
+    /** Fused hot path: predict + update sharing one set of lookups;
+     *  bit-identical to predictFast() then updateFast(). The
+     *  prediction uses the pre-update bias (default taken for an
+     *  unseen branch); the counter trains against the post-capture
+     *  bias, exactly as the split path does. */
+    bool
+    stepFast(std::uint64_t pc, bool taken)
+    {
+        const std::size_t bias_index = biasIndexFor(pc);
+        const std::size_t index = counterIndexFor(pc);
+        const bool old_bias =
+            biasValid[bias_index] ? biasBit[bias_index] != 0 : true;
+        const bool prediction = counters.predictTaken(index) == old_bias;
+        if (!biasValid[bias_index]) {
+            biasValid[bias_index] = 1;
+            biasBit[bias_index] = taken ? 1 : 0;
+        }
+        const bool bias = biasBit[bias_index] != 0;
+        counters.update(index, taken == bias);
+        history.push(taken);
+        return prediction;
+    }
+
   private:
-    std::size_t counterIndexFor(std::uint64_t pc) const;
-    std::size_t biasIndexFor(std::uint64_t pc) const;
+    std::size_t
+    counterIndexFor(std::uint64_t pc) const
+    {
+        const std::uint64_t address = pcIndexBits(pc, cfg.indexBits);
+        return static_cast<std::size_t>(address ^ history.value());
+    }
+
+    std::size_t
+    biasIndexFor(std::uint64_t pc) const
+    {
+        return static_cast<std::size_t>(
+            pcIndexBits(pc, cfg.biasIndexBits));
+    }
 
     AgreeConfig cfg;
     HistoryRegister history;
     CounterTable counters;
-    /** Biasing bit per entry plus a valid bit (first-use capture). */
-    std::vector<std::uint8_t> biasBit;
-    std::vector<std::uint8_t> biasValid;
+    /** Biasing bit per entry plus a valid bit (first-use capture).
+     *  uint16 rather than uint8 for the same aliasing reason as
+     *  CounterTable: unsigned-char stores would defeat type-based
+     *  alias analysis in the inlined replay kernel. */
+    std::vector<std::uint16_t> biasBit;
+    std::vector<std::uint16_t> biasValid;
 };
 
 } // namespace bpsim

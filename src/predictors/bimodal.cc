@@ -14,12 +14,6 @@ BimodalPredictor::BimodalPredictor(unsigned indexBits, unsigned counterWidth)
 {
 }
 
-std::size_t
-BimodalPredictor::indexFor(std::uint64_t pc) const
-{
-    return static_cast<std::size_t>(pcIndexBits(pc, indexBits));
-}
-
 PredictionDetail
 BimodalPredictor::predictDetailed(std::uint64_t pc) const
 {
@@ -30,7 +24,7 @@ BimodalPredictor::predictDetailed(std::uint64_t pc) const
 void
 BimodalPredictor::update(std::uint64_t pc, bool taken)
 {
-    counters.update(indexFor(pc), taken);
+    updateFast(pc, taken);
 }
 
 void

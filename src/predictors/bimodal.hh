@@ -9,6 +9,7 @@
 #define BPSIM_PREDICTORS_BIMODAL_HH
 
 #include "predictors/counter.hh"
+#include "predictors/history.hh"
 #include "predictors/predictor.hh"
 
 namespace bpsim
@@ -32,7 +33,41 @@ class BimodalPredictor : public BranchPredictor
     std::uint64_t directionCounters() const override;
 
     /** Index of the counter serving @p pc. */
-    std::size_t indexFor(std::uint64_t pc) const;
+    std::size_t
+    indexFor(std::uint64_t pc) const
+    {
+        return static_cast<std::size_t>(pcIndexBits(pc, indexBits));
+    }
+
+    /**
+     * Devirtualized hot path for the replay kernel: the direction of
+     * predictDetailed() without the analysis provenance. Must stay
+     * equal to predictDetailed().taken (the bit-identity contract of
+     * sim/replay_kernel.hh).
+     */
+    bool
+    predictFast(std::uint64_t pc) const
+    {
+        return counters.predictTaken(indexFor(pc));
+    }
+
+    /** Devirtualized hot path: the state transition of update(). */
+    void
+    updateFast(std::uint64_t pc, bool taken)
+    {
+        counters.update(indexFor(pc), taken);
+    }
+
+    /** Fused hot path: predict + update sharing one index/lookup;
+     *  bit-identical to predictFast() then updateFast(). */
+    bool
+    stepFast(std::uint64_t pc, bool taken)
+    {
+        const std::size_t index = indexFor(pc);
+        const bool prediction = counters.predictTaken(index);
+        counters.update(index, taken);
+        return prediction;
+    }
 
     /** Read-only access for tests and composite predictors. */
     const CounterTable &table() const { return counters; }

@@ -128,14 +128,16 @@ class CounterTable
     void
     update(std::size_t index, bool taken)
     {
-        std::uint8_t &v = values[index];
-        if (taken) {
-            if (v < maxValue)
-                ++v;
-        } else {
-            if (v > 0)
-                --v;
-        }
+        // Branchless saturate-and-step: the direction depends on the
+        // simulated outcome, which is poorly predicted by the *host*
+        // branch predictor in the replay kernels; computing both
+        // candidates and selecting compiles to conditional moves.
+        std::uint16_t &v = values[index];
+        const std::uint16_t up =
+            static_cast<std::uint16_t>(v + (v < maxValue ? 1 : 0));
+        const std::uint16_t down =
+            static_cast<std::uint16_t>(v - (v > 0 ? 1 : 0));
+        v = taken ? up : down;
     }
 
     bool
@@ -144,7 +146,11 @@ class CounterTable
         return values[index] > maxValue / 2;
     }
 
-    std::uint8_t value(std::size_t index) const { return values[index]; }
+    std::uint8_t
+    value(std::size_t index) const
+    {
+        return static_cast<std::uint8_t>(values[index]);
+    }
 
     void set(std::size_t index, std::uint8_t v)
     {
@@ -172,7 +178,16 @@ class CounterTable
     unsigned widthBits;
     std::uint8_t maxValue;
     std::uint8_t initialValue;
-    std::vector<std::uint8_t> values;
+    /**
+     * Counter values never exceed 8 bits (maxValue), but they are
+     * stored as uint16 on purpose: uint8 is unsigned char, whose
+     * stores may alias *any* object under the C++ aliasing rules, so
+     * a uint8 table forces the optimizer to reload every cached
+     * member (data pointers, widths, history registers) after each
+     * counter write in the inlined replay kernels. uint16 keeps the
+     * table narrow while restoring type-based alias analysis.
+     */
+    std::vector<std::uint16_t> values;
 };
 
 } // namespace bpsim

@@ -18,15 +18,6 @@ GsharePredictor::GsharePredictor(unsigned indexBits, unsigned historyBits,
                     << indexBits << " bits)");
 }
 
-std::size_t
-GsharePredictor::indexFor(std::uint64_t pc) const
-{
-    // History xors into the low bits; with m < n the top n-m bits
-    // stay pure address, i.e. they select among 2^(n-m) PHTs.
-    const std::uint64_t address = pcIndexBits(pc, indexBits);
-    return static_cast<std::size_t>(address ^ history.value());
-}
-
 PredictionDetail
 GsharePredictor::predictDetailed(std::uint64_t pc) const
 {
@@ -37,8 +28,7 @@ GsharePredictor::predictDetailed(std::uint64_t pc) const
 void
 GsharePredictor::update(std::uint64_t pc, bool taken)
 {
-    counters.update(indexFor(pc), taken);
-    history.push(taken);
+    updateFast(pc, taken);
 }
 
 void

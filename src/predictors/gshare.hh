@@ -45,7 +45,41 @@ class GsharePredictor : public BranchPredictor
     std::uint64_t directionCounters() const override;
 
     /** Second-level index for @p pc under the current history. */
-    std::size_t indexFor(std::uint64_t pc) const;
+    std::size_t
+    indexFor(std::uint64_t pc) const
+    {
+        // History xors into the low bits; with m < n the top n-m bits
+        // stay pure address, i.e. they select among 2^(n-m) PHTs.
+        const std::uint64_t address = pcIndexBits(pc, indexBits);
+        return static_cast<std::size_t>(address ^ history.value());
+    }
+
+    /** Devirtualized hot path: == predictDetailed().taken. */
+    bool
+    predictFast(std::uint64_t pc) const
+    {
+        return counters.predictTaken(indexFor(pc));
+    }
+
+    /** Devirtualized hot path: the state transition of update(). */
+    void
+    updateFast(std::uint64_t pc, bool taken)
+    {
+        counters.update(indexFor(pc), taken);
+        history.push(taken);
+    }
+
+    /** Fused hot path: predict + update sharing one index/lookup;
+     *  bit-identical to predictFast() then updateFast(). */
+    bool
+    stepFast(std::uint64_t pc, bool taken)
+    {
+        const std::size_t index = indexFor(pc);
+        const bool prediction = counters.predictTaken(index);
+        counters.update(index, taken);
+        history.push(taken);
+        return prediction;
+    }
 
     unsigned indexBitCount() const { return indexBits; }
     unsigned historyBitCount() const { return history.bits(); }

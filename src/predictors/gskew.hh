@@ -62,9 +62,101 @@ class GskewPredictor : public BranchPredictor
     std::uint64_t directionCounters() const override;
 
     /** Index into @p bank for @p pc under the current history. */
-    std::size_t indexFor(unsigned bank, std::uint64_t pc) const;
+    std::size_t
+    indexFor(unsigned bank, std::uint64_t pc) const
+    {
+        // Feed more address bits than the index needs so the hash can
+        // disperse; pc bits above the bank width still matter.
+        const std::uint64_t address =
+            bitField(pc, 2, cfg.bankIndexBits + 8);
+        return static_cast<std::size_t>(
+            bankHash(bank, address, history.value(), cfg.bankIndexBits));
+    }
+
+    /** Devirtualized hot path: == predictDetailed().taken. */
+    bool
+    predictFast(std::uint64_t pc) const
+    {
+        int votes = 0;
+        for (unsigned bank = 0; bank < 3; ++bank) {
+            if (banks[bank].predictTaken(indexFor(bank, pc)))
+                ++votes;
+        }
+        return votes >= 2;
+    }
+
+    /** Fused hot path: predict + update sharing one set of bank
+     *  hashes and lookups; bit-identical to predictFast() then
+     *  updateFast(). */
+    bool
+    stepFast(std::uint64_t pc, bool taken)
+    {
+        bool bank_votes[3];
+        std::size_t indices[3];
+        int votes = 0;
+        for (unsigned bank = 0; bank < 3; ++bank) {
+            indices[bank] = indexFor(bank, pc);
+            bank_votes[bank] = banks[bank].predictTaken(indices[bank]);
+            if (bank_votes[bank])
+                ++votes;
+        }
+        const bool prediction = votes >= 2;
+
+        if (!cfg.partialUpdate || prediction != taken) {
+            // On a misprediction (or with partial update disabled)
+            // every bank re-learns the outcome.
+            for (unsigned bank = 0; bank < 3; ++bank)
+                banks[bank].update(indices[bank], taken);
+        } else {
+            // Correct prediction: strengthen only the banks that
+            // voted with the outcome, plus the always-updated bimodal
+            // bank — the e-gskew partial update that protects
+            // dissenting banks' state for the branches they serve
+            // correctly.
+            banks[0].update(indices[0], taken);
+            for (unsigned bank = 1; bank < 3; ++bank) {
+                if (bank_votes[bank] == taken)
+                    banks[bank].update(indices[bank], taken);
+            }
+        }
+        history.push(taken);
+        return prediction;
+    }
+
+    /** Devirtualized hot path: the state transition of update(). */
+    void
+    updateFast(std::uint64_t pc, bool taken)
+    {
+        (void)stepFast(pc, taken);
+    }
 
   private:
+    /**
+     * Per-bank mixing of the (pc, history) pair. Bank 0 is indexed by
+     * address alone (the e-gskew "bimodal bank"); banks 1 and 2 mix
+     * the history in with different odd multipliers so that a pair of
+     * branches colliding in one bank disperses in the others.
+     */
+    static std::uint64_t
+    bankHash(unsigned bank, std::uint64_t address, std::uint64_t history,
+             unsigned indexBits)
+    {
+        switch (bank) {
+          case 0:
+            return address & maskBits(indexBits);
+          case 1: {
+            const std::uint64_t mixed =
+                (address ^ history) * 0x9e3779b97f4a7c15ULL;
+            return foldXor(mixed, indexBits);
+          }
+          default: {
+            const std::uint64_t mixed =
+                (address + (history << 1)) * 0xc2b2ae3d27d4eb4fULL;
+            return foldXor(mixed, indexBits);
+          }
+        }
+    }
+
     GskewConfig cfg;
     HistoryRegister history;
     std::array<CounterTable, 3> banks;

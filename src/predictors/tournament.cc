@@ -2,9 +2,6 @@
 
 #include <sstream>
 
-#include "predictors/bimodal.hh"
-#include "predictors/gshare.hh"
-
 namespace bpsim
 {
 
@@ -18,12 +15,12 @@ TournamentPredictor::TournamentPredictor(PredictorPtr component0,
 {
     if (!components[0] || !components[1])
         BPSIM_PANIC("tournament components must be non-null");
-}
-
-std::size_t
-TournamentPredictor::metaIndexFor(std::uint64_t pc) const
-{
-    return static_cast<std::size_t>(pcIndexBits(pc, metaIndexBits));
+    // Capture typed component views so the hot path can skip virtual
+    // dispatch when this is the standard bimodal+gshare pairing.
+    bimodalComponent = dynamic_cast<BimodalPredictor *>(
+        components[0].get());
+    gshareComponent = dynamic_cast<GsharePredictor *>(
+        components[1].get());
 }
 
 PredictionDetail
@@ -43,14 +40,7 @@ TournamentPredictor::predictDetailed(std::uint64_t pc) const
 void
 TournamentPredictor::update(std::uint64_t pc, bool taken)
 {
-    const bool p0 = components[0]->predict(pc);
-    const bool p1 = components[1]->predict(pc);
-    // Train the meta table only when the components disagree, toward
-    // whichever was right.
-    if (p0 != p1)
-        meta.update(metaIndexFor(pc), p1 == taken);
-    components[0]->update(pc, taken);
-    components[1]->update(pc, taken);
+    updateFast(pc, taken);
 }
 
 void

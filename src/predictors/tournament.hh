@@ -13,7 +13,9 @@
 #ifndef BPSIM_PREDICTORS_TOURNAMENT_HH
 #define BPSIM_PREDICTORS_TOURNAMENT_HH
 
+#include "predictors/bimodal.hh"
 #include "predictors/counter.hh"
+#include "predictors/gshare.hh"
 #include "predictors/history.hh"
 #include "predictors/predictor.hh"
 
@@ -47,10 +49,83 @@ class TournamentPredictor : public BranchPredictor
      */
     static PredictorPtr makeStandard(unsigned indexBits);
 
+    /** Devirtualized hot path: == predictDetailed().taken. */
+    bool
+    predictFast(std::uint64_t pc) const
+    {
+        const unsigned selected =
+            meta.predictTaken(metaIndexFor(pc)) ? 1 : 0;
+        if (bimodalComponent && gshareComponent) {
+            return selected == 1 ? gshareComponent->predictFast(pc)
+                                 : bimodalComponent->predictFast(pc);
+        }
+        return components[selected]->predict(pc);
+    }
+
+    /** Devirtualized hot path: the state transition of update(). */
+    void
+    updateFast(std::uint64_t pc, bool taken)
+    {
+        bool p0, p1;
+        if (bimodalComponent && gshareComponent) {
+            p0 = bimodalComponent->predictFast(pc);
+            p1 = gshareComponent->predictFast(pc);
+        } else {
+            p0 = components[0]->predict(pc);
+            p1 = components[1]->predict(pc);
+        }
+        // Train the meta table only when the components disagree,
+        // toward whichever was right.
+        if (p0 != p1)
+            meta.update(metaIndexFor(pc), p1 == taken);
+        if (bimodalComponent && gshareComponent) {
+            bimodalComponent->updateFast(pc, taken);
+            gshareComponent->updateFast(pc, taken);
+        } else {
+            components[0]->update(pc, taken);
+            components[1]->update(pc, taken);
+        }
+    }
+
+    /**
+     * Fused hot path: predict + update sharing the meta lookup and
+     * the component predictions; bit-identical to predictFast() then
+     * updateFast(). The components are state-independent of each
+     * other and of the meta table, so fusing their predict/update
+     * pairs cannot reorder any visible state transition.
+     */
+    bool
+    stepFast(std::uint64_t pc, bool taken)
+    {
+        if (bimodalComponent && gshareComponent) {
+            const std::size_t meta_index = metaIndexFor(pc);
+            const bool use_second = meta.predictTaken(meta_index);
+            const bool p0 = bimodalComponent->stepFast(pc, taken);
+            const bool p1 = gshareComponent->stepFast(pc, taken);
+            if (p0 != p1)
+                meta.update(meta_index, p1 == taken);
+            return use_second ? p1 : p0;
+        }
+        const bool prediction = predictFast(pc);
+        updateFast(pc, taken);
+        return prediction;
+    }
+
   private:
-    std::size_t metaIndexFor(std::uint64_t pc) const;
+    std::size_t
+    metaIndexFor(std::uint64_t pc) const
+    {
+        return static_cast<std::size_t>(pcIndexBits(pc, metaIndexBits));
+    }
 
     PredictorPtr components[2];
+    /**
+     * Typed views of the components for the devirtualized path; null
+     * when a component is not the standard bimodal/gshare pair, in
+     * which case the fast methods fall back to virtual dispatch.
+     */
+    BimodalPredictor *bimodalComponent = nullptr;
+    GsharePredictor *gshareComponent = nullptr;
     unsigned metaIndexBits;
     CounterTable meta;
 };

@@ -24,46 +24,6 @@ YagsPredictor::YagsPredictor(const YagsConfig &config)
     caches[1].resize(cache_entries);
 }
 
-std::size_t
-YagsPredictor::cacheIndexFor(std::uint64_t pc) const
-{
-    const std::uint64_t address = pcIndexBits(pc, cfg.cacheIndexBits);
-    return static_cast<std::size_t>(address ^ history.value());
-}
-
-std::uint16_t
-YagsPredictor::tagFor(std::uint64_t pc) const
-{
-    // Tag with the pc bits just above the cache index so aliasing
-    // pairs that share an index usually differ in tag.
-    return static_cast<std::uint16_t>(
-        bitField(pc, 2 + cfg.cacheIndexBits, cfg.tagBits));
-}
-
-YagsPredictor::Lookup
-YagsPredictor::lookupFor(std::uint64_t pc) const
-{
-    Lookup look;
-    look.choiceIndex =
-        static_cast<std::size_t>(pcIndexBits(pc, cfg.choiceIndexBits));
-    look.choiceTaken = choice.predictTaken(look.choiceIndex);
-    // Exceptions to a taken bias live in the not-taken cache and
-    // vice versa: consult the cache opposite to the choice.
-    look.cache = look.choiceTaken ? kNotTakenCache : kTakenCache;
-    look.cacheIndex = cacheIndexFor(pc);
-    look.tag = tagFor(pc);
-    const CacheEntry &entry = caches[look.cache][look.cacheIndex];
-    look.hit = entry.valid && entry.tag == look.tag;
-    if (look.hit) {
-        const std::uint8_t mid =
-            static_cast<std::uint8_t>(maskBits(cfg.counterWidth) / 2);
-        look.prediction = entry.counter > mid;
-    } else {
-        look.prediction = look.choiceTaken;
-    }
-    return look;
-}
-
 PredictionDetail
 YagsPredictor::predictDetailed(std::uint64_t pc) const
 {
@@ -87,40 +47,7 @@ YagsPredictor::predictDetailed(std::uint64_t pc) const
 void
 YagsPredictor::update(std::uint64_t pc, bool taken)
 {
-    const Lookup look = lookupFor(pc);
-    const std::uint8_t max_counter =
-        static_cast<std::uint8_t>(maskBits(cfg.counterWidth));
-
-    if (look.hit) {
-        CacheEntry &entry = caches[look.cache][look.cacheIndex];
-        if (taken) {
-            if (entry.counter < max_counter)
-                ++entry.counter;
-        } else {
-            if (entry.counter > 0)
-                --entry.counter;
-        }
-    } else if (look.choiceTaken != taken) {
-        // The branch deviated from its bias and no exception entry
-        // existed: allocate one, initialized weakly toward the
-        // outcome.
-        CacheEntry &entry = caches[look.cache][look.cacheIndex];
-        entry.valid = true;
-        entry.tag = look.tag;
-        entry.counter = taken ? SaturatingCounter::weaklyTaken(
-                                    cfg.counterWidth)
-                              : SaturatingCounter::weaklyNotTaken(
-                                    cfg.counterWidth);
-    }
-
-    // Choice table follows the bi-mode policy: train with the
-    // outcome unless the choice was wrong but the cache corrected it.
-    const bool keep_choice =
-        look.choiceTaken != taken && look.prediction == taken;
-    if (!keep_choice)
-        choice.update(look.choiceIndex, taken);
-
-    history.push(taken);
+    updateFast(pc, taken);
 }
 
 void

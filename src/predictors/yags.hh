@@ -58,12 +58,70 @@ class YagsPredictor : public BranchPredictor
     std::uint64_t counterBits() const override;
     std::uint64_t directionCounters() const override;
 
+    /** Devirtualized hot path: == predictDetailed().taken. */
+    bool predictFast(std::uint64_t pc) const
+    {
+        return lookupFor(pc).prediction;
+    }
+
+    /** Fused hot path: predict + update sharing one lookupFor();
+     *  bit-identical to predictFast() then updateFast(). */
+    bool
+    stepFast(std::uint64_t pc, bool taken)
+    {
+        const Lookup look = lookupFor(pc);
+        const std::uint8_t max_counter =
+            static_cast<std::uint8_t>(maskBits(cfg.counterWidth));
+
+        if (look.hit) {
+            // Branchless saturate-and-step, as in CounterTable.
+            CacheEntry &entry = caches[look.cache][look.cacheIndex];
+            const std::uint16_t up = static_cast<std::uint16_t>(
+                entry.counter + (entry.counter < max_counter ? 1 : 0));
+            const std::uint16_t down = static_cast<std::uint16_t>(
+                entry.counter - (entry.counter > 0 ? 1 : 0));
+            entry.counter = taken ? up : down;
+        } else if (look.choiceTaken != taken) {
+            // The branch deviated from its bias and no exception
+            // entry existed: allocate one, initialized weakly toward
+            // the outcome.
+            CacheEntry &entry = caches[look.cache][look.cacheIndex];
+            entry.valid = true;
+            entry.tag = look.tag;
+            entry.counter =
+                taken ? SaturatingCounter::weaklyTaken(cfg.counterWidth)
+                      : SaturatingCounter::weaklyNotTaken(
+                            cfg.counterWidth);
+        }
+
+        // Choice table follows the bi-mode policy: train with the
+        // outcome unless the choice was wrong but the cache corrected
+        // it.
+        const bool keep_choice =
+            look.choiceTaken != taken && look.prediction == taken;
+        if (!keep_choice)
+            choice.update(look.choiceIndex, taken);
+
+        history.push(taken);
+        return look.prediction;
+    }
+
+    /** Devirtualized hot path: the state transition of update(). */
+    void
+    updateFast(std::uint64_t pc, bool taken)
+    {
+        (void)stepFast(pc, taken);
+    }
+
   private:
     struct CacheEntry
     {
         bool valid = false;
         std::uint16_t tag = 0;
-        std::uint8_t counter = 0;
+        /** Counter values fit 8 bits; uint16 storage keeps the entry
+         *  stores out of the unsigned-char universal-aliasing class
+         *  (see CounterTable::values). */
+        std::uint16_t counter = 0;
     };
 
     struct Lookup
@@ -77,9 +135,46 @@ class YagsPredictor : public BranchPredictor
         bool prediction;
     };
 
-    Lookup lookupFor(std::uint64_t pc) const;
-    std::size_t cacheIndexFor(std::uint64_t pc) const;
-    std::uint16_t tagFor(std::uint64_t pc) const;
+    std::size_t
+    cacheIndexFor(std::uint64_t pc) const
+    {
+        const std::uint64_t address =
+            pcIndexBits(pc, cfg.cacheIndexBits);
+        return static_cast<std::size_t>(address ^ history.value());
+    }
+
+    std::uint16_t
+    tagFor(std::uint64_t pc) const
+    {
+        // Tag with the pc bits just above the cache index so aliasing
+        // pairs that share an index usually differ in tag.
+        return static_cast<std::uint16_t>(
+            bitField(pc, 2 + cfg.cacheIndexBits, cfg.tagBits));
+    }
+
+    Lookup
+    lookupFor(std::uint64_t pc) const
+    {
+        Lookup look;
+        look.choiceIndex = static_cast<std::size_t>(
+            pcIndexBits(pc, cfg.choiceIndexBits));
+        look.choiceTaken = choice.predictTaken(look.choiceIndex);
+        // Exceptions to a taken bias live in the not-taken cache and
+        // vice versa: consult the cache opposite to the choice.
+        look.cache = look.choiceTaken ? kNotTakenCache : kTakenCache;
+        look.cacheIndex = cacheIndexFor(pc);
+        look.tag = tagFor(pc);
+        const CacheEntry &entry = caches[look.cache][look.cacheIndex];
+        look.hit = entry.valid && entry.tag == look.tag;
+        if (look.hit) {
+            const std::uint8_t mid = static_cast<std::uint8_t>(
+                maskBits(cfg.counterWidth) / 2);
+            look.prediction = entry.counter > mid;
+        } else {
+            look.prediction = look.choiceTaken;
+        }
+        return look;
+    }
 
     YagsConfig cfg;
     HistoryRegister history;

@@ -1,0 +1,41 @@
+#include "sim/replay.hh"
+
+#include "core/bimode.hh"
+#include "predictors/agree.hh"
+#include "predictors/bimodal.hh"
+#include "predictors/gshare.hh"
+#include "predictors/gskew.hh"
+#include "predictors/tournament.hh"
+#include "predictors/yags.hh"
+#include "sim/replay_kernel.hh"
+
+namespace bpsim
+{
+
+SimResult
+simulateAny(BranchPredictor &predictor, TraceReader &trace,
+            const PackedTrace *packed, const SimConfig &config)
+{
+    // One dynamic_cast per *run* (not per branch) selects the
+    // concrete kernel instantiation. Keep this list in sync with
+    // hasFastReplay() in core/factory.cc.
+    if (packed && !config.trackPerBranch) {
+        if (auto *p = dynamic_cast<BimodalPredictor *>(&predictor))
+            return replayKernel(*p, *packed, config);
+        if (auto *p = dynamic_cast<GsharePredictor *>(&predictor))
+            return replayKernel(*p, *packed, config);
+        if (auto *p = dynamic_cast<BiModePredictor *>(&predictor))
+            return replayKernel(*p, *packed, config);
+        if (auto *p = dynamic_cast<AgreePredictor *>(&predictor))
+            return replayKernel(*p, *packed, config);
+        if (auto *p = dynamic_cast<GskewPredictor *>(&predictor))
+            return replayKernel(*p, *packed, config);
+        if (auto *p = dynamic_cast<YagsPredictor *>(&predictor))
+            return replayKernel(*p, *packed, config);
+        if (auto *p = dynamic_cast<TournamentPredictor *>(&predictor))
+            return replayKernel(*p, *packed, config);
+    }
+    return simulate(predictor, trace, config);
+}
+
+} // namespace bpsim

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Replay-path dispatch: one entry point that picks the fastest
+ * bit-identical way to run a predictor over a trace.
+ *
+ * simulateAny() routes a run to the devirtualized replay kernel
+ * (sim/replay_kernel.hh) when the predictor's concrete type has one
+ * and the run does not need per-branch tracking; everything else
+ * falls back to the virtual simulate() loop. Callers never need to
+ * know which path was taken — results are bit-identical by contract.
+ *
+ * The kind classification lives in core/factory
+ * (hasFastReplay()); this dispatcher lives in sim because it depends
+ * on the simulation loop, which core must not.
+ */
+
+#ifndef BPSIM_SIM_REPLAY_HH
+#define BPSIM_SIM_REPLAY_HH
+
+#include "predictors/predictor.hh"
+#include "sim/simulator.hh"
+#include "trace/packed_trace.hh"
+#include "trace/trace_source.hh"
+
+namespace bpsim
+{
+
+/**
+ * Runs @p predictor over one benchmark trace by the fastest
+ * bit-identical path.
+ *
+ * @param predictor the predictor to drive (any kind)
+ * @param trace rewindable reader for the virtual fallback path
+ * @param packed packed form of the same trace, or null to force the
+ *        virtual path (e.g. when no PackedTrace has been built)
+ * @param config simulation options; trackPerBranch forces the
+ *        virtual path because the kernel does not collect
+ *        per-branch detail
+ *
+ * @pre @p packed, when non-null, must be built from the same records
+ *      @p trace yields — the dispatcher cannot check this.
+ */
+SimResult simulateAny(BranchPredictor &predictor, TraceReader &trace,
+                      const PackedTrace *packed,
+                      const SimConfig &config = {});
+
+} // namespace bpsim
+
+#endif // BPSIM_SIM_REPLAY_HH

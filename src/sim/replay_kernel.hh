@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The devirtualized batched replay kernel.
+ *
+ * replayKernel() is the hot loop of the project: it streams a
+ * PackedTrace (contiguous pc array + taken bitmap, conditionals only)
+ * through a *concrete* predictor type, so every predict/update call
+ * inlines instead of going through the BranchPredictor vtable, and
+ * the taken bitmap is loaded one 64-branch word at a time.
+ *
+ * Bit-identity contract: for any predictor P and trace T,
+ * replayKernel(P, pack(T)) and simulate(P, T) must produce identical
+ * branches/mispredictions/takenBranches and leave P in the identical
+ * state. The kernel leans on two invariants of the virtual loop:
+ *
+ *  - predictDetailed() is const and side-effect-free, so warm-up
+ *    records (whose predictions are discarded) can skip prediction
+ *    entirely and only train;
+ *  - none of the kernel-eligible predictor kinds override
+ *    observeTarget(), so the target-observation call is omitted.
+ *
+ * tests/sim/test_replay.cc enforces the contract for every
+ * factory-constructible spec.
+ */
+
+#ifndef BPSIM_SIM_REPLAY_KERNEL_HH
+#define BPSIM_SIM_REPLAY_KERNEL_HH
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/simulator.hh"
+#include "trace/packed_trace.hh"
+
+namespace bpsim
+{
+
+/**
+ * Replays @p packed through @p predictor using its non-virtual
+ * predictFast()/updateFast() methods.
+ *
+ * @tparam Pred a concrete predictor type providing
+ *         `void updateFast(std::uint64_t pc, bool taken)` (the state
+ *         transition of its virtual update()) and
+ *         `bool stepFast(std::uint64_t pc, bool taken)` (fused
+ *         predict + update sharing one set of table lookups,
+ *         bit-identical to predict-then-update).
+ */
+template <typename Pred>
+SimResult
+replayKernel(Pred &predictor, const PackedTrace &packed,
+             const SimConfig &config = {})
+{
+    SimResult result;
+    result.predictorName = predictor.name();
+    result.counterBits = predictor.counterBits();
+    result.storageBits = predictor.storageBits();
+
+    const std::size_t total = packed.size();
+    const std::uint64_t *pcs = packed.pcData();
+    const std::size_t warmup = static_cast<std::size_t>(
+        std::min<std::uint64_t>(config.warmupBranches, total));
+
+    const auto start = std::chrono::steady_clock::now();
+
+    // Warm-up records train the predictor but are excluded from the
+    // statistics. Predictions are side-effect-free, so skipping them
+    // here leaves the predictor in the same state as the virtual loop.
+    for (std::size_t i = 0; i < warmup; ++i)
+        predictor.updateFast(pcs[i], packed.taken(i));
+
+    // Measured region: stream the taken bitmap one 64-branch word at
+    // a time, shifting outcomes out of a register instead of
+    // re-indexing the bitmap per branch.
+    std::uint64_t mispredictions = 0;
+    std::uint64_t taken_branches = 0;
+    std::size_t i = warmup;
+    while (i < total) {
+        const std::size_t word_index = i / PackedTrace::kWordBits;
+        const std::size_t word_end = std::min(
+            total, (word_index + 1) * PackedTrace::kWordBits);
+        std::uint64_t word =
+            packed.takenWord(word_index) >> (i % PackedTrace::kWordBits);
+        for (; i < word_end; ++i, word >>= 1) {
+            const std::uint64_t pc = pcs[i];
+            const bool taken = (word & 1) != 0;
+            const bool prediction = predictor.stepFast(pc, taken);
+            mispredictions +=
+                static_cast<std::uint64_t>(prediction != taken);
+            taken_branches += static_cast<std::uint64_t>(taken);
+        }
+    }
+
+    result.wallNanos = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+    result.branches = total - warmup;
+    result.mispredictions = mispredictions;
+    result.takenBranches = taken_branches;
+    return result;
+}
+
+} // namespace bpsim
+
+#endif // BPSIM_SIM_REPLAY_KERNEL_HH

@@ -1,6 +1,7 @@
 #include "sim/simulator.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <ostream>
 
 #include "util/json.hh"
@@ -23,8 +24,17 @@ SimResult::counterKBytes() const
     return static_cast<double>(counterBits) / 8.0 / 1024.0;
 }
 
+double
+SimResult::branchesPerSec() const
+{
+    if (wallNanos == 0)
+        return 0.0;
+    return static_cast<double>(branches) * 1e9 /
+           static_cast<double>(wallNanos);
+}
+
 void
-SimResult::toJson(std::ostream &os) const
+SimResult::toJson(std::ostream &os, bool withTiming) const
 {
     os << "{\"benchmark\":" << jsonString(benchmark)
        << ",\"config\":" << jsonString(configText)
@@ -35,7 +45,12 @@ SimResult::toJson(std::ostream &os) const
        << ",\"mispredictions\":" << mispredictions
        << ",\"takenBranches\":" << takenBranches
        << ",\"mispredictionRate\":" << jsonNumber(mispredictionRate())
-       << ",\"counterKBytes\":" << jsonNumber(counterKBytes()) << "}";
+       << ",\"counterKBytes\":" << jsonNumber(counterKBytes());
+    if (withTiming) {
+        os << ",\"wallNanos\":" << wallNanos
+           << ",\"branchesPerSec\":" << jsonNumber(branchesPerSec());
+    }
+    os << "}";
 }
 
 SimResult
@@ -48,10 +63,18 @@ simulate(BranchPredictor &predictor, TraceReader &trace,
     result.storageBits = predictor.storageBits();
 
     std::unordered_map<std::uint64_t, PerBranchResult> per_branch;
+    if (config.trackPerBranch) {
+        // Static branch counts are unknown up front (TraceReader::size()
+        // is the dynamic record count, when known at all); reserve a
+        // capped estimate to avoid the worst of the rehashing.
+        per_branch.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(
+            trace.size().value_or(0), std::uint64_t{1} << 16)));
+    }
 
     trace.rewind();
     BranchRecord record;
     std::uint64_t seen = 0;
+    const auto start = std::chrono::steady_clock::now();
     while (trace.next(record)) {
         if (!record.isConditional())
             continue;
@@ -70,7 +93,8 @@ simulate(BranchPredictor &predictor, TraceReader &trace,
             ++result.mispredictions;
         if (config.trackPerBranch) {
             PerBranchResult &entry = per_branch[record.pc];
-            entry.pc = record.pc;
+            if (entry.executions == 0)
+                entry.pc = record.pc;
             ++entry.executions;
             if (record.taken)
                 ++entry.takenCount;
@@ -78,6 +102,10 @@ simulate(BranchPredictor &predictor, TraceReader &trace,
                 ++entry.mispredictions;
         }
     }
+    result.wallNanos = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
 
     if (config.trackPerBranch) {
         result.perBranch.reserve(per_branch.size());

@@ -57,6 +57,10 @@ struct SimResult
     std::uint64_t branches = 0;
     std::uint64_t mispredictions = 0;
     std::uint64_t takenBranches = 0;
+    /** Wall-clock time of the replay loop, in nanoseconds. Timing is
+     *  machine-dependent, so it is excluded from serialization unless
+     *  explicitly requested (see toJson()). */
+    std::uint64_t wallNanos = 0;
     /** Per-branch details when SimConfig::trackPerBranch is set,
      *  sorted by descending execution count. */
     std::vector<PerBranchResult> perBranch;
@@ -70,12 +74,17 @@ struct SimResult
     /** Cost in the paper's x-axis unit (K bytes of counters). */
     double counterKBytes() const;
 
+    /** Replay throughput (0 when no timing was captured). */
+    double branchesPerSec() const;
+
     /**
      * Writes the result as one JSON object — the single place that
      * defines the serialized form (campaign emitters and any future
      * exporters all call this). Per-branch detail is not serialized.
+     * Timing fields are emitted only when @p withTiming is set, so
+     * default output stays deterministic across machines and runs.
      */
-    void toJson(std::ostream &os) const;
+    void toJson(std::ostream &os, bool withTiming = false) const;
 };
 
 /**

@@ -23,4 +23,13 @@ TraceCache::traceFor(const WorkloadSpec &spec)
     return it->second;
 }
 
+const PackedTrace &
+TraceCache::packedFor(const WorkloadSpec &spec)
+{
+    auto it = packed.find(spec.name);
+    if (it == packed.end())
+        it = packed.emplace(spec.name, PackedTrace(traceFor(spec))).first;
+    return it->second;
+}
+
 } // namespace bpsim

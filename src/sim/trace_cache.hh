@@ -14,6 +14,7 @@
 #include <string>
 
 #include "trace/memory_trace.hh"
+#include "trace/packed_trace.hh"
 #include "workload/workload_spec.hh"
 
 namespace bpsim
@@ -35,11 +36,20 @@ class TraceCache
      */
     const MemoryTrace &traceFor(const WorkloadSpec &spec);
 
+    /**
+     * The SoA compaction of the trace for @p spec, packing it on
+     * first use (generating the trace too, if needed). The packed
+     * form is what the devirtualized replay kernel streams; campaigns
+     * share one per benchmark across all jobs.
+     */
+    const PackedTrace &packedFor(const WorkloadSpec &spec);
+
     /** Number of traces generated so far. */
     std::size_t generatedCount() const { return traces.size(); }
 
   private:
     std::map<std::string, MemoryTrace> traces;
+    std::map<std::string, PackedTrace> packed;
     std::map<std::string, std::uint64_t> dynamicCounts;
 };
 

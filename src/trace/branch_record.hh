@@ -62,6 +62,13 @@ struct BranchRecord
     bool isConditional() const { return type == BranchType::Conditional; }
 };
 
+/* The AoS record pads 18 bytes of payload to 24; replay-heavy code
+ * streams PackedTrace (trace/packed_trace.hh) instead, which keeps
+ * only the fields the direction-prediction loop reads. A changed
+ * size here means the packing trade-off should be re-examined. */
+static_assert(sizeof(BranchRecord) == 24,
+              "BranchRecord is expected to be a padded 24-byte record");
+
 } // namespace bpsim
 
 #endif // BPSIM_TRACE_BRANCH_RECORD_HH

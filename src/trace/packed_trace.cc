@@ -1,0 +1,35 @@
+#include "trace/packed_trace.hh"
+
+#include <bit>
+
+namespace bpsim
+{
+
+PackedTrace::PackedTrace(const MemoryTrace &trace)
+{
+    pcs.reserve(trace.size());
+    words.reserve(trace.size() / kWordBits + 1);
+    for (const BranchRecord &record : trace.data()) {
+        if (!record.isConditional())
+            continue;
+        const std::size_t i = pcs.size();
+        if (i % kWordBits == 0)
+            words.push_back(0);
+        if (record.taken)
+            words[i / kWordBits] |= std::uint64_t{1} << (i % kWordBits);
+        pcs.push_back(record.pc);
+    }
+    pcs.shrink_to_fit();
+    words.shrink_to_fit();
+}
+
+std::uint64_t
+PackedTrace::takenCount() const
+{
+    std::uint64_t total = 0;
+    for (const std::uint64_t word : words)
+        total += static_cast<std::uint64_t>(std::popcount(word));
+    return total;
+}
+
+} // namespace bpsim

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Structure-of-arrays compaction of a branch trace for fast replay.
+ *
+ * The replay kernel (sim/replay_kernel.hh) streams millions of
+ * records per predictor configuration; the AoS BranchRecord layout
+ * makes that loop memory-bound on padding (24 bytes per record, of
+ * which the direction-prediction hot path reads 9 bits: the pc index
+ * field and the outcome). PackedTrace compacts a MemoryTrace once
+ * per benchmark — a contiguous pc array plus a taken bitmap, with
+ * the non-conditional records the simulation loop would skip anyway
+ * filtered out at pack time — and is then shared read-only across
+ * every job that replays the benchmark.
+ */
+
+#ifndef BPSIM_TRACE_PACKED_TRACE_HH
+#define BPSIM_TRACE_PACKED_TRACE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "trace/memory_trace.hh"
+
+namespace bpsim
+{
+
+/* The kernel's block loop walks the bitmap 64 outcomes at a time and
+ * the pc array as 8-byte lanes; both facts are load-bearing for the
+ * word arithmetic in taken()/takenWord(). */
+static_assert(sizeof(std::uint64_t) == 8 && alignof(std::uint64_t) == 8,
+              "PackedTrace words must be 8-byte units");
+
+/** Read-only SoA view of the conditional records of a trace. */
+class PackedTrace
+{
+  public:
+    /** Outcomes per bitmap word. */
+    static constexpr std::size_t kWordBits = 64;
+
+    PackedTrace() = default;
+
+    /** Packs the conditional records of @p trace, in trace order. */
+    explicit PackedTrace(const MemoryTrace &trace);
+
+    /** Number of conditional records. */
+    std::size_t size() const { return pcs.size(); }
+    bool empty() const { return pcs.empty(); }
+
+    /** pc of the i-th conditional record. */
+    std::uint64_t pc(std::size_t i) const { return pcs[i]; }
+
+    /** Outcome of the i-th conditional record. */
+    bool
+    taken(std::size_t i) const
+    {
+        return (words[i / kWordBits] >> (i % kWordBits)) & 1;
+    }
+
+    /** Bitmap word @p w: outcome of record 64w+j at bit j. Bits past
+     *  size() are zero. */
+    std::uint64_t takenWord(std::size_t w) const { return words[w]; }
+
+    /** Number of bitmap words (== ceil(size() / 64)). */
+    std::size_t wordCount() const { return words.size(); }
+
+    /** Contiguous pc array, size() entries. */
+    const std::uint64_t *pcData() const { return pcs.data(); }
+
+    /** Total taken outcomes (bitmap population count). */
+    std::uint64_t takenCount() const;
+
+  private:
+    std::vector<std::uint64_t> pcs;
+    /** One bit per record, LSB-first within each word. */
+    std::vector<std::uint64_t> words;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_TRACE_PACKED_TRACE_HH

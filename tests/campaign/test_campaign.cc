@@ -214,5 +214,21 @@ TEST(CampaignEmitters, TableHasOneRowPerJob)
     EXPECT_EQ(table.rowCount(), 2u);
 }
 
+TEST(CampaignEmitters, TimingColumnIsOptIn)
+{
+    const MemoryTrace trace = mixedTrace(1'000, 13);
+    Campaign campaign;
+    campaign.addGrid({"gshare:n=6", "bogus:"}, {{"alpha", &trace}});
+    const auto results = campaign.run(1);
+
+    std::ostringstream plain, timed;
+    resultsTable(results).print(plain);
+    resultsTable(results, /*withTiming=*/true).print(timed);
+    EXPECT_EQ(plain.str().find("Mbr/s"), std::string::npos);
+    EXPECT_NE(timed.str().find("Mbr/s"), std::string::npos);
+    // The failed job renders a placeholder, not a rate.
+    EXPECT_NE(timed.str().find("--"), std::string::npos);
+}
+
 } // namespace
 } // namespace bpsim

@@ -1,0 +1,120 @@
+/** @file Tests for the SoA packed trace. */
+
+#include <gtest/gtest.h>
+
+#include "trace/memory_trace.hh"
+#include "trace/packed_trace.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+BranchRecord
+makeRecord(std::uint64_t pc, bool taken,
+           BranchType type = BranchType::Conditional)
+{
+    BranchRecord record;
+    record.pc = pc;
+    record.target = pc + 16;
+    record.type = type;
+    record.taken = taken;
+    return record;
+}
+
+TEST(PackedTrace, EmptyTracePacksEmpty)
+{
+    MemoryTrace trace;
+    const PackedTrace packed(trace);
+    EXPECT_EQ(packed.size(), 0u);
+    EXPECT_EQ(packed.wordCount(), 0u);
+    EXPECT_EQ(packed.takenCount(), 0u);
+}
+
+TEST(PackedTrace, KeepsOnlyConditionals)
+{
+    MemoryTrace trace;
+    trace.append(makeRecord(0x1000, true));
+    trace.append(makeRecord(0x2000, true, BranchType::Unconditional));
+    trace.append(makeRecord(0x3000, false));
+    trace.append(makeRecord(0x4000, true, BranchType::Call));
+    trace.append(makeRecord(0x5000, true, BranchType::Return));
+    trace.append(makeRecord(0x6000, true));
+
+    const PackedTrace packed(trace);
+    ASSERT_EQ(packed.size(), 3u);
+    EXPECT_EQ(packed.pc(0), 0x1000u);
+    EXPECT_EQ(packed.pc(1), 0x3000u);
+    EXPECT_EQ(packed.pc(2), 0x6000u);
+    EXPECT_TRUE(packed.taken(0));
+    EXPECT_FALSE(packed.taken(1));
+    EXPECT_TRUE(packed.taken(2));
+    EXPECT_EQ(packed.takenCount(), 2u);
+}
+
+TEST(PackedTrace, BitmapRoundTripsAcrossWordBoundaries)
+{
+    // 150 conditionals spans three 64-bit bitmap words; an
+    // alternating pattern catches any bit-order mistake.
+    MemoryTrace trace;
+    const std::size_t count = 150;
+    for (std::size_t i = 0; i < count; ++i)
+        trace.append(makeRecord(0x1000 + 4 * i, i % 2 == 0));
+
+    const PackedTrace packed(trace);
+    ASSERT_EQ(packed.size(), count);
+    EXPECT_EQ(packed.wordCount(), 3u);
+    std::uint64_t taken = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+        EXPECT_EQ(packed.taken(i), i % 2 == 0) << "bit " << i;
+        EXPECT_EQ(packed.pc(i), 0x1000 + 4 * i);
+        taken += packed.taken(i) ? 1 : 0;
+    }
+    EXPECT_EQ(packed.takenCount(), taken);
+}
+
+TEST(PackedTrace, TakenWordsMatchPerBitView)
+{
+    MemoryTrace trace;
+    for (std::size_t i = 0; i < 100; ++i)
+        trace.append(makeRecord(0x1000 + 4 * i, (i * 7) % 3 == 0));
+
+    const PackedTrace packed(trace);
+    ASSERT_EQ(packed.wordCount(), 2u);
+    for (std::size_t i = 0; i < packed.size(); ++i) {
+        const std::uint64_t word =
+            packed.takenWord(i / PackedTrace::kWordBits);
+        const bool bit = (word >> (i % PackedTrace::kWordBits)) & 1;
+        EXPECT_EQ(bit, packed.taken(i)) << "bit " << i;
+    }
+    // Bits beyond size() in the last word stay zero (the packer never
+    // sets them), so popcount-based takenCount() is exact.
+    const std::uint64_t last = packed.takenWord(1);
+    for (unsigned bit = 100 % 64; bit < 64; ++bit)
+        EXPECT_EQ((last >> bit) & 1, 0u) << "padding bit " << bit;
+}
+
+TEST(PackedTrace, PcDataIsContiguous)
+{
+    MemoryTrace trace;
+    trace.append(makeRecord(0x10, true));
+    trace.append(makeRecord(0x20, false));
+    const PackedTrace packed(trace);
+    const std::uint64_t *pcs = packed.pcData();
+    ASSERT_NE(pcs, nullptr);
+    EXPECT_EQ(pcs[0], 0x10u);
+    EXPECT_EQ(pcs[1], 0x20u);
+}
+
+TEST(PackedTrace, AllNonConditionalPacksEmpty)
+{
+    MemoryTrace trace;
+    trace.append(makeRecord(0x10, true, BranchType::Unconditional));
+    trace.append(makeRecord(0x20, true, BranchType::IndirectJump));
+    const PackedTrace packed(trace);
+    EXPECT_EQ(packed.size(), 0u);
+    EXPECT_EQ(packed.wordCount(), 0u);
+}
+
+} // namespace
+} // namespace bpsim
