@@ -34,7 +34,7 @@ main(int argc, char **argv)
     const std::uint64_t divisor = applyCommonOptions(args);
     const unsigned d = static_cast<unsigned>(args.getUint("d"));
 
-    TraceCache cache;
+    TraceCache cache(traceStoreDir(args));
     const auto suite = scaledSuite(specCint95Benchmarks(), divisor);
     // Suite order is the paper's Table 2 order; index 1 is gcc.
     const std::size_t gcc_index = 1;

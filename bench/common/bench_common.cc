@@ -24,6 +24,10 @@ addCommonOptions(ArgParser &args)
     args.addFlag("timing",
                  "include machine-dependent wall time / throughput in "
                  "JSON output");
+    args.addOption("trace-cache", "",
+                   "persistent trace store directory "
+                   "(default: $BPSIM_TRACE_CACHE, then .bpsim-cache; "
+                   "'none' disables)");
     args.addFlag("verbose", "progress logging to stderr");
 }
 
@@ -33,6 +37,12 @@ applyCommonOptions(const ArgParser &args)
     setVerbose(args.flag("verbose"));
     setDefaultWorkerCount(static_cast<unsigned>(args.getUint("jobs")));
     return args.flag("quick") ? 5 : 1;
+}
+
+std::string
+traceStoreDir(const ArgParser &args)
+{
+    return resolveTraceStoreDir(args.get("trace-cache"));
 }
 
 ProgressFn
@@ -165,7 +175,7 @@ runBreakdownFigure(const ArgParser &args,
     if (!spec)
         BPSIM_FATAL("unknown benchmark '" << benchmarkName << "'");
     spec->dynamicBranches /= divisor;
-    TraceCache cache;
+    TraceCache cache(traceStoreDir(args));
     const MemoryTrace &trace = cache.traceFor(*spec);
 
     TextTable table;

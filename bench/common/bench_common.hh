@@ -12,6 +12,13 @@
  *   --timing       include machine-dependent wall time / throughput
  *                  fields in JSON output (off by default so output
  *                  stays byte-identical across machines)
+ *   --trace-cache DIR
+ *                  persistent trace store directory (default:
+ *                  $BPSIM_TRACE_CACHE, then .bpsim-cache; 'none'
+ *                  disables persistence). A warmed store turns the
+ *                  serial generate-and-pack phase into file loads —
+ *                  the packed traces as zero-copy mmap views — so
+ *                  repeat figure runs are replay-bound end to end.
  *   --verbose      progress logging to stderr
  */
 
@@ -39,6 +46,10 @@ void addCommonOptions(ArgParser &args);
 
 /** Applies --verbose and --jobs; returns the --quick scale-down. */
 std::uint64_t applyCommonOptions(const ArgParser &args);
+
+/** Resolves --trace-cache through the flag/env/default ladder; ""
+ *  when persistence is disabled. Pass to the TraceCache ctor. */
+std::string traceStoreDir(const ArgParser &args);
 
 /** A campaign progress hook that logs each completed job when
  *  --verbose is on. */

@@ -67,7 +67,7 @@ main(int argc, char **argv)
         return 0;
     const std::uint64_t divisor = applyCommonOptions(args);
 
-    TraceCache cache;
+    TraceCache cache(traceStoreDir(args));
     reportSuite(args, cache, scaledSuite(specCint95Benchmarks(), divisor),
                 "SPEC CINT95 average");
     reportSuite(args, cache, scaledSuite(ibsBenchmarks(), divisor),

@@ -30,7 +30,7 @@ main(int argc, char **argv)
         return 0;
     const std::uint64_t divisor = applyCommonOptions(args);
 
-    TraceCache cache;
+    TraceCache cache(traceStoreDir(args));
     const auto specs = scaledSuite(specCint95Benchmarks(), divisor);
     const auto curve =
         measureSchemeCurves(cache, specs, paperSizeLadder());

@@ -26,7 +26,7 @@ main(int argc, char **argv)
         return 0;
     const std::uint64_t divisor = applyCommonOptions(args);
 
-    TraceCache cache;
+    TraceCache cache(traceStoreDir(args));
     const auto specs = scaledSuite(ibsBenchmarks(), divisor);
     const auto curve =
         measureSchemeCurves(cache, specs, paperSizeLadder());

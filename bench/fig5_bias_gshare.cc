@@ -39,7 +39,7 @@ main(int argc, char **argv)
         return 1;
     }
     spec->dynamicBranches /= divisor;
-    TraceCache cache;
+    TraceCache cache(traceStoreDir(args));
     const MemoryTrace &trace = cache.traceFor(*spec);
 
     struct SchemeDef

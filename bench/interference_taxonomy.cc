@@ -31,7 +31,7 @@ main(int argc, char **argv)
         return 0;
     const std::uint64_t divisor = applyCommonOptions(args);
 
-    TraceCache cache;
+    TraceCache cache(traceStoreDir(args));
     for (const char *bench_name : {"gcc", "go"}) {
         auto spec = findBenchmark(bench_name);
         spec->dynamicBranches /= divisor;

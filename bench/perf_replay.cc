@@ -70,7 +70,7 @@ main(int argc, char **argv)
     spec->dynamicBranches =
         std::max<std::uint64_t>(args.getUint("branches") / divisor,
                                 50'000);
-    TraceCache cache;
+    TraceCache cache(traceStoreDir(args));
     const MemoryTrace &trace = cache.traceFor(*spec);
     const PackedTrace &packed = cache.packedFor(*spec);
     BPSIM_INFORM("timing trace: " << trace.size() << " records, "

@@ -47,7 +47,7 @@ main(int argc, char **argv)
         return 0;
     const std::uint64_t divisor = applyCommonOptions(args);
 
-    TraceCache cache;
+    TraceCache cache(traceStoreDir(args));
     const auto specs = scaledSuite(allBenchmarks(), divisor);
     const auto benchmarks = resolveTraces(cache, specs);
 

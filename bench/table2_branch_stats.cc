@@ -30,7 +30,7 @@ main(int argc, char **argv)
     std::cout << "Table 2 — static and dynamic conditional branch "
                  "counts\n(paper values in parentheses columns)\n";
 
-    TraceCache cache;
+    TraceCache cache(traceStoreDir(args));
     TextTable table;
     table.setColumns({"benchmark", "suite", "static", "static (paper)",
                       "dynamic", "dynamic (paper)", "taken %",

@@ -80,7 +80,7 @@ main(int argc, char **argv)
     // Part 2: the same decomposition live from a gcc run.
     auto spec = findBenchmark("gcc");
     spec->dynamicBranches /= divisor;
-    TraceCache cache;
+    TraceCache cache(traceStoreDir(args));
     const MemoryTrace &trace = cache.traceFor(*spec);
     GsharePredictor predictor(8, 8);
     auto reader = trace.reader();

@@ -37,7 +37,7 @@ main(int argc, char **argv)
         return 1;
     }
     spec->dynamicBranches /= divisor;
-    TraceCache cache;
+    TraceCache cache(traceStoreDir(args));
     const MemoryTrace &trace = cache.traceFor(*spec);
 
     TextTable table;

@@ -18,6 +18,8 @@
 
 #include "core/factory.hh"
 #include "sim/simulator.hh"
+#include "sim/trace_cache.hh"
+#include "trace/trace_store.hh"
 #include "util/table.hh"
 #include "workload/generator.hh"
 #include "workload/program_builder.hh"
@@ -39,6 +41,9 @@ void
 sweepWeakShare()
 {
     std::cout << "1) spec-level: sweeping the weakly-biased share\n\n";
+    // No flags here, but the store still honours $BPSIM_TRACE_CACHE
+    // (set it to 'none' to force regeneration).
+    TraceCache cache(resolveTraceStoreDir(""));
     TextTable table;
     table.setColumns({"weak share", "bimodal", "gshare.1PHT", "bi-mode",
                       "bi-mode win vs gshare (pp)"});
@@ -56,7 +61,7 @@ sweepWeakShare()
         spec.mix.pattern = 0.05 * (1.0 - weak);
         spec.mix.phaseModal = 0.05 * (1.0 - weak);
         spec.mix.weaklyBiased = weak;
-        const MemoryTrace trace = generateWorkloadTrace(spec);
+        const MemoryTrace &trace = cache.traceFor(spec);
         const double bimodal = mispredictOn(trace, "bimodal:n=12");
         const double gshare = mispredictOn(trace, "gshare:n=12");
         const double bimode = mispredictOn(trace, "bimode:d=11");

@@ -23,10 +23,11 @@
 #include "predictors/btb.hh"
 #include "predictors/ras.hh"
 #include "sim/pipeline_model.hh"
+#include "sim/trace_cache.hh"
+#include "trace/trace_store.hh"
 #include "util/args.hh"
 #include "util/table.hh"
 #include "workload/benchmarks.hh"
-#include "workload/generator.hh"
 
 using namespace bpsim;
 
@@ -109,6 +110,10 @@ main(int argc, char **argv)
     args.addOption("btb-ways", "4", "BTB associativity");
     args.addFlag("calls",
                  "emit call/return records and report RAS accuracy");
+    args.addOption("trace-cache", "",
+                   "persistent trace store directory "
+                   "(default: $BPSIM_TRACE_CACHE, then .bpsim-cache; "
+                   "'none' disables)");
     if (!args.parse(argc, argv))
         return 0;
 
@@ -119,7 +124,8 @@ main(int argc, char **argv)
     }
     if (args.flag("calls"))
         spec->emitCallsAndReturns = true;
-    const MemoryTrace trace = generateWorkloadTrace(*spec);
+    TraceCache cache(resolveTraceStoreDir(args.get("trace-cache")));
+    const MemoryTrace &trace = cache.traceFor(*spec);
 
     BtbConfig btb_cfg;
     unsigned sets_log2 = 0;

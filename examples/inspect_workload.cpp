@@ -14,11 +14,12 @@
 #include "core/factory.hh"
 #include "predictors/bimodal.hh"
 #include "sim/simulator.hh"
+#include "sim/trace_cache.hh"
 #include "trace/trace_stats.hh"
+#include "trace/trace_store.hh"
 #include "util/args.hh"
 #include "util/table.hh"
 #include "workload/benchmarks.hh"
-#include "workload/generator.hh"
 
 namespace
 {
@@ -54,6 +55,10 @@ main(int argc, char **argv)
     args.addOption("benchmark", "gcc", "benchmark name");
     args.addOption("size-bits", "12",
                    "gshare index width n for the predictor panel");
+    args.addOption("trace-cache", "",
+                   "persistent trace store directory "
+                   "(default: $BPSIM_TRACE_CACHE, then .bpsim-cache; "
+                   "'none' disables)");
     if (!args.parse(argc, argv))
         return 0;
 
@@ -65,7 +70,9 @@ main(int argc, char **argv)
     }
     const unsigned n = static_cast<unsigned>(args.getUint("size-bits"));
 
-    const bpsim::MemoryTrace trace = bpsim::generateWorkloadTrace(*spec);
+    bpsim::TraceCache cache(
+        bpsim::resolveTraceStoreDir(args.get("trace-cache")));
+    const bpsim::MemoryTrace &trace = cache.traceFor(*spec);
     bpsim::TraceStats stats;
     auto stat_reader = trace.reader();
     stats.observeAll(stat_reader);

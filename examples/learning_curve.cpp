@@ -19,10 +19,11 @@
 #include "core/factory.hh"
 #include "sim/interval_stats.hh"
 #include "sim/pipeline_model.hh"
+#include "sim/trace_cache.hh"
+#include "trace/trace_store.hh"
 #include "util/args.hh"
 #include "util/table.hh"
 #include "workload/benchmarks.hh"
-#include "workload/generator.hh"
 
 using namespace bpsim;
 
@@ -73,6 +74,10 @@ main(int argc, char **argv)
                    "bimodal:n=12;gshare:n=12;bimode:d=11;"
                    "perceptron:n=8,h=24",
                    "';'-separated predictor configs");
+    args.addOption("trace-cache", "",
+                   "persistent trace store directory "
+                   "(default: $BPSIM_TRACE_CACHE, then .bpsim-cache; "
+                   "'none' disables)");
     if (!args.parse(argc, argv))
         return 0;
 
@@ -81,7 +86,8 @@ main(int argc, char **argv)
         std::cerr << "unknown benchmark\n";
         return 1;
     }
-    const MemoryTrace trace = generateWorkloadTrace(*spec);
+    TraceCache cache(resolveTraceStoreDir(args.get("trace-cache")));
+    const MemoryTrace &trace = cache.traceFor(*spec);
     const std::uint64_t interval = args.getUint("interval");
 
     struct Row

@@ -18,10 +18,11 @@
 #include "core/factory.hh"
 #include "predictors/gshare.hh"
 #include "sim/simulator.hh"
+#include "sim/trace_cache.hh"
+#include "trace/trace_store.hh"
 #include "util/args.hh"
 #include "util/table.hh"
 #include "workload/benchmarks.hh"
-#include "workload/generator.hh"
 
 int
 main(int argc, char **argv)
@@ -33,6 +34,10 @@ main(int argc, char **argv)
                    "benchmark name (see DESIGN.md Table 2 list)");
     args.addOption("size-bits", "11",
                    "bi-mode direction-bank width d (2^d counters/bank)");
+    args.addOption("trace-cache", "",
+                   "persistent trace store directory "
+                   "(default: $BPSIM_TRACE_CACHE, then .bpsim-cache; "
+                   "'none' disables)");
     if (!args.parse(argc, argv))
         return 0;
 
@@ -44,10 +49,12 @@ main(int argc, char **argv)
     }
     const unsigned d = static_cast<unsigned>(args.getUint("size-bits"));
 
-    std::cout << "generating synthetic '" << spec->name << "' trace ("
+    std::cout << "loading synthetic '" << spec->name << "' trace ("
               << spec->dynamicBranches << " conditional branches, "
               << spec->staticBranches << " static sites)...\n";
-    const bpsim::MemoryTrace trace = bpsim::generateWorkloadTrace(*spec);
+    bpsim::TraceCache cache(
+        bpsim::resolveTraceStoreDir(args.get("trace-cache")));
+    const bpsim::MemoryTrace &trace = cache.traceFor(*spec);
 
     // The contribution: a bi-mode predictor in its canonical shape.
     bpsim::BiModePredictor bimode(bpsim::BiModeConfig::canonical(d));

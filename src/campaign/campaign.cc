@@ -1,12 +1,14 @@
 #include "campaign/campaign.hh"
 
 #include <atomic>
+#include <exception>
 #include <mutex>
 #include <thread>
 #include <utility>
 
 #include "core/factory.hh"
 #include "sim/replay.hh"
+#include "util/logging.hh"
 
 namespace bpsim
 {
@@ -99,6 +101,7 @@ Campaign::run(unsigned workers, const ProgressFn &progress) const
     std::atomic<std::size_t> cursor{0};
     std::mutex lock;
     std::size_t completed = 0;
+    bool progress_disabled = false;
 
     const auto worker_loop = [&]() {
         for (;;) {
@@ -112,8 +115,23 @@ Campaign::run(unsigned workers, const ProgressFn &progress) const
             // ordering never depends on the thread schedule.
             results[i] = std::move(result);
             ++completed;
-            if (progress)
-                progress({completed, jobList.size(), &results[i]});
+            // An exception escaping into a worker thread would
+            // std::terminate the process; a broken progress hook must
+            // not take the campaign down, so swallow and disable it.
+            if (progress && !progress_disabled) {
+                try {
+                    progress({completed, jobList.size(), &results[i]});
+                } catch (const std::exception &e) {
+                    progress_disabled = true;
+                    BPSIM_WARN("campaign progress callback threw ("
+                               << e.what()
+                               << "); progress reporting disabled");
+                } catch (...) {
+                    progress_disabled = true;
+                    BPSIM_WARN("campaign progress callback threw; "
+                               << "progress reporting disabled");
+                }
+            }
         }
     };
 

@@ -1,5 +1,7 @@
 #include "core/factory.hh"
 
+#include <cerrno>
+#include <climits>
 #include <cstdlib>
 #include <utility>
 
@@ -49,12 +51,29 @@ PredictorSpec::tryParse(const std::string &text)
             }
             const std::string key = pair.substr(0, eq);
             const std::string value_text = pair.substr(eq + 1);
+            // strtoul happily wraps negatives ("d=-1" parses as
+            // 2^64-1) and a cast would truncate >32-bit values, so
+            // both must be rejected before conversion.
+            if (value_text.find('-') != std::string::npos) {
+                result.error = "parameter " + key + "='" + value_text +
+                               "' in '" + text +
+                               "' must be non-negative";
+                return result;
+            }
             char *end = nullptr;
-            const unsigned long value =
-                std::strtoul(value_text.c_str(), &end, 0);
+            errno = 0;
+            const unsigned long long value =
+                std::strtoull(value_text.c_str(), &end, 0);
             if (end == value_text.c_str() || *end != '\0') {
                 result.error = "parameter " + key + "='" + value_text +
                                "' in '" + text + "' is not a number";
+                return result;
+            }
+            if (errno == ERANGE || value > UINT_MAX) {
+                result.error = "parameter " + key + "='" + value_text +
+                               "' in '" + text +
+                               "' is out of range (max " +
+                               std::to_string(UINT_MAX) + ")";
                 return result;
             }
             const bool inserted =

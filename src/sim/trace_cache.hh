@@ -5,26 +5,54 @@
  * The figure sweeps replay each benchmark's trace across dozens of
  * predictor configurations; the cache generates every workload once
  * and hands out readers over the shared in-memory traces.
+ *
+ * Optionally the cache is backed by a persistent on-disk store
+ * (trace/trace_store.hh): generated traces are written out as
+ * BBT1 + PBT1 files keyed by benchmark name and generator-spec
+ * fingerprint, and later runs load them back — the packed form as a
+ * zero-copy mmap view — instead of regenerating. Any validation
+ * failure (stale fingerprint, wrong version or size, corrupt
+ * payload) silently degrades to regenerate-and-rewrite.
  */
 
 #ifndef BPSIM_SIM_TRACE_CACHE_HH
 #define BPSIM_SIM_TRACE_CACHE_HH
 
+#include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "trace/memory_trace.hh"
 #include "trace/packed_trace.hh"
+#include "trace/trace_store.hh"
 #include "workload/workload_spec.hh"
 
 namespace bpsim
 {
 
+/**
+ * Fingerprint of everything that determines a spec's generated
+ * trace: the full serialized WorkloadSpec plus a generator version
+ * salt (bumped whenever the generator's output changes). Cached
+ * files carry this fingerprint; a mismatch means the file was built
+ * from a different workload and must be regenerated.
+ */
+std::uint64_t workloadTraceFingerprint(const WorkloadSpec &spec);
+
 /** Generates benchmark traces on demand and keeps them in memory. */
 class TraceCache
 {
   public:
+    /** Memory-only cache (no persistence). */
     TraceCache() = default;
+
+    /**
+     * Cache backed by a persistent store at @p storeDirectory; an
+     * empty directory means memory-only. Store failures are never
+     * fatal — the cache falls back to generating.
+     */
+    explicit TraceCache(const std::string &storeDirectory);
 
     TraceCache(const TraceCache &) = delete;
     TraceCache &operator=(const TraceCache &) = delete;
@@ -40,17 +68,44 @@ class TraceCache
      * The SoA compaction of the trace for @p spec, packing it on
      * first use (generating the trace too, if needed). The packed
      * form is what the devirtualized replay kernel streams; campaigns
-     * share one per benchmark across all jobs.
+     * share one per benchmark across all jobs. With a warm store this
+     * is served straight from the mmap'd PBT1 file without touching
+     * the full trace.
      */
     const PackedTrace &packedFor(const WorkloadSpec &spec);
 
-    /** Number of traces generated so far. */
+    /** Number of traces resident in memory. */
     std::size_t generatedCount() const { return traces.size(); }
 
+    /** True when backed by a persistent store. */
+    bool persistent() const { return store != nullptr; }
+
+    /** Cache-flow counters, mostly for tests and --verbose logs. */
+    struct Stats
+    {
+        /** Traces generated from scratch. */
+        std::size_t generated = 0;
+        /** Full traces loaded from BBT1 files. */
+        std::size_t traceLoads = 0;
+        /** Packed traces loaded from PBT1 files. */
+        std::size_t packedLoads = 0;
+        /** Packed traces built from an in-memory trace. */
+        std::size_t packedBuilt = 0;
+        /** Cached files rejected by validation (then rewritten). */
+        std::size_t invalidFiles = 0;
+    };
+    const Stats &stats() const { return counters; }
+
   private:
+    std::uint64_t fingerprintFor(const WorkloadSpec &spec);
+    void rememberSpec(const WorkloadSpec &spec);
+
     std::map<std::string, MemoryTrace> traces;
     std::map<std::string, PackedTrace> packed;
     std::map<std::string, std::uint64_t> dynamicCounts;
+    std::map<std::string, std::uint64_t> fingerprints;
+    std::unique_ptr<TraceStore> store;
+    Stats counters;
 };
 
 } // namespace bpsim

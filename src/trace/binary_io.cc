@@ -15,36 +15,95 @@ constexpr std::uint32_t kVersion = 1;
 constexpr std::size_t kHeaderSize = 24;
 constexpr std::size_t kFlushThreshold = 1 << 20;
 
-void
-putLe32(std::uint8_t *out, std::uint32_t value)
+/*
+ * The open/decode steps below return error strings instead of
+ * terminating so both surfaces share them: BinaryTraceReader keeps
+ * the fatal() contract for command-line users, tryReadBinaryTrace()
+ * reports the same errors non-fatally for the trace store's
+ * regenerate-on-corruption ladder.
+ */
+
+/** Validates the header/checksum of @p path and extracts the payload
+ *  and record count; "" on success. */
+std::string
+openPayload(const std::string &path, std::vector<std::uint8_t> &payload,
+            std::uint64_t &count)
 {
-    for (int i = 0; i < 4; ++i)
-        out[i] = static_cast<std::uint8_t>(value >> (8 * i));
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in)
+        return "cannot open trace file '" + path + "'";
+    const std::streamoff file_size = in.tellg();
+    if (file_size < static_cast<std::streamoff>(kHeaderSize + 8))
+        return "'" + path + "' is too small to be a BBT1 trace";
+    in.seekg(0);
+
+    std::uint8_t header[kHeaderSize];
+    in.read(reinterpret_cast<char *>(header), kHeaderSize);
+    if (std::memcmp(header, kMagic, 4) != 0)
+        return "'" + path + "' is not a BBT1 trace (bad magic)";
+    const std::uint32_t version = getLe32(header + 4);
+    if (version != kVersion)
+        return "'" + path + "': unsupported BBT1 version " +
+               std::to_string(version);
+    count = getLe64(header + 8);
+
+    const std::size_t payload_size =
+        static_cast<std::size_t>(file_size) - kHeaderSize - 8;
+    payload.resize(payload_size);
+    in.read(reinterpret_cast<char *>(payload.data()),
+            static_cast<std::streamsize>(payload_size));
+    std::uint8_t trailer[8];
+    in.read(reinterpret_cast<char *>(trailer), 8);
+    if (!in)
+        return "I/O error while reading '" + path + "'";
+
+    Fnv1a checksum;
+    checksum.update(payload.data(), payload.size());
+    if (checksum.digest() != getLe64(trailer))
+        return "'" + path + "': checksum mismatch, file corrupt";
+    return "";
 }
 
-void
-putLe64(std::uint8_t *out, std::uint64_t value)
+/** Decodes the record at @p offset (the @p produced -th one); "" on
+ *  success. */
+std::string
+decodeRecord(const std::vector<std::uint8_t> &payload,
+             std::size_t &offset, std::uint64_t &previousPc,
+             std::uint64_t produced, BranchRecord &record)
 {
-    for (int i = 0; i < 8; ++i)
-        out[i] = static_cast<std::uint8_t>(value >> (8 * i));
+    std::uint64_t flags, pc_delta, target_delta;
+    if (!getVarint(payload.data(), payload.size(), offset, flags) ||
+        !getVarint(payload.data(), payload.size(), offset, pc_delta) ||
+        !getVarint(payload.data(), payload.size(), offset,
+                   target_delta)) {
+        return "BBT1 payload ended early at record " +
+               std::to_string(produced);
+    }
+    record.taken = flags & 1;
+    const std::uint64_t type_bits = (flags >> 1) & 0x7;
+    if (type_bits > static_cast<std::uint64_t>(BranchType::IndirectJump))
+        return "BBT1 record " + std::to_string(produced) +
+               " has invalid type " + std::to_string(type_bits);
+    record.type = static_cast<BranchType>(type_bits);
+    record.pc =
+        previousPc + static_cast<std::uint64_t>(zigzagDecode(pc_delta));
+    record.target =
+        record.pc + static_cast<std::uint64_t>(zigzagDecode(target_delta));
+    previousPc = record.pc;
+    return "";
 }
 
-std::uint32_t
-getLe32(const std::uint8_t *in)
+/** The trailing-garbage check: after the declared record count, the
+ *  payload must be fully consumed; "" on success. */
+std::string
+checkFullyConsumed(const std::vector<std::uint8_t> &payload,
+                   std::size_t offset, std::uint64_t count)
 {
-    std::uint32_t value = 0;
-    for (int i = 0; i < 4; ++i)
-        value |= static_cast<std::uint32_t>(in[i]) << (8 * i);
-    return value;
-}
-
-std::uint64_t
-getLe64(const std::uint8_t *in)
-{
-    std::uint64_t value = 0;
-    for (int i = 0; i < 8; ++i)
-        value |= static_cast<std::uint64_t>(in[i]) << (8 * i);
-    return value;
+    if (offset == payload.size())
+        return "";
+    return "BBT1 payload has " + std::to_string(payload.size() - offset) +
+           " trailing byte(s) after the declared " +
+           std::to_string(count) + " record(s)";
 }
 
 } // namespace
@@ -120,38 +179,14 @@ BinaryTraceWriter::finish()
 
 BinaryTraceReader::BinaryTraceReader(const std::string &path)
 {
-    std::ifstream in(path, std::ios::binary | std::ios::ate);
-    if (!in)
-        BPSIM_FATAL("cannot open trace file '" << path << "'");
-    const std::streamoff file_size = in.tellg();
-    if (file_size < static_cast<std::streamoff>(kHeaderSize + 8))
-        BPSIM_FATAL("'" << path << "' is too small to be a BBT1 trace");
-    in.seekg(0);
-
-    std::uint8_t header[kHeaderSize];
-    in.read(reinterpret_cast<char *>(header), kHeaderSize);
-    if (std::memcmp(header, kMagic, 4) != 0)
-        BPSIM_FATAL("'" << path << "' is not a BBT1 trace (bad magic)");
-    const std::uint32_t version = getLe32(header + 4);
-    if (version != kVersion)
-        BPSIM_FATAL("'" << path << "': unsupported BBT1 version "
-                    << version);
-    count = getLe64(header + 8);
-
-    const std::size_t payload_size =
-        static_cast<std::size_t>(file_size) - kHeaderSize - 8;
-    payload.resize(payload_size);
-    in.read(reinterpret_cast<char *>(payload.data()),
-            static_cast<std::streamsize>(payload_size));
-    std::uint8_t trailer[8];
-    in.read(reinterpret_cast<char *>(trailer), 8);
-    if (!in)
-        BPSIM_FATAL("I/O error while reading '" << path << "'");
-
-    Fnv1a checksum;
-    checksum.update(payload.data(), payload.size());
-    if (checksum.digest() != getLe64(trailer))
-        BPSIM_FATAL("'" << path << "': checksum mismatch, file corrupt");
+    const std::string error = openPayload(path, payload, count);
+    if (!error.empty())
+        BPSIM_FATAL(error);
+    // An empty trace has no last record to trigger the lazy check in
+    // next(), so reject trailing bytes here.
+    if (count == 0 && !payload.empty())
+        BPSIM_FATAL("'" << path << "': "
+                    << checkFullyConsumed(payload, 0, count));
 }
 
 bool
@@ -159,24 +194,19 @@ BinaryTraceReader::next(BranchRecord &record)
 {
     if (produced >= count)
         return false;
-    std::uint64_t flags, pc_delta, target_delta;
-    if (!getVarint(payload.data(), payload.size(), offset, flags) ||
-        !getVarint(payload.data(), payload.size(), offset, pc_delta) ||
-        !getVarint(payload.data(), payload.size(), offset, target_delta)) {
-        BPSIM_FATAL("BBT1 payload ended early at record " << produced);
-    }
-    record.taken = flags & 1;
-    const std::uint64_t type_bits = (flags >> 1) & 0x7;
-    if (type_bits > static_cast<std::uint64_t>(BranchType::IndirectJump))
-        BPSIM_FATAL("BBT1 record " << produced << " has invalid type "
-                    << type_bits);
-    record.type = static_cast<BranchType>(type_bits);
-    record.pc = previousPc +
-        static_cast<std::uint64_t>(zigzagDecode(pc_delta));
-    record.target = record.pc +
-        static_cast<std::uint64_t>(zigzagDecode(target_delta));
-    previousPc = record.pc;
+    const std::string error =
+        decodeRecord(payload, offset, previousPc, produced, record);
+    if (!error.empty())
+        BPSIM_FATAL(error);
     ++produced;
+    if (produced == count) {
+        // Exactly count records must consume the whole payload; extra
+        // bytes mean the count field and the payload disagree.
+        const std::string trailing =
+            checkFullyConsumed(payload, offset, count);
+        if (!trailing.empty())
+            BPSIM_FATAL(trailing);
+    }
     return true;
 }
 
@@ -207,6 +237,32 @@ readBinaryTrace(const std::string &path, TraceWriter &sink)
     while (reader.next(record))
         sink.append(record);
     sink.finish();
+}
+
+std::string
+tryReadBinaryTrace(const std::string &path, TraceWriter &sink)
+{
+    std::vector<std::uint8_t> payload;
+    std::uint64_t count = 0;
+    std::string error = openPayload(path, payload, count);
+    if (!error.empty())
+        return error;
+
+    std::size_t offset = 0;
+    std::uint64_t previous_pc = 0;
+    BranchRecord record;
+    for (std::uint64_t produced = 0; produced < count; ++produced) {
+        error = decodeRecord(payload, offset, previous_pc, produced,
+                             record);
+        if (!error.empty())
+            return "'" + path + "': " + error;
+        sink.append(record);
+    }
+    error = checkFullyConsumed(payload, offset, count);
+    if (!error.empty())
+        return "'" + path + "': " + error;
+    sink.finish();
+    return "";
 }
 
 } // namespace bpsim

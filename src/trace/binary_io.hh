@@ -87,6 +87,16 @@ std::uint64_t writeBinaryTrace(TraceReader &reader, const std::string &path);
 /** Convenience: loads an entire BBT1 file into memory. */
 void readBinaryTrace(const std::string &path, TraceWriter &sink);
 
+/**
+ * Non-fatal variant of readBinaryTrace() for callers that treat a
+ * bad file as recoverable (the trace store regenerates instead of
+ * terminating). Returns "" on success; otherwise the validation or
+ * decode error, in which case @p sink holds a partial stream the
+ * caller must discard. finish() is called on @p sink only on success.
+ */
+std::string tryReadBinaryTrace(const std::string &path,
+                               TraceWriter &sink);
+
 } // namespace bpsim
 
 #endif // BPSIM_TRACE_BINARY_IO_HH

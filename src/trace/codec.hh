@@ -35,6 +35,42 @@ zigzagDecode(std::uint64_t value)
            -static_cast<std::int64_t>(value & 1);
 }
 
+/** Writes @p value to @p out as 4 little-endian bytes. */
+inline void
+putLe32(std::uint8_t *out, std::uint32_t value)
+{
+    for (int i = 0; i < 4; ++i)
+        out[i] = static_cast<std::uint8_t>(value >> (8 * i));
+}
+
+/** Writes @p value to @p out as 8 little-endian bytes. */
+inline void
+putLe64(std::uint8_t *out, std::uint64_t value)
+{
+    for (int i = 0; i < 8; ++i)
+        out[i] = static_cast<std::uint8_t>(value >> (8 * i));
+}
+
+/** Reads 4 little-endian bytes from @p in. */
+inline std::uint32_t
+getLe32(const std::uint8_t *in)
+{
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i)
+        value |= static_cast<std::uint32_t>(in[i]) << (8 * i);
+    return value;
+}
+
+/** Reads 8 little-endian bytes from @p in. */
+inline std::uint64_t
+getLe64(const std::uint8_t *in)
+{
+    std::uint64_t value = 0;
+    for (int i = 0; i < 8; ++i)
+        value |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+    return value;
+}
+
 /** Appends @p value to @p out as a LEB128 varint (1..10 bytes). */
 void putVarint(std::vector<std::uint8_t> &out, std::uint64_t value);
 

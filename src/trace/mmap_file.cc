@@ -1,0 +1,103 @@
+#include "trace/mmap_file.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+
+#if !defined(_WIN32)
+#define BPSIM_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace bpsim
+{
+
+namespace
+{
+
+/** Reads the whole file into @p out (8-aligned words); "" on success. */
+std::string
+readWhole(const std::string &path, std::vector<std::uint64_t> &out,
+          std::size_t &length)
+{
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in)
+        return "cannot open '" + path + "'";
+    const std::streamoff size = in.tellg();
+    in.seekg(0);
+    length = static_cast<std::size_t>(size);
+    out.resize((length + 7) / 8, 0);
+    if (length > 0) {
+        in.read(reinterpret_cast<char *>(out.data()),
+                static_cast<std::streamsize>(length));
+        if (!in)
+            return "I/O error reading '" + path + "'";
+    }
+    return "";
+}
+
+} // namespace
+
+std::shared_ptr<const MmapFile>
+MmapFile::open(const std::string &path, std::string &error)
+{
+    std::shared_ptr<MmapFile> file(new MmapFile);
+    error.clear();
+
+#if BPSIM_HAVE_MMAP
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+        error = "cannot open '" + path + "': " +
+                std::strerror(errno);
+        return nullptr;
+    }
+    struct stat st;
+    if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+        ::close(fd);
+        error = "'" + path + "' is not a regular file";
+        return nullptr;
+    }
+    const std::size_t size = static_cast<std::size_t>(st.st_size);
+    if (size == 0) {
+        // mmap of length 0 is invalid; an empty file needs no storage.
+        ::close(fd);
+        file->length = 0;
+        return file;
+    }
+    void *map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);
+    if (map != MAP_FAILED) {
+        file->base = static_cast<const std::uint8_t *>(map);
+        file->length = size;
+        file->mapped = true;
+        return file;
+    }
+    // Fall through to the buffered path on mmap failure.
+#endif
+
+    std::size_t length = 0;
+    const std::string read_error = readWhole(path, file->fallback, length);
+    if (!read_error.empty()) {
+        error = read_error;
+        return nullptr;
+    }
+    file->length = length;
+    file->base = length == 0
+                     ? nullptr
+                     : reinterpret_cast<const std::uint8_t *>(
+                           file->fallback.data());
+    return file;
+}
+
+MmapFile::~MmapFile()
+{
+#if BPSIM_HAVE_MMAP
+    if (mapped && base != nullptr)
+        ::munmap(const_cast<std::uint8_t *>(base), length);
+#endif
+}
+
+} // namespace bpsim

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Read-only memory-mapped file with a buffered-read fallback.
+ *
+ * The trace store serves PackedTrace payloads straight out of PBT1
+ * files; mapping the file lets a warmed cache hand the replay kernel
+ * a zero-copy view of the pc array and taken bitmap. When mmap is
+ * unavailable (non-POSIX host, special filesystem), the file is read
+ * into an 8-byte-aligned heap buffer instead — same interface, one
+ * copy, still correct.
+ */
+
+#ifndef BPSIM_TRACE_MMAP_FILE_HH
+#define BPSIM_TRACE_MMAP_FILE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace bpsim
+{
+
+/** An immutable byte view of a whole file, mapped when possible. */
+class MmapFile
+{
+  public:
+    /**
+     * Opens @p path read-only. Returns null and sets @p error on
+     * failure; never terminates (the trace store treats every failure
+     * as a cache miss). The shared_ptr keeps the mapping alive for
+     * any view handed out over it.
+     */
+    static std::shared_ptr<const MmapFile> open(const std::string &path,
+                                                std::string &error);
+
+    ~MmapFile();
+
+    MmapFile(const MmapFile &) = delete;
+    MmapFile &operator=(const MmapFile &) = delete;
+
+    /** First byte of the file contents; 8-byte aligned (page-aligned
+     *  when mapped). Null for an empty file. */
+    const std::uint8_t *data() const { return base; }
+
+    /** File size in bytes. */
+    std::size_t size() const { return length; }
+
+    /** True when the contents are an actual mmap (zero-copy), false
+     *  when the heap fallback was used. */
+    bool isMapped() const { return mapped; }
+
+  private:
+    MmapFile() = default;
+
+    const std::uint8_t *base = nullptr;
+    std::size_t length = 0;
+    bool mapped = false;
+    /** Heap fallback storage; uint64 elements keep data() 8-aligned. */
+    std::vector<std::uint64_t> fallback;
+};
+
+} // namespace bpsim
+
+#endif // BPSIM_TRACE_MMAP_FILE_HH

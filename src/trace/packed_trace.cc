@@ -1,34 +1,66 @@
 #include "trace/packed_trace.hh"
 
 #include <bit>
+#include <utility>
+
+#include "util/logging.hh"
 
 namespace bpsim
 {
 
 PackedTrace::PackedTrace(const MemoryTrace &trace)
 {
-    pcs.reserve(trace.size());
-    words.reserve(trace.size() / kWordBits + 1);
+    ownedPcs.reserve(trace.size());
+    ownedWords.reserve(trace.size() / kWordBits + 1);
     for (const BranchRecord &record : trace.data()) {
         if (!record.isConditional())
             continue;
-        const std::size_t i = pcs.size();
+        const std::size_t i = ownedPcs.size();
         if (i % kWordBits == 0)
-            words.push_back(0);
+            ownedWords.push_back(0);
         if (record.taken)
-            words[i / kWordBits] |= std::uint64_t{1} << (i % kWordBits);
-        pcs.push_back(record.pc);
+            ownedWords[i / kWordBits] |= std::uint64_t{1}
+                                         << (i % kWordBits);
+        ownedPcs.push_back(record.pc);
     }
-    pcs.shrink_to_fit();
-    words.shrink_to_fit();
+    ownedPcs.shrink_to_fit();
+    ownedWords.shrink_to_fit();
+    recordCount = ownedPcs.size();
+    wordCnt = ownedWords.size();
+    pcPtr = ownedPcs.data();
+    wordPtr = ownedWords.data();
+}
+
+PackedTrace::PackedTrace(std::vector<std::uint64_t> pcs,
+                         std::vector<std::uint64_t> words,
+                         std::size_t count)
+    : ownedPcs(std::move(pcs)), ownedWords(std::move(words))
+{
+    if (ownedPcs.size() != count ||
+        ownedWords.size() != (count + kWordBits - 1) / kWordBits)
+        BPSIM_PANIC("PackedTrace: adopted arrays sized "
+                    << ownedPcs.size() << "/" << ownedWords.size()
+                    << " do not fit " << count << " records");
+    recordCount = count;
+    wordCnt = ownedWords.size();
+    pcPtr = ownedPcs.data();
+    wordPtr = ownedWords.data();
+}
+
+PackedTrace::PackedTrace(const std::uint64_t *pcs,
+                         const std::uint64_t *words, std::size_t count,
+                         std::shared_ptr<const void> storage)
+    : storage(std::move(storage)), pcPtr(pcs), wordPtr(words),
+      recordCount(count), wordCnt((count + kWordBits - 1) / kWordBits)
+{
 }
 
 std::uint64_t
 PackedTrace::takenCount() const
 {
     std::uint64_t total = 0;
-    for (const std::uint64_t word : words)
-        total += static_cast<std::uint64_t>(std::popcount(word));
+    for (std::size_t w = 0; w < wordCnt; ++w)
+        total += static_cast<std::uint64_t>(std::popcount(wordPtr[w]));
     return total;
 }
 

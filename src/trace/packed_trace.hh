@@ -11,6 +11,13 @@
  * the non-conditional records the simulation loop would skip anyway
  * filtered out at pack time — and is then shared read-only across
  * every job that replays the benchmark.
+ *
+ * The arrays live behind a span: a PackedTrace either owns its
+ * storage (packed from a MemoryTrace, or adopted vectors) or is a
+ * zero-copy view over external storage — in practice an mmap'd PBT1
+ * cache file (trace/trace_store.hh) kept alive by a shared_ptr. Both
+ * cases present the identical read-only interface, so the replay
+ * kernel never knows which it got.
  */
 
 #ifndef BPSIM_TRACE_PACKED_TRACE_HH
@@ -18,6 +25,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "trace/memory_trace.hh"
@@ -43,37 +51,78 @@ class PackedTrace
     /** Packs the conditional records of @p trace, in trace order. */
     explicit PackedTrace(const MemoryTrace &trace);
 
+    /**
+     * Adopts pre-built arrays (e.g. decoded from a PBT1 file on a
+     * host that needed byte-swapping). @p words must hold
+     * ceil(count / 64) entries with all padding bits past @p count
+     * zero (takenCount() popcounts whole words).
+     */
+    PackedTrace(std::vector<std::uint64_t> pcs,
+                std::vector<std::uint64_t> words, std::size_t count);
+
+    /**
+     * Zero-copy view: @p pcs (@p count entries) and @p words
+     * (ceil(count / 64) entries, zero padding bits) point into
+     * storage owned elsewhere; @p storage keeps that owner — an
+     * mmap'd cache file — alive for the life of this trace.
+     */
+    PackedTrace(const std::uint64_t *pcs, const std::uint64_t *words,
+                std::size_t count, std::shared_ptr<const void> storage);
+
+    /* Moves are safe: vector moves transfer the heap allocation, so
+     * the span pointers stay valid under their new owner. Copies are
+     * disabled — traces are shared by reference, never duplicated. */
+    PackedTrace(PackedTrace &&) noexcept = default;
+    PackedTrace &operator=(PackedTrace &&) noexcept = default;
+    PackedTrace(const PackedTrace &) = delete;
+    PackedTrace &operator=(const PackedTrace &) = delete;
+
     /** Number of conditional records. */
-    std::size_t size() const { return pcs.size(); }
-    bool empty() const { return pcs.empty(); }
+    std::size_t size() const { return recordCount; }
+    bool empty() const { return recordCount == 0; }
 
     /** pc of the i-th conditional record. */
-    std::uint64_t pc(std::size_t i) const { return pcs[i]; }
+    std::uint64_t pc(std::size_t i) const { return pcPtr[i]; }
 
     /** Outcome of the i-th conditional record. */
     bool
     taken(std::size_t i) const
     {
-        return (words[i / kWordBits] >> (i % kWordBits)) & 1;
+        return (wordPtr[i / kWordBits] >> (i % kWordBits)) & 1;
     }
 
     /** Bitmap word @p w: outcome of record 64w+j at bit j. Bits past
      *  size() are zero. */
-    std::uint64_t takenWord(std::size_t w) const { return words[w]; }
+    std::uint64_t takenWord(std::size_t w) const { return wordPtr[w]; }
 
     /** Number of bitmap words (== ceil(size() / 64)). */
-    std::size_t wordCount() const { return words.size(); }
+    std::size_t wordCount() const { return wordCnt; }
 
     /** Contiguous pc array, size() entries. */
-    const std::uint64_t *pcData() const { return pcs.data(); }
+    const std::uint64_t *pcData() const { return pcPtr; }
+
+    /** Contiguous taken bitmap, wordCount() entries. */
+    const std::uint64_t *wordData() const { return wordPtr; }
 
     /** Total taken outcomes (bitmap population count). */
     std::uint64_t takenCount() const;
 
+    /** True when this trace is a view over external storage (an
+     *  mmap'd cache file) rather than owned arrays. */
+    bool isView() const { return storage != nullptr; }
+
   private:
-    std::vector<std::uint64_t> pcs;
+    /** Owned storage; empty in view mode. */
+    std::vector<std::uint64_t> ownedPcs;
     /** One bit per record, LSB-first within each word. */
-    std::vector<std::uint64_t> words;
+    std::vector<std::uint64_t> ownedWords;
+    /** Keeps external storage alive in view mode; null when owned. */
+    std::shared_ptr<const void> storage;
+
+    const std::uint64_t *pcPtr = nullptr;
+    const std::uint64_t *wordPtr = nullptr;
+    std::size_t recordCount = 0;
+    std::size_t wordCnt = 0;
 };
 
 } // namespace bpsim

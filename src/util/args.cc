@@ -1,5 +1,6 @@
 #include "util/args.hh"
 
+#include <cerrno>
 #include <cstdlib>
 #include <sstream>
 
@@ -109,9 +110,15 @@ ArgParser::getInt(const std::string &name) const
 {
     const std::string &text = get(name);
     char *end = nullptr;
+    errno = 0;
     const long long value = std::strtoll(text.c_str(), &end, 0);
     if (end == text.c_str() || *end != '\0')
         BPSIM_FATAL("--" << name << ": '" << text << "' is not an integer");
+    // strtoll clamps to LLONG_MIN/MAX on overflow; silently accepting
+    // the clamped value would turn a typo into a huge valid setting.
+    if (errno == ERANGE)
+        BPSIM_FATAL("--" << name << ": '" << text
+                    << "' is out of range for a 64-bit integer");
     return value;
 }
 
@@ -129,9 +136,15 @@ ArgParser::getDouble(const std::string &name) const
 {
     const std::string &text = get(name);
     char *end = nullptr;
+    errno = 0;
     const double value = std::strtod(text.c_str(), &end);
     if (end == text.c_str() || *end != '\0')
         BPSIM_FATAL("--" << name << ": '" << text << "' is not a number");
+    // Overflow clamps to +-HUGE_VAL and underflow to ~0; both set
+    // ERANGE and neither is the number the user wrote.
+    if (errno == ERANGE)
+        BPSIM_FATAL("--" << name << ": '" << text
+                    << "' is out of range for a double");
     return value;
 }
 

@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <set>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -160,6 +162,58 @@ TEST(Campaign, ProgressReportsEveryJobExactlyOnce)
     EXPECT_EQ(seen.size(), 9u);
     EXPECT_EQ(final_completed, 9u);
     EXPECT_EQ(results.size(), 9u);
+}
+
+TEST(Campaign, ThrowingProgressCallbackDoesNotKillTheRun)
+{
+    // An exception escaping into a worker thread would std::terminate
+    // the whole process; the campaign must absorb it, disable the
+    // hook, and still return every result.
+    const MemoryTrace trace = mixedTrace(2'000, 17);
+    Campaign campaign;
+    campaign.addGrid({"gshare:n=6", "bimodal:n=6", "bimode:d=5"},
+                     threeBenchmarks(trace, trace, trace));
+    const auto results = campaign.run(4, [](const CampaignProgress &) {
+        throw std::runtime_error("broken hook");
+    });
+    ASSERT_EQ(results.size(), 9u);
+    for (const JobResult &result : results)
+        EXPECT_TRUE(result.ok()) << result.error;
+}
+
+TEST(Campaign, WarmTraceStoreRunIsByteIdenticalJson)
+{
+    // The trace-store acceptance gate in miniature: a campaign over a
+    // cold store and the same campaign over the warmed store must
+    // produce byte-identical JSON.
+    const std::string dir = ::testing::TempDir() + "campaign_warm";
+    std::filesystem::remove_all(dir);
+
+    WorkloadSpec tiny;
+    tiny.name = "tiny";
+    tiny.staticBranches = 50;
+    tiny.dynamicBranches = 5'000;
+    tiny.seed = 21;
+
+    const auto run_once = [&](std::size_t &generated) {
+        TraceCache cache(dir);
+        Campaign campaign;
+        campaign.addGrid({"gshare:n=7", "bimode:d=6"},
+                         resolveTraces(cache, {tiny}));
+        const auto results = campaign.run(2);
+        generated = cache.stats().generated;
+        std::ostringstream os;
+        writeResultsJson(os, results);
+        return os.str();
+    };
+
+    std::size_t cold_generated = 0, warm_generated = 0;
+    const std::string cold = run_once(cold_generated);
+    const std::string warm = run_once(warm_generated);
+    EXPECT_EQ(cold_generated, 1u);
+    EXPECT_EQ(warm_generated, 0u);
+    EXPECT_EQ(cold, warm);
+    std::filesystem::remove_all(dir);
 }
 
 TEST(Campaign, ResolveTracesGeneratesOnceAndShares)

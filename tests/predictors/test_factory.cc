@@ -134,6 +134,40 @@ TEST(PredictorSpecDeath, NonNumericValueIsFatal)
                 ::testing::ExitedWithCode(1), "not a number");
 }
 
+TEST(PredictorSpecTryParse, NegativeValueReturnsError)
+{
+    // strtoul wraps negatives, so "d=-1" used to parse as 2^64-1 and
+    // then truncate; it must be rejected outright.
+    const ParseResult result = PredictorSpec::tryParse("bimode:d=-1");
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.error.find("non-negative"), std::string::npos)
+        << result.error;
+}
+
+TEST(PredictorSpecTryParse, ValueAboveUintMaxReturnsError)
+{
+    // 2^32 would silently truncate to 0 through the unsigned cast.
+    const ParseResult just_over =
+        PredictorSpec::tryParse("bimode:d=4294967296");
+    ASSERT_FALSE(just_over.ok());
+    EXPECT_NE(just_over.error.find("out of range"), std::string::npos)
+        << just_over.error;
+
+    // Far past 2^64: strtoull itself clamps and reports ERANGE.
+    const ParseResult huge =
+        PredictorSpec::tryParse("bimode:d=99999999999999999999999");
+    ASSERT_FALSE(huge.ok());
+    EXPECT_NE(huge.error.find("out of range"), std::string::npos);
+}
+
+TEST(PredictorSpecTryParse, UintMaxItselfStillParses)
+{
+    const ParseResult result =
+        PredictorSpec::tryParse("bimode:d=4294967295");
+    ASSERT_TRUE(result.ok()) << result.error;
+    EXPECT_EQ(result.spec.get("d", 0), 4294967295u);
+}
+
 TEST(Factory, BuildsEveryKnownKind)
 {
     const std::vector<std::string> configs = {

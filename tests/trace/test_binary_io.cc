@@ -176,5 +176,114 @@ TEST(BinaryIoDeath, CorruptPayloadIsFatal)
                 ::testing::ExitedWithCode(1), "checksum mismatch");
 }
 
+/** Overwrites the low byte of the BBT1 record-count field. The
+ *  payload and its checksum stay intact, so only the count/payload
+ *  consistency checks can catch the mismatch. */
+void
+patchCountByte(const std::string &path, std::uint8_t value)
+{
+    std::fstream f(path,
+                   std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(f) << path;
+    f.seekp(8);
+    const char byte = static_cast<char>(value);
+    f.write(&byte, 1);
+}
+
+void
+drainReader(const std::string &path)
+{
+    BinaryTraceReader reader(path);
+    BranchRecord record;
+    while (reader.next(record)) {
+    }
+}
+
+TEST(BinaryIoDeath, UndercountedHeaderIsTrailingGarbage)
+{
+    // Count patched 100 -> 50: after the declared records the payload
+    // still has bytes left. That is a distinct corruption from a
+    // checksum failure and must say so.
+    TempFile file("bbt_undercount.trace");
+    const MemoryTrace original = randomTrace(100, 7);
+    auto reader = original.reader();
+    writeBinaryTrace(reader, file.path());
+    patchCountByte(file.path(), 50);
+    EXPECT_EXIT(drainReader(file.path()),
+                ::testing::ExitedWithCode(1), "trailing byte");
+}
+
+TEST(BinaryIoDeath, OvercountedHeaderEndsEarly)
+{
+    // Count patched 100 -> 200: the decoder runs off the end of the
+    // payload and must name the record where it happened.
+    TempFile file("bbt_overcount.trace");
+    const MemoryTrace original = randomTrace(100, 8);
+    auto reader = original.reader();
+    writeBinaryTrace(reader, file.path());
+    patchCountByte(file.path(), 200);
+    EXPECT_EXIT(drainReader(file.path()),
+                ::testing::ExitedWithCode(1), "ended early");
+}
+
+TEST(TryReadBinaryTrace, SuccessMatchesFatalReader)
+{
+    TempFile file("bbt_try_ok.trace");
+    const MemoryTrace original = randomTrace(300, 9);
+    auto reader = original.reader();
+    writeBinaryTrace(reader, file.path());
+
+    MemoryTrace loaded;
+    EXPECT_EQ(tryReadBinaryTrace(file.path(), loaded), "");
+    ASSERT_EQ(loaded.size(), original.size());
+    for (std::size_t i = 0; i < loaded.size(); ++i)
+        EXPECT_EQ(loaded[i], original[i]) << "record " << i;
+}
+
+TEST(TryReadBinaryTrace, ReportsErrorsWithoutTerminating)
+{
+    MemoryTrace sink;
+    EXPECT_NE(tryReadBinaryTrace("/nonexistent/path.trace", sink)
+                  .find("cannot open"),
+              std::string::npos);
+
+    TempFile corrupt("bbt_try_corrupt.trace");
+    const MemoryTrace original = randomTrace(100, 10);
+    auto reader = original.reader();
+    writeBinaryTrace(reader, corrupt.path());
+    {
+        std::fstream f(corrupt.path(),
+                       std::ios::binary | std::ios::in | std::ios::out);
+        f.seekg(60);
+        char byte;
+        f.read(&byte, 1);
+        byte = static_cast<char>(byte ^ 0x10);
+        f.seekp(60);
+        f.write(&byte, 1);
+    }
+    EXPECT_NE(tryReadBinaryTrace(corrupt.path(), sink)
+                  .find("checksum mismatch"),
+              std::string::npos);
+}
+
+TEST(TryReadBinaryTrace, UndercountReportsTrailingGarbage)
+{
+    TempFile file("bbt_try_undercount.trace");
+    const MemoryTrace original = randomTrace(100, 11);
+    auto reader = original.reader();
+    writeBinaryTrace(reader, file.path());
+    {
+        std::fstream f(file.path(),
+                       std::ios::binary | std::ios::in | std::ios::out);
+        f.seekp(8);
+        const char byte = 50;
+        f.write(&byte, 1);
+    }
+    MemoryTrace sink;
+    EXPECT_NE(tryReadBinaryTrace(file.path(), sink)
+                  .find("trailing byte"),
+              std::string::npos);
+}
+
 } // namespace
 } // namespace bpsim

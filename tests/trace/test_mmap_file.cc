@@ -1,0 +1,89 @@
+/** @file Tests for the read-only mmap file wrapper. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "trace/mmap_file.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+class TempFile
+{
+  public:
+    explicit TempFile(const std::string &name)
+        : filePath(::testing::TempDir() + name)
+    {
+    }
+
+    ~TempFile() { std::remove(filePath.c_str()); }
+
+    const std::string &path() const { return filePath; }
+
+  private:
+    std::string filePath;
+};
+
+TEST(MmapFile, MissingFileFailsWithoutTerminating)
+{
+    std::string error;
+    const auto file = MmapFile::open("/nonexistent/file.pbt1", error);
+    EXPECT_EQ(file, nullptr);
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(MmapFile, ExposesWholeFileContents)
+{
+    TempFile temp("mmap_contents.bin");
+    const std::string payload = "eight by8 aligned payload bytes!";
+    {
+        std::ofstream out(temp.path(), std::ios::binary);
+        out << payload;
+    }
+
+    std::string error;
+    const auto file = MmapFile::open(temp.path(), error);
+    ASSERT_NE(file, nullptr) << error;
+    ASSERT_EQ(file->size(), payload.size());
+    EXPECT_EQ(std::memcmp(file->data(), payload.data(), payload.size()),
+              0);
+    // The payload pointer must be 8-byte aligned whichever path
+    // (mmap or heap fallback) served it — PBT1 views depend on it.
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(file->data()) % 8, 0u);
+}
+
+TEST(MmapFile, EmptyFileIsValidAndEmpty)
+{
+    TempFile temp("mmap_empty.bin");
+    { std::ofstream out(temp.path(), std::ios::binary); }
+
+    std::string error;
+    const auto file = MmapFile::open(temp.path(), error);
+    ASSERT_NE(file, nullptr) << error;
+    EXPECT_EQ(file->size(), 0u);
+}
+
+TEST(MmapFile, SharedPtrKeepsContentsAliveAfterScopeExit)
+{
+    TempFile temp("mmap_alive.bin");
+    {
+        std::ofstream out(temp.path(), std::ios::binary);
+        out << "persistent";
+    }
+
+    std::shared_ptr<const MmapFile> kept;
+    {
+        std::string error;
+        kept = MmapFile::open(temp.path(), error);
+        ASSERT_NE(kept, nullptr) << error;
+    }
+    EXPECT_EQ(std::memcmp(kept->data(), "persistent", 10), 0);
+}
+
+} // namespace
+} // namespace bpsim

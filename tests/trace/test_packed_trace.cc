@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <utility>
+#include <vector>
+
 #include "trace/memory_trace.hh"
 #include "trace/packed_trace.hh"
 
@@ -114,6 +118,67 @@ TEST(PackedTrace, AllNonConditionalPacksEmpty)
     const PackedTrace packed(trace);
     EXPECT_EQ(packed.size(), 0u);
     EXPECT_EQ(packed.wordCount(), 0u);
+}
+
+TEST(PackedTrace, AdoptedVectorsBehaveLikePacked)
+{
+    std::vector<std::uint64_t> pcs = {0x10, 0x20, 0x30};
+    std::vector<std::uint64_t> words = {0b101};
+    const PackedTrace packed(std::move(pcs), std::move(words), 3);
+    ASSERT_EQ(packed.size(), 3u);
+    EXPECT_FALSE(packed.isView());
+    EXPECT_EQ(packed.pc(1), 0x20u);
+    EXPECT_TRUE(packed.taken(0));
+    EXPECT_FALSE(packed.taken(1));
+    EXPECT_TRUE(packed.taken(2));
+    EXPECT_EQ(packed.takenCount(), 2u);
+}
+
+TEST(PackedTrace, ViewSharesExternalStorage)
+{
+    // The view ctor's contract: pointers stay valid exactly as long
+    // as the storage handle lives. Model the mmap case with a
+    // heap-allocated arena.
+    auto arena = std::make_shared<std::vector<std::uint64_t>>(
+        std::vector<std::uint64_t>{0x100, 0x200, 0b10});
+    const std::uint64_t *pcs = arena->data();
+    const std::uint64_t *words = arena->data() + 2;
+
+    PackedTrace view(pcs, words, 2, arena);
+    arena.reset(); // the view must keep the arena alive on its own
+    ASSERT_EQ(view.size(), 2u);
+    EXPECT_TRUE(view.isView());
+    EXPECT_EQ(view.pc(0), 0x100u);
+    EXPECT_EQ(view.pc(1), 0x200u);
+    EXPECT_FALSE(view.taken(0));
+    EXPECT_TRUE(view.taken(1));
+    EXPECT_EQ(view.pcData(), pcs);
+    EXPECT_EQ(view.wordData(), words);
+}
+
+TEST(PackedTrace, MoveKeepsSpansValid)
+{
+    MemoryTrace trace;
+    for (std::size_t i = 0; i < 10; ++i)
+        trace.append(makeRecord(0x1000 + 8 * i, i % 2 == 0));
+    PackedTrace packed(trace);
+    const std::uint64_t *pcs_before = packed.pcData();
+
+    const PackedTrace moved = std::move(packed);
+    EXPECT_EQ(moved.pcData(), pcs_before);
+    ASSERT_EQ(moved.size(), 10u);
+    for (std::size_t i = 0; i < 10; ++i) {
+        EXPECT_EQ(moved.pc(i), 0x1000 + 8 * i);
+        EXPECT_EQ(moved.taken(i), i % 2 == 0);
+    }
+}
+
+TEST(PackedTraceDeath, AdoptedSizeMismatchPanics)
+{
+    std::vector<std::uint64_t> pcs = {0x10, 0x20};
+    std::vector<std::uint64_t> words = {};
+    EXPECT_DEATH(PackedTrace(std::move(pcs), std::move(words), 2),
+                 "do not fit");
 }
 
 } // namespace

@@ -134,5 +134,34 @@ TEST(ArgsDeath, NonNumericIntIsFatal)
                 "not an integer");
 }
 
+TEST(ArgsDeath, OverflowingIntIsFatal)
+{
+    // strtoll clamps 2^64 to LLONG_MAX with errno=ERANGE; silently
+    // accepting the clamp would turn a typo into a huge setting.
+    ArgParser parser = makeParser();
+    const char *argv[] = {"prog", "--count=18446744073709551616"};
+    ASSERT_TRUE(parser.parse(2, argv));
+    EXPECT_EXIT(parser.getInt("count"), ::testing::ExitedWithCode(1),
+                "out of range");
+}
+
+TEST(ArgsDeath, UnderflowingIntIsFatal)
+{
+    ArgParser parser = makeParser();
+    const char *argv[] = {"prog", "--count=-99999999999999999999"};
+    ASSERT_TRUE(parser.parse(2, argv));
+    EXPECT_EXIT(parser.getInt("count"), ::testing::ExitedWithCode(1),
+                "out of range");
+}
+
+TEST(ArgsDeath, OverflowingDoubleIsFatal)
+{
+    ArgParser parser = makeParser();
+    const char *argv[] = {"prog", "--rate=1e999"};
+    ASSERT_TRUE(parser.parse(2, argv));
+    EXPECT_EXIT(parser.getDouble("rate"), ::testing::ExitedWithCode(1),
+                "out of range");
+}
+
 } // namespace
 } // namespace bpsim
