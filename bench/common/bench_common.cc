@@ -117,10 +117,6 @@ measureSchemeCurves(TraceCache &cache,
 {
     const std::vector<BenchmarkTrace> benchmarks =
         resolveTraces(cache, specs);
-    std::vector<const MemoryTrace *> traces;
-    traces.reserve(benchmarks.size());
-    for (const BenchmarkTrace &benchmark : benchmarks)
-        traces.push_back(benchmark.trace);
 
     std::vector<SchemeCurvePoint> curve;
     curve.reserve(ladder.size());
@@ -131,10 +127,12 @@ measureSchemeCurves(TraceCache &cache,
         point.size = size;
 
         // Exhaustive history sweep (paper section 3.1), a campaign
-        // grid inside sweepGshare(). The m == n point doubles as
+        // grid inside sweepGshare(). The benchmarks carry packed
+        // traces, so the whole sweep fuses into one banked replay
+        // pass per benchmark. The m == n point doubles as
         // gshare.1PHT.
         const GshareSweepResult sweep =
-            sweepGshare(size.gshareIndexBits, traces);
+            sweepGshare(size.gshareIndexBits, benchmarks);
         const GshareSweepPoint &best = sweep.best();
         const GshareSweepPoint &pht1 = sweep.points.back();
         point.bestHistoryBits = best.historyBits;
@@ -160,7 +158,7 @@ measureSchemeCurves(TraceCache &cache,
             total += job.result.mispredictionRate();
         }
         point.bimodeAverage =
-            total / static_cast<double>(traces.size());
+            total / static_cast<double>(benchmarks.size());
         curve.push_back(std::move(point));
     }
     return curve;

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Head-to-head wall time of a multi-configuration campaign on the
+ * fused banked-replay path versus the classic per-job kernel path.
+ * Not a paper figure — this measures the campaign engine itself, and
+ * records the single-pass speedup that makes full figure sweeps
+ * affordable.
+ *
+ * Two representative campaign shapes run on one worker, so the
+ * numbers isolate fusion (one trace pass for the whole group) from
+ * thread-level parallelism:
+ *
+ *   ladder  the fig2 shape: one gshare rung per table size,
+ *           n = 10..17, over one gcc-like trace
+ *   sweep   the gshare.best shape (paper §3.1): every history length
+ *           at one table size, n = 12, h = 0..12
+ *
+ * Each shape is timed best-of-N with fusion on and off; the JSON
+ * report (default BENCH_multiconfig.json) records both times and the
+ * speedup. The binary re-checks that both paths emit byte-identical
+ * campaign JSON and exits non-zero on any divergence, so a stale
+ * baseline can never hide a fusion bug.
+ */
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "common/bench_common.hh"
+#include "util/json.hh"
+#include "util/logging.hh"
+
+using namespace bpsim;
+using namespace bpsim::bench;
+
+namespace
+{
+
+struct Scenario
+{
+    std::string name;
+    std::vector<std::string> configs;
+};
+
+struct Timed
+{
+    std::uint64_t nanos = 0;
+    std::vector<JobResult> results;
+};
+
+/** Times one single-worker campaign run, best of @p reps. */
+Timed
+timeCampaign(const std::vector<std::string> &configs,
+             const std::vector<BenchmarkTrace> &benchmarks, bool fuse,
+             unsigned reps)
+{
+    Timed best;
+    for (unsigned rep = 0; rep < reps; ++rep) {
+        Campaign campaign;
+        campaign.addGrid(configs, benchmarks);
+        campaign.setFusion(fuse);
+        const auto start = std::chrono::steady_clock::now();
+        std::vector<JobResult> results = campaign.run(1);
+        const auto stop = std::chrono::steady_clock::now();
+        const std::uint64_t nanos = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                stop - start)
+                .count());
+        if (rep == 0 || nanos < best.nanos) {
+            best.nanos = nanos;
+            best.results = std::move(results);
+        }
+    }
+    return best;
+}
+
+std::string
+resultsJson(const std::vector<JobResult> &results)
+{
+    std::ostringstream out;
+    writeResultsJson(out, results);
+    return out.str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("perf_multiconfig",
+                   "Fused banked-replay campaign vs per-job kernel "
+                   "campaign wall time.");
+    addCommonOptions(args);
+    // Larger default than perf_replay: the trace must outgrow the
+    // last-level cache for the per-job baseline to pay the per-pass
+    // streaming cost it pays on real figure-sized traces.
+    args.addOption("branches", "8000000",
+                   "dynamic branch count of the timing trace");
+    args.addOption("reps", "5", "timed repetitions per path (best-of)");
+    args.addOption("out", "BENCH_multiconfig.json",
+                   "path of the JSON report");
+    if (!args.parse(argc, argv))
+        return 0;
+    const std::uint64_t divisor = applyCommonOptions(args);
+    const unsigned reps = static_cast<unsigned>(
+        std::max<std::uint64_t>(args.getUint("reps"), 1));
+
+    auto spec = findBenchmark("gcc");
+    spec->dynamicBranches = std::max<std::uint64_t>(
+        args.getUint("branches") / divisor, 50'000);
+    TraceCache cache(traceStoreDir(args));
+    const std::vector<BenchmarkTrace> benchmarks =
+        resolveTraces(cache, {*spec});
+    BPSIM_INFORM("timing trace: " << benchmarks[0].packed->size()
+                 << " conditionals");
+
+    std::vector<Scenario> scenarios;
+    {
+        Scenario ladder;
+        ladder.name = "ladder";
+        for (unsigned n = 10; n <= 17; ++n)
+            ladder.configs.push_back("gshare:n=" + std::to_string(n));
+        scenarios.push_back(std::move(ladder));
+
+        Scenario sweep;
+        sweep.name = "sweep";
+        for (unsigned h = 0; h <= 12; ++h)
+            sweep.configs.push_back("gshare:n=12,h=" +
+                                    std::to_string(h));
+        scenarios.push_back(std::move(sweep));
+    }
+
+    TextTable table;
+    table.setColumns({"scenario", "jobs", "per-job ms", "fused ms",
+                      "speedup"});
+
+    std::ostringstream json;
+    json << "[";
+    bool mismatch = false;
+    bool first = true;
+    for (const Scenario &scenario : scenarios) {
+        const Timed fused =
+            timeCampaign(scenario.configs, benchmarks, true, reps);
+        const Timed unfused =
+            timeCampaign(scenario.configs, benchmarks, false, reps);
+
+        const bool identical =
+            resultsJson(fused.results) == resultsJson(unfused.results);
+        if (!identical) {
+            mismatch = true;
+            BPSIM_WARN("campaign paths DIVERGED for scenario "
+                       << scenario.name);
+        }
+
+        const double speedup =
+            fused.nanos == 0
+                ? 0.0
+                : static_cast<double>(unfused.nanos) /
+                      static_cast<double>(fused.nanos);
+
+        table.addRow({scenario.name,
+                      std::to_string(scenario.configs.size()),
+                      TextTable::fixed(unfused.nanos / 1e6, 2),
+                      TextTable::fixed(fused.nanos / 1e6, 2),
+                      TextTable::fixed(speedup, 2)});
+
+        if (!first)
+            json << ",";
+        first = false;
+        json << "\n  {\"scenario\":" << jsonString(scenario.name)
+             << ",\"jobs\":" << scenario.configs.size()
+             << ",\"branchesPerJob\":" << benchmarks[0].packed->size()
+             << ",\"perJobNanos\":" << unfused.nanos
+             << ",\"fusedNanos\":" << fused.nanos
+             << ",\"speedup\":" << jsonNumber(speedup)
+             << ",\"identical\":" << (identical ? "true" : "false")
+             << "}";
+    }
+    json << "\n]\n";
+
+    emitTable(args, table, "Fused vs per-job campaign wall time "
+                           "(best of " + std::to_string(reps) + ")");
+
+    const std::string out = args.get("out");
+    std::ofstream file(out);
+    if (!file) {
+        std::cerr << "cannot write " << out << "\n";
+        return 1;
+    }
+    file << json.str();
+    std::cout << "\nwrote " << out << "\n";
+
+    return mismatch ? 1 : 0;
+}

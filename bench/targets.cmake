@@ -30,6 +30,7 @@ bpsim_bench(ablation_bimode)
 bpsim_bench(interference_taxonomy)
 bpsim_bench(scheme_comparison)
 bpsim_bench(perf_replay)
+bpsim_bench(perf_multiconfig)
 
 add_executable(perf_predictors bench/perf_predictors.cc)
 target_link_libraries(perf_predictors PRIVATE

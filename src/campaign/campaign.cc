@@ -2,8 +2,10 @@
 
 #include <atomic>
 #include <exception>
+#include <map>
 #include <mutex>
 #include <thread>
+#include <tuple>
 #include <utility>
 
 #include "core/factory.hh"
@@ -18,6 +20,128 @@ namespace
 
 /** 0 = follow the hardware; set from --jobs. */
 std::atomic<unsigned> configured_workers{0};
+
+/**
+ * One worker-pool work unit: either a single job on the classic
+ * per-job path (kind empty) or a fused bank of same-kind jobs over
+ * one shared PackedTrace.
+ */
+struct WorkGroup
+{
+    /** Job indices, ascending. */
+    std::vector<std::size_t> jobs;
+    /** Fast-replay kind shared by every job; empty for the per-job
+     *  path. */
+    std::string kind;
+};
+
+/**
+ * Upper bound on fused lanes per bank. Groups wider than this split:
+ * beyond a point more lanes stop amortizing anything (the trace pass
+ * is already shared) and only grow the bank's working set past the
+ * cache levels the single-lane tables were sized for, while smaller
+ * chunks keep the worker pool fed.
+ */
+constexpr std::size_t kMaxBankLanes = 32;
+
+/**
+ * Partitions jobs into work groups, preserving job order inside each
+ * group and ordering groups by first member. Jobs are fusable when
+ * they carry a packed trace, their config's kind has a bank kernel,
+ * and their SimConfig is bank-compatible (no per-branch tracking;
+ * warm-up length is part of the grouping key). Everything else
+ * becomes a singleton group on the per-job path.
+ */
+std::vector<WorkGroup>
+planGroups(const std::vector<Job> &jobs, bool fuse)
+{
+    std::vector<WorkGroup> groups;
+    groups.reserve(jobs.size());
+    // Grouping key: one bank = one trace × one concrete kind × one
+    // warm-up length. (SimConfig currently adds only trackPerBranch,
+    // which fusable jobs must have off; a new SimConfig knob that
+    // changes replay semantics must join this key.)
+    std::map<std::tuple<const PackedTrace *, std::string, std::uint64_t>,
+             std::size_t>
+        open;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const Job &job = jobs[i];
+        std::string kind;
+        if (fuse && job.packed != nullptr && job.trace != nullptr &&
+            !job.simConfig.trackPerBranch) {
+            kind = fastReplayKind(job.configText);
+        }
+        if (kind.empty()) {
+            groups.push_back({{i}, {}});
+            continue;
+        }
+        const auto key = std::make_tuple(job.packed, kind,
+                                         job.simConfig.warmupBranches);
+        const auto it = open.find(key);
+        if (it != open.end() &&
+            groups[it->second].jobs.size() < kMaxBankLanes) {
+            groups[it->second].jobs.push_back(i);
+            continue;
+        }
+        // New group, or the open one is full — start a fresh bank.
+        open[key] = groups.size();
+        groups.push_back({{i}, std::move(kind)});
+    }
+    return groups;
+}
+
+/**
+ * Runs one fused group: constructs every job's predictor, banks the
+ * successes through replayKernelBankAny(), and lands construction
+ * errors exactly as the per-job path would. Falls back to per-job
+ * runs if the bank refuses the group (which grouping should make
+ * impossible).
+ */
+std::vector<JobResult>
+runFusedGroup(const std::vector<Job> &all, const WorkGroup &group)
+{
+    std::vector<JobResult> results(group.jobs.size());
+    std::vector<PredictorPtr> owned;
+    std::vector<BranchPredictor *> bank;
+    std::vector<std::size_t> lane_slot;
+    for (std::size_t k = 0; k < group.jobs.size(); ++k) {
+        const Job &job = all[group.jobs[k]];
+        JobResult &result = results[k];
+        result.index = job.index;
+        result.benchmark = job.benchmark;
+        result.configText = job.configText;
+        PredictorResult made = tryMakePredictor(job.configText);
+        if (!made.ok()) {
+            result.error = std::move(made.error);
+            continue;
+        }
+        bank.push_back(made.predictor.get());
+        owned.push_back(std::move(made.predictor));
+        lane_slot.push_back(k);
+    }
+
+    std::vector<SimResult> sims;
+    const Job &first = all[group.jobs.front()];
+    if (bank.empty() ||
+        !replayKernelBankAny(group.kind, bank, *first.packed,
+                             first.simConfig, sims)) {
+        if (!bank.empty()) {
+            BPSIM_WARN("bank kernel refused fused group of kind '"
+                       << group.kind << "'; running jobs singly");
+            for (std::size_t k = 0; k < group.jobs.size(); ++k)
+                results[k] = runJob(all[group.jobs[k]]);
+        }
+        return results;
+    }
+
+    for (std::size_t lane = 0; lane < sims.size(); ++lane) {
+        JobResult &result = results[lane_slot[lane]];
+        result.result = std::move(sims[lane]);
+        result.result.benchmark = result.benchmark;
+        result.result.configText = result.configText;
+    }
+    return results;
+}
 
 } // namespace
 
@@ -97,6 +221,7 @@ runJob(const Job &job)
 std::vector<JobResult>
 Campaign::run(unsigned workers, const ProgressFn &progress) const
 {
+    const std::vector<WorkGroup> groups = planGroups(jobList, fuseJobs);
     std::vector<JobResult> results(jobList.size());
     std::atomic<std::size_t> cursor{0};
     std::mutex lock;
@@ -105,31 +230,43 @@ Campaign::run(unsigned workers, const ProgressFn &progress) const
 
     const auto worker_loop = [&]() {
         for (;;) {
-            const std::size_t i =
+            const std::size_t g =
                 cursor.fetch_add(1, std::memory_order_relaxed);
-            if (i >= jobList.size())
+            if (g >= groups.size())
                 return;
-            JobResult result = runJob(jobList[i]);
+            const WorkGroup &group = groups[g];
+            std::vector<JobResult> group_results;
+            if (group.kind.empty())
+                group_results.push_back(runJob(jobList[group.jobs[0]]));
+            else
+                group_results = runFusedGroup(jobList, group);
+
             const std::lock_guard<std::mutex> guard(lock);
-            // Results land in their job's slot, so the returned
-            // ordering never depends on the thread schedule.
-            results[i] = std::move(result);
-            ++completed;
-            // An exception escaping into a worker thread would
-            // std::terminate the process; a broken progress hook must
-            // not take the campaign down, so swallow and disable it.
-            if (progress && !progress_disabled) {
-                try {
-                    progress({completed, jobList.size(), &results[i]});
-                } catch (const std::exception &e) {
-                    progress_disabled = true;
-                    BPSIM_WARN("campaign progress callback threw ("
-                               << e.what()
-                               << "); progress reporting disabled");
-                } catch (...) {
-                    progress_disabled = true;
-                    BPSIM_WARN("campaign progress callback threw; "
-                               << "progress reporting disabled");
+            for (std::size_t k = 0; k < group.jobs.size(); ++k) {
+                // Results land in their job's slot, so the returned
+                // ordering never depends on the thread schedule (or
+                // on how jobs were grouped).
+                const std::size_t i = group.jobs[k];
+                results[i] = std::move(group_results[k]);
+                ++completed;
+                // An exception escaping into a worker thread would
+                // std::terminate the process; a broken progress hook
+                // must not take the campaign down, so swallow and
+                // disable it.
+                if (progress && !progress_disabled) {
+                    try {
+                        progress(
+                            {completed, jobList.size(), &results[i]});
+                    } catch (const std::exception &e) {
+                        progress_disabled = true;
+                        BPSIM_WARN("campaign progress callback threw ("
+                                   << e.what()
+                                   << "); progress reporting disabled");
+                    } catch (...) {
+                        progress_disabled = true;
+                        BPSIM_WARN("campaign progress callback threw; "
+                                   << "progress reporting disabled");
+                    }
                 }
             }
         }
@@ -137,8 +274,8 @@ Campaign::run(unsigned workers, const ProgressFn &progress) const
 
     if (workers == 0)
         workers = defaultWorkerCount();
-    if (jobList.size() < workers)
-        workers = static_cast<unsigned>(jobList.size());
+    if (groups.size() < workers)
+        workers = static_cast<unsigned>(groups.size());
 
     if (workers <= 1) {
         worker_loop();

@@ -9,13 +9,28 @@
  *   1. declare the grid (addGrid()/addJob()); each cell is a Job —
  *      one factory configuration string run over one shared,
  *      immutable, pre-generated MemoryTrace;
- *   2. run() executes the jobs on a pool of worker threads pulling
+ *   2. run() executes the work on a pool of worker threads pulling
  *      from a shared atomic cursor (generate once, simulate many:
  *      traces are read-only in simulate(), predictors are
  *      constructed per job);
  *   3. results come back as one JobResult per job, *in job order*,
  *      regardless of the thread schedule — runs with different
  *      `--jobs` values are bit-identical.
+ *
+ * The worker-pool work unit is a *benchmark group*, not a job: jobs
+ * that replay the same PackedTrace with the same fast-replay kind
+ * (core/factory.hh, fastReplayKind()) and compatible SimConfig are
+ * fused into one banked kernel pass (sim/replay.hh,
+ * replayKernelBankAny()) that streams the trace once for the whole
+ * group. A fig2-style size ladder or gshare.best sweep therefore
+ * touches each benchmark's trace once instead of once per rung.
+ * Everything else — heterogeneous kinds, per-branch tracking, jobs
+ * without a packed trace, malformed configs — runs on the classic
+ * per-job path. Fusion changes wall time only: per-job counts,
+ * errors and emitted JSON are bit-identical to an unfused run
+ * (enforced by tests/sim/test_replay_bank.cc), and setFusion(false)
+ * forces the per-job path, e.g. to time configurations in
+ * isolation.
  *
  * Configuration errors do not kill a campaign: a job whose config
  * string is rejected by tryMakePredictor() completes with
@@ -136,6 +151,15 @@ class Campaign
     std::size_t jobCount() const { return jobList.size(); }
 
     /**
+     * Enables or disables benchmark-group fusion (on by default).
+     * Results are bit-identical either way; disabling trades the
+     * single-pass wall-time win for per-job timing isolation
+     * (SimResult::fusedLanes == 0 on every result).
+     */
+    void setFusion(bool enabled) { fuseJobs = enabled; }
+    bool fusionEnabled() const { return fuseJobs; }
+
+    /**
      * Executes every job and returns results indexed by job order.
      *
      * @param workers thread count; 0 uses defaultWorkerCount(), 1
@@ -148,6 +172,7 @@ class Campaign
 
   private:
     std::vector<Job> jobList;
+    bool fuseJobs = true;
 };
 
 /** Runs one job synchronously (the worker-loop body). */

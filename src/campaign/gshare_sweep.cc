@@ -40,13 +40,20 @@ sweepGshare(unsigned indexBits,
             const std::vector<const MemoryTrace *> &traces,
             unsigned minHistory)
 {
-    if (traces.empty())
-        BPSIM_PANIC("gshare sweep needs at least one trace");
-
     std::vector<BenchmarkTrace> benchmarks;
     benchmarks.reserve(traces.size());
     for (std::size_t b = 0; b < traces.size(); ++b)
         benchmarks.push_back({"trace" + std::to_string(b), traces[b]});
+    return sweepGshare(indexBits, benchmarks, minHistory);
+}
+
+GshareSweepResult
+sweepGshare(unsigned indexBits,
+            const std::vector<BenchmarkTrace> &benchmarks,
+            unsigned minHistory)
+{
+    if (benchmarks.empty())
+        BPSIM_PANIC("gshare sweep needs at least one trace");
 
     std::vector<std::string> configs;
     configs.reserve(indexBits - minHistory + 1);
@@ -65,7 +72,7 @@ sweepGshare(unsigned indexBits,
         GshareSweepPoint point;
         point.historyBits = m;
         double total = 0.0;
-        for (std::size_t b = 0; b < traces.size(); ++b, ++job) {
+        for (std::size_t b = 0; b < benchmarks.size(); ++b, ++job) {
             if (!jobs[job].ok())
                 BPSIM_PANIC("internal gshare config rejected: "
                             << jobs[job].error);
@@ -73,7 +80,7 @@ sweepGshare(unsigned indexBits,
             point.perBenchmark.push_back(rate);
             total += rate;
         }
-        point.average = total / static_cast<double>(traces.size());
+        point.average = total / static_cast<double>(benchmarks.size());
         result.points.push_back(std::move(point));
     }
     return result;

@@ -296,4 +296,13 @@ hasFastReplay(const std::string &kind)
            kind == "tournament";
 }
 
+std::string
+fastReplayKind(const std::string &configText)
+{
+    ParseResult parsed = PredictorSpec::tryParse(configText);
+    if (!parsed.ok() || !hasFastReplay(parsed.spec.kind))
+        return {};
+    return std::move(parsed.spec.kind);
+}
+
 } // namespace bpsim

@@ -117,6 +117,18 @@ std::vector<std::string> knownPredictorKinds();
  */
 bool hasFastReplay(const std::string &kind);
 
+/**
+ * The kernel-eligible kind of @p configText, or "" when the config
+ * does not parse or its kind has no devirtualized replay kernel.
+ *
+ * This is the campaign engine's grouping key: jobs on the same trace
+ * whose configs share a non-empty fastReplayKind() can be fused into
+ * one banked replay pass (sim/replay.hh, replayKernelBankAny()).
+ * Config strings that fail to parse return "" and take the per-job
+ * path, which is where their error is reported.
+ */
+std::string fastReplayKind(const std::string &configText);
+
 } // namespace bpsim
 
 #endif // BPSIM_CORE_FACTORY_HH

@@ -77,11 +77,11 @@ class GskewPredictor : public BranchPredictor
     bool
     predictFast(std::uint64_t pc) const
     {
-        int votes = 0;
-        for (unsigned bank = 0; bank < 3; ++bank) {
-            if (banks[bank].predictTaken(indexFor(bank, pc)))
-                ++votes;
-        }
+        std::size_t indices[3];
+        indicesFor(pc, indices);
+        const int votes = static_cast<int>(banks[0].predictTaken(indices[0])) +
+                          static_cast<int>(banks[1].predictTaken(indices[1])) +
+                          static_cast<int>(banks[2].predictTaken(indices[2]));
         return votes >= 2;
     }
 
@@ -91,22 +91,22 @@ class GskewPredictor : public BranchPredictor
     bool
     stepFast(std::uint64_t pc, bool taken)
     {
-        bool bank_votes[3];
         std::size_t indices[3];
-        int votes = 0;
-        for (unsigned bank = 0; bank < 3; ++bank) {
-            indices[bank] = indexFor(bank, pc);
-            bank_votes[bank] = banks[bank].predictTaken(indices[bank]);
-            if (bank_votes[bank])
-                ++votes;
-        }
-        const bool prediction = votes >= 2;
+        indicesFor(pc, indices);
+        const bool vote0 = banks[0].predictTaken(indices[0]);
+        const bool vote1 = banks[1].predictTaken(indices[1]);
+        const bool vote2 = banks[2].predictTaken(indices[2]);
+        const bool prediction = static_cast<int>(vote0) +
+                                    static_cast<int>(vote1) +
+                                    static_cast<int>(vote2) >=
+                                2;
 
         if (!cfg.partialUpdate || prediction != taken) {
             // On a misprediction (or with partial update disabled)
             // every bank re-learns the outcome.
-            for (unsigned bank = 0; bank < 3; ++bank)
-                banks[bank].update(indices[bank], taken);
+            banks[0].update(indices[0], taken);
+            banks[1].update(indices[1], taken);
+            banks[2].update(indices[2], taken);
         } else {
             // Correct prediction: strengthen only the banks that
             // voted with the outcome, plus the always-updated bimodal
@@ -114,10 +114,10 @@ class GskewPredictor : public BranchPredictor
             // dissenting banks' state for the branches they serve
             // correctly.
             banks[0].update(indices[0], taken);
-            for (unsigned bank = 1; bank < 3; ++bank) {
-                if (bank_votes[bank] == taken)
-                    banks[bank].update(indices[bank], taken);
-            }
+            if (vote1 == taken)
+                banks[1].update(indices[1], taken);
+            if (vote2 == taken)
+                banks[2].update(indices[2], taken);
         }
         history.push(taken);
         return prediction;
@@ -131,6 +131,30 @@ class GskewPredictor : public BranchPredictor
     }
 
   private:
+    /**
+     * All three bank indices at once, deriving the shared address
+     * field, history value and bank mask a single time instead of
+     * once per bank as indexFor() does. The constant bank arguments
+     * let the compiler fold each bankHash() switch away, so the
+     * per-index work is exactly indexFor()'s (bit-identical results)
+     * minus the re-derived subexpressions. This is the hot-kernel
+     * entry: gskew was the slowest replay kernel because every
+     * stepFast() paid the hashing three times over.
+     */
+    void
+    indicesFor(std::uint64_t pc, std::size_t (&indices)[3]) const
+    {
+        const std::uint64_t address =
+            bitField(pc, 2, cfg.bankIndexBits + 8);
+        const std::uint64_t hist = history.value();
+        indices[0] = static_cast<std::size_t>(
+            bankHash(0, address, hist, cfg.bankIndexBits));
+        indices[1] = static_cast<std::size_t>(
+            bankHash(1, address, hist, cfg.bankIndexBits));
+        indices[2] = static_cast<std::size_t>(
+            bankHash(2, address, hist, cfg.bankIndexBits));
+    }
+
     /**
      * Per-bank mixing of the (pc, history) pair. Bank 0 is indexed by
      * address alone (the e-gskew "bimodal bank"); banks 1 and 2 mix

@@ -12,6 +12,75 @@
 namespace bpsim
 {
 
+namespace
+{
+
+/**
+ * Typed leg of replayKernelBankAny(): casts the group, moves the
+ * instances into a contiguous std::vector<Pred> bank, runs the
+ * banked kernel, and moves the replayed state back into the callers'
+ * objects. The cast pass completes before any move, so a mixed group
+ * is rejected without disturbing anyone's state.
+ */
+template <typename Pred>
+bool
+runBank(const std::vector<BranchPredictor *> &predictors,
+        const PackedTrace &packed, const SimConfig &config,
+        std::vector<SimResult> &results)
+{
+    std::vector<Pred *> typed;
+    typed.reserve(predictors.size());
+    for (BranchPredictor *predictor : predictors) {
+        auto *p = dynamic_cast<Pred *>(predictor);
+        if (p == nullptr)
+            return false;
+        typed.push_back(p);
+    }
+
+    std::vector<Pred> bank;
+    bank.reserve(typed.size());
+    for (Pred *p : typed)
+        bank.push_back(std::move(*p));
+    results = replayKernelBank(bank, packed, config);
+    for (std::size_t l = 0; l < typed.size(); ++l)
+        *typed[l] = std::move(bank[l]);
+    return true;
+}
+
+} // namespace
+
+bool
+replayKernelBankAny(const std::string &kind,
+                    const std::vector<BranchPredictor *> &predictors,
+                    const PackedTrace &packed, const SimConfig &config,
+                    std::vector<SimResult> &results)
+{
+    // Keep this list in sync with simulateAny() below and
+    // hasFastReplay() in core/factory.cc.
+    if (kind == "bimodal")
+        return runBank<BimodalPredictor>(predictors, packed, config,
+                                         results);
+    if (kind == "gshare")
+        return runBank<GsharePredictor>(predictors, packed, config,
+                                        results);
+    if (kind == "bimode")
+        return runBank<BiModePredictor>(predictors, packed, config,
+                                        results);
+    if (kind == "agree")
+        return runBank<AgreePredictor>(predictors, packed, config,
+                                       results);
+    if (kind == "gskew")
+        return runBank<GskewPredictor>(predictors, packed, config,
+                                       results);
+    if (kind == "yags")
+        return runBank<YagsPredictor>(predictors, packed, config,
+                                      results);
+    if (kind == "tournament")
+        return runBank<TournamentPredictor>(predictors, packed, config,
+                                            results);
+    return false;
+}
+
 SimResult
 simulateAny(BranchPredictor &predictor, TraceReader &trace,
             const PackedTrace *packed, const SimConfig &config)

@@ -17,6 +17,9 @@
 #ifndef BPSIM_SIM_REPLAY_HH
 #define BPSIM_SIM_REPLAY_HH
 
+#include <string>
+#include <vector>
+
 #include "predictors/predictor.hh"
 #include "sim/simulator.hh"
 #include "trace/packed_trace.hh"
@@ -43,6 +46,32 @@ namespace bpsim
 SimResult simulateAny(BranchPredictor &predictor, TraceReader &trace,
                       const PackedTrace *packed,
                       const SimConfig &config = {});
+
+/**
+ * Banked replay of a same-kind predictor group: one pass over
+ * @p packed steps every instance (sim/replay_kernel.hh,
+ * replayKernelBank()), bit-identical per instance to a lone
+ * replayKernel() run.
+ *
+ * The instances' state is moved into a contiguous bank for the pass
+ * and moved back afterwards, so on success each predictors[i] holds
+ * exactly the state a solo run would have left and results[i] its
+ * counts (with the shared-pass timing attribution described at
+ * SimResult::wallNanos).
+ *
+ * @param kind the factory kind every instance was built from; must
+ *        be a fastReplayKind() (core/factory.hh)
+ * @param predictors the group, all non-null and all of @p kind
+ * @return true when the bank ran; false when @p kind has no bank
+ *         kernel or an instance is not of that concrete type — the
+ *         group is then untouched and the caller falls back to
+ *         per-instance simulateAny()
+ */
+bool replayKernelBankAny(const std::string &kind,
+                         const std::vector<BranchPredictor *> &predictors,
+                         const PackedTrace &packed,
+                         const SimConfig &config,
+                         std::vector<SimResult> &results);
 
 } // namespace bpsim
 

@@ -7,6 +7,9 @@
  * through a *concrete* predictor type, so every predict/update call
  * inlines instead of going through the BranchPredictor vtable, and
  * the taken bitmap is loaded one 64-branch word at a time.
+ * replayKernelBank() is its multi-configuration form: one trace pass
+ * steps a contiguous bank of same-kind instances, which is how
+ * campaign jobs sharing a trace are fused (campaign/campaign.cc).
  *
  * Bit-identity contract: for any predictor P and trace T,
  * replayKernel(P, pack(T)) and simulate(P, T) must produce identical
@@ -27,9 +30,11 @@
 #define BPSIM_SIM_REPLAY_KERNEL_HH
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "sim/simulator.hh"
 #include "trace/packed_trace.hh"
@@ -101,6 +106,153 @@ replayKernel(Pred &predictor, const PackedTrace &packed,
     result.mispredictions = mispredictions;
     result.takenBranches = taken_branches;
     return result;
+}
+
+/**
+ * Banked multi-configuration replay: one trace pass drives a whole
+ * vector of same-kind predictor instances.
+ *
+ * The campaign workloads this project exists for are "many
+ * configurations over one trace" — a size ladder or an exhaustive
+ * history sweep replays the identical packed pc array and taken
+ * bitmap once per rung. replayKernelBank() eliminates that
+ * redundancy: the trace is streamed a single time in 64-branch
+ * blocks, each block's pcs and outcome word feeding every instance
+ * in the bank while they are L1-hot, regardless of how many
+ * configurations ride along. Within a block the lanes run
+ * lane-major (see the loop comment below), so each lane's hot state
+ * lives in registers for the whole block.
+ *
+ * Bit-identity contract: lane i of replayKernelBank(bank, packed,
+ * config) must produce exactly the counts of replayKernel(bank[i],
+ * packed, config) run alone, and leave bank[i] in the identical
+ * state. This holds by construction — each lane runs the same
+ * stepFast()/updateFast() sequence it would run alone — and is
+ * enforced for every fast-replay kind by
+ * tests/sim/test_replay_bank.cc.
+ *
+ * Timing: only the whole pass is timeable; each lane's wallNanos is
+ * the pass time divided by the lane count and its fusedLanes field
+ * records the bank width (see SimResult::wallNanos).
+ */
+template <typename Pred>
+std::vector<SimResult>
+replayKernelBank(std::vector<Pred> &bank, const PackedTrace &packed,
+                 const SimConfig &config = {})
+{
+    const std::size_t lanes = bank.size();
+    std::vector<SimResult> results(lanes);
+    if (lanes == 0)
+        return results;
+    // One lane degenerates to the single kernel — same loop, and the
+    // exact (undivided, unflagged) timing semantics.
+    if (lanes == 1) {
+        results[0] = replayKernel(bank[0], packed, config);
+        return results;
+    }
+    for (std::size_t l = 0; l < lanes; ++l) {
+        results[l].predictorName = bank[l].name();
+        results[l].counterBits = bank[l].counterBits();
+        results[l].storageBits = bank[l].storageBits();
+    }
+
+    const std::size_t total = packed.size();
+    const std::uint64_t *pcs = packed.pcData();
+    const std::size_t warmup = static_cast<std::size_t>(
+        std::min<std::uint64_t>(config.warmupBranches, total));
+
+    Pred *lane = bank.data();
+    std::vector<std::uint64_t> lane_mispredictions(lanes, 0);
+    std::uint64_t *mispredictions = lane_mispredictions.data();
+
+    const auto start = std::chrono::steady_clock::now();
+
+    // Lane-major within 64-branch blocks: the trace is still streamed
+    // once (each block's pcs and taken word are L1-hot while every
+    // lane consumes them), but each lane runs a whole block before
+    // the next lane is touched. Branch-major order would force every
+    // lane's hot state (history register, table base pointer) back
+    // through memory on each branch — the stores of the other lanes'
+    // steps could alias them; lane-major keeps that state in
+    // registers for 64 consecutive steps, which is where the fused
+    // path's speedup over per-job passes comes from. Lanes are
+    // independent, so reordering steps across lanes cannot change any
+    // lane's result.
+    std::size_t i = 0;
+    while (i < warmup) {
+        const std::size_t word_index = i / PackedTrace::kWordBits;
+        const std::size_t block_end = std::min(
+            warmup, (word_index + 1) * PackedTrace::kWordBits);
+        const std::uint64_t block_word =
+            packed.takenWord(word_index) >> (i % PackedTrace::kWordBits);
+        for (std::size_t l = 0; l < lanes; ++l) {
+            std::uint64_t word = block_word;
+            for (std::size_t j = i; j < block_end; ++j, word >>= 1)
+                lane[l].updateFast(pcs[j], (word & 1) != 0);
+        }
+        i = block_end;
+    }
+
+    // Measured-region blocks span several bitmap words so each lane
+    // turn covers enough branches to amortize its state reload; the
+    // block still fits comfortably in L1 (kBlockWords * 64 pcs = 4 KiB
+    // plus the bitmap words).
+    constexpr std::size_t kBlockWords = 8;
+    constexpr std::size_t kBlockBranches =
+        kBlockWords * PackedTrace::kWordBits;
+    std::uint64_t taken_branches = 0;
+    while (i < total) {
+        const std::size_t block_end =
+            std::min(total, (i / kBlockBranches + 1) * kBlockBranches);
+        for (std::size_t l = 0; l < lanes; ++l) {
+            std::uint64_t missed = 0;
+            std::size_t j = i;
+            while (j < block_end) {
+                const std::size_t word_index = j / PackedTrace::kWordBits;
+                const std::size_t word_end = std::min(
+                    block_end,
+                    (word_index + 1) * PackedTrace::kWordBits);
+                std::uint64_t word = packed.takenWord(word_index) >>
+                                     (j % PackedTrace::kWordBits);
+                for (; j < word_end; ++j, word >>= 1) {
+                    const bool taken = (word & 1) != 0;
+                    missed += static_cast<std::uint64_t>(
+                        lane[l].stepFast(pcs[j], taken) != taken);
+                }
+            }
+            mispredictions[l] += missed;
+        }
+        // The block's taken count is lane-independent: popcount of
+        // the bitmap span actually consumed.
+        for (std::size_t j = i; j < block_end;) {
+            const std::size_t word_index = j / PackedTrace::kWordBits;
+            const std::size_t word_end = std::min(
+                block_end, (word_index + 1) * PackedTrace::kWordBits);
+            const std::uint64_t word = packed.takenWord(word_index) >>
+                                       (j % PackedTrace::kWordBits);
+            const std::size_t consumed = word_end - j;
+            const std::uint64_t mask =
+                consumed >= 64 ? ~std::uint64_t{0}
+                               : (std::uint64_t{1} << consumed) - 1;
+            taken_branches += static_cast<std::uint64_t>(
+                std::popcount(word & mask));
+            j = word_end;
+        }
+        i = block_end;
+    }
+
+    const std::uint64_t bank_nanos = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+    for (std::size_t l = 0; l < lanes; ++l) {
+        results[l].branches = total - warmup;
+        results[l].mispredictions = lane_mispredictions[l];
+        results[l].takenBranches = taken_branches;
+        results[l].wallNanos = bank_nanos / lanes;
+        results[l].fusedLanes = static_cast<std::uint32_t>(lanes);
+    }
+    return results;
 }
 
 } // namespace bpsim

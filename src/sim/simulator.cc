@@ -48,7 +48,8 @@ SimResult::toJson(std::ostream &os, bool withTiming) const
        << ",\"counterKBytes\":" << jsonNumber(counterKBytes());
     if (withTiming) {
         os << ",\"wallNanos\":" << wallNanos
-           << ",\"branchesPerSec\":" << jsonNumber(branchesPerSec());
+           << ",\"branchesPerSec\":" << jsonNumber(branchesPerSec())
+           << ",\"fusedLanes\":" << fusedLanes;
     }
     os << "}";
 }

@@ -59,8 +59,23 @@ struct SimResult
     std::uint64_t takenBranches = 0;
     /** Wall-clock time of the replay loop, in nanoseconds. Timing is
      *  machine-dependent, so it is excluded from serialization unless
-     *  explicitly requested (see toJson()). */
+     *  explicitly requested (see toJson()).
+     *
+     *  Fused-replay semantics: when this result came out of a banked
+     *  multi-configuration pass (sim/replay_kernel.hh,
+     *  replayKernelBank()), the bank replays the trace once for all
+     *  lanes and only the whole pass is timeable. wallNanos then
+     *  holds the bank's wall time divided by fusedLanes — an
+     *  *approximate attribution* (per-lane costs inside one pass are
+     *  not separable), chosen so that summing wallNanos across the
+     *  bank's results reconstructs the measured pass time and
+     *  branchesPerSec() reports each lane's share of the fused
+     *  throughput. Results timed alone keep exact semantics and
+     *  fusedLanes == 0. */
     std::uint64_t wallNanos = 0;
+    /** Lane count of the banked replay pass this result shared, or 0
+     *  when the run was timed alone (see wallNanos). */
+    std::uint32_t fusedLanes = 0;
     /** Per-branch details when SimConfig::trackPerBranch is set,
      *  sorted by descending execution count. */
     std::vector<PerBranchResult> perBranch;

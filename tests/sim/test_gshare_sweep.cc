@@ -88,7 +88,7 @@ TEST(GshareSweep, AveragesAcrossTraces)
 {
     const MemoryTrace a = alternatingTrace(2000);
     const MemoryTrace b = alternatingTrace(2000);
-    const auto result = sweepGshare(4, {&a, &b});
+    const auto result = sweepGshare(4, std::vector<const MemoryTrace *>{&a, &b});
     for (const auto &point : result.points) {
         ASSERT_EQ(point.perBenchmark.size(), 2u);
         EXPECT_NEAR(point.average,
@@ -112,9 +112,9 @@ TEST(GshareSweep, ParallelMatchesSerialBitForBit)
     const MemoryTrace b = alternatingTrace(4'000);
 
     setDefaultWorkerCount(1);
-    const auto serial = sweepGshare(6, {&a, &b});
+    const auto serial = sweepGshare(6, std::vector<const MemoryTrace *>{&a, &b});
     setDefaultWorkerCount(4);
-    const auto parallel = sweepGshare(6, {&a, &b});
+    const auto parallel = sweepGshare(6, std::vector<const MemoryTrace *>{&a, &b});
     setDefaultWorkerCount(0);
 
     ASSERT_EQ(serial.points.size(), parallel.points.size());
@@ -132,7 +132,10 @@ TEST(GshareSweep, ParallelMatchesSerialBitForBit)
 
 TEST(GshareSweepDeath, NoTracesPanics)
 {
-    EXPECT_DEATH(sweepGshare(6, {}), "at least one trace");
+    // Explicit vector type: `{}` alone would be ambiguous between
+    // the trace-pointer and BenchmarkTrace overloads.
+    EXPECT_DEATH(sweepGshare(6, std::vector<const MemoryTrace *>{}),
+                 "at least one trace");
 }
 
 } // namespace

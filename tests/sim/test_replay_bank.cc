@@ -1,0 +1,352 @@
+/** @file Bit-identity tests for the banked multi-config replay path.
+ *
+ * The contract (sim/replay_kernel.hh, replayKernelBank()): stepping N
+ * predictor instances through one trace pass must produce, for every
+ * lane, exactly the counts of a solo replayKernel() run AND leave the
+ * instance in the identical state — fusion may only change wall time.
+ * Each equivalence test runs two banked passes without resetting, so
+ * a state divergence in pass one surfaces as a count mismatch in pass
+ * two. The campaign-level tests check the emitter form of the same
+ * contract: fused and unfused runs serialize byte-identically.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hh"
+#include "campaign/emitters.hh"
+#include "core/factory.hh"
+#include "sim/replay.hh"
+#include "sim/trace_cache.hh"
+#include "trace/packed_trace.hh"
+#include "workload/generator.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+WorkloadSpec
+bankSpec(const std::string &name, std::uint32_t seed)
+{
+    WorkloadSpec spec;
+    spec.name = name;
+    spec.suite = "test";
+    spec.staticBranches = 200;
+    spec.dynamicBranches = 30'000;
+    spec.seed = seed;
+    return spec;
+}
+
+const MemoryTrace &
+sharedTrace()
+{
+    static const MemoryTrace trace =
+        generateWorkloadTrace(bankSpec("bank-test", 29));
+    return trace;
+}
+
+const PackedTrace &
+sharedPacked()
+{
+    static const PackedTrace packed(sharedTrace());
+    return packed;
+}
+
+/**
+ * A mixed-size bank per fast-replay kind: lanes deliberately differ
+ * in table size (and secondary knobs) so per-lane state separation
+ * is actually exercised — a bank bug that leaks state between lanes
+ * cannot cancel out across identical configs.
+ * BankCoverage.CoversEveryFastReplayKind fails if a kind ever gains
+ * a bank kernel without extending this table.
+ */
+const std::map<std::string, std::vector<std::string>> kBankSpecs = {
+    {"bimodal", {"bimodal:n=6", "bimodal:n=8", "bimodal:n=10"}},
+    {"gshare", {"gshare:n=6,h=3", "gshare:n=8,h=8", "gshare:n=10,h=5"}},
+    {"bimode", {"bimode:d=6", "bimode:d=7,c=6,h=5", "bimode:d=8"}},
+    {"agree", {"agree:n=6,h=4,b=6", "agree:n=8,h=8,b=8"}},
+    {"gskew", {"gskew:n=6,h=5", "gskew:n=7,h=7", "gskew:n=8,h=4"}},
+    {"yags", {"yags:c=7,n=5,t=5,h=5", "yags:c=8,n=6,t=6,h=6"}},
+    {"tournament", {"tournament:n=6", "tournament:n=7",
+                    "tournament:n=8"}},
+};
+
+TEST(BankCoverage, CoversEveryFastReplayKind)
+{
+    for (const std::string &kind : knownPredictorKinds()) {
+        if (!hasFastReplay(kind))
+            continue;
+        EXPECT_TRUE(kBankSpecs.count(kind) == 1)
+            << "no bank-equivalence specs for fast-replay kind '"
+            << kind << "' — extend kBankSpecs";
+    }
+}
+
+TEST(BankCoverage, FastReplayKindIntrospection)
+{
+    EXPECT_EQ(fastReplayKind("gshare:n=8,h=4"), "gshare");
+    EXPECT_EQ(fastReplayKind("bimode:d=7"), "bimode");
+    // Parseable but no bank kernel.
+    EXPECT_EQ(fastReplayKind("perceptron:n=5,h=12"), "");
+    EXPECT_EQ(fastReplayKind("taken"), "");
+    // Unparseable.
+    EXPECT_EQ(fastReplayKind("gshare:n=notanumber"), "");
+    EXPECT_EQ(fastReplayKind("no-such-kind"), "");
+    EXPECT_EQ(fastReplayKind(""), "");
+}
+
+class BankEquivalence
+    : public ::testing::TestWithParam<
+          std::pair<const std::string, std::vector<std::string>>>
+{
+};
+
+TEST_P(BankEquivalence, CountsAndStateMatchSoloKernel)
+{
+    const std::string &kind = GetParam().first;
+    const std::vector<std::string> &configs = GetParam().second;
+
+    std::vector<PredictorPtr> banked;
+    std::vector<PredictorPtr> solo;
+    std::vector<BranchPredictor *> bank;
+    for (const std::string &config : configs) {
+        banked.push_back(makePredictor(config));
+        solo.push_back(makePredictor(config));
+        bank.push_back(banked.back().get());
+    }
+
+    SimConfig sim_config;
+    sim_config.warmupBranches = 500;
+
+    // Two passes, no reset: pass 2 only matches if the bank pass
+    // moved every lane's state back bit-identically.
+    for (int pass = 1; pass <= 2; ++pass) {
+        std::vector<SimResult> fused;
+        ASSERT_TRUE(replayKernelBankAny(kind, bank, sharedPacked(),
+                                        sim_config, fused));
+        ASSERT_EQ(fused.size(), configs.size());
+
+        for (std::size_t l = 0; l < configs.size(); ++l) {
+            auto reader = sharedTrace().reader();
+            const SimResult expected = simulateAny(
+                *solo[l], reader, &sharedPacked(), sim_config);
+            EXPECT_EQ(fused[l].branches, expected.branches)
+                << configs[l] << " pass " << pass;
+            EXPECT_EQ(fused[l].mispredictions, expected.mispredictions)
+                << configs[l] << " pass " << pass;
+            EXPECT_EQ(fused[l].takenBranches, expected.takenBranches)
+                << configs[l] << " pass " << pass;
+            EXPECT_EQ(fused[l].predictorName, expected.predictorName)
+                << configs[l];
+            EXPECT_EQ(fused[l].storageBits, expected.storageBits)
+                << configs[l];
+        }
+    }
+}
+
+TEST_P(BankEquivalence, FusedTimingAttribution)
+{
+    const std::string &kind = GetParam().first;
+    const std::vector<std::string> &configs = GetParam().second;
+
+    std::vector<PredictorPtr> owned;
+    std::vector<BranchPredictor *> bank;
+    for (const std::string &config : configs) {
+        owned.push_back(makePredictor(config));
+        bank.push_back(owned.back().get());
+    }
+
+    std::vector<SimResult> fused;
+    ASSERT_TRUE(replayKernelBankAny(kind, bank, sharedPacked(), {},
+                                    fused));
+    for (const SimResult &result : fused) {
+        // Every lane shared one pass of `lanes` width and reports an
+        // equal share of its wall time.
+        EXPECT_EQ(result.fusedLanes, configs.size());
+        EXPECT_EQ(result.wallNanos, fused.front().wallNanos);
+    }
+}
+
+std::string
+bankTestName(
+    const ::testing::TestParamInfo<
+        std::pair<const std::string, std::vector<std::string>>> &info)
+{
+    return info.param.first;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFastKinds, BankEquivalence,
+                         ::testing::ValuesIn(kBankSpecs.begin(),
+                                             kBankSpecs.end()),
+                         bankTestName);
+
+TEST(BankKernel, SingleLaneIsTimedAlone)
+{
+    PredictorPtr predictor = makePredictor("gshare:n=8");
+    std::vector<BranchPredictor *> bank = {predictor.get()};
+    std::vector<SimResult> results;
+    ASSERT_TRUE(replayKernelBankAny("gshare", bank, sharedPacked(), {},
+                                    results));
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].fusedLanes, 0u);
+    EXPECT_GT(results[0].wallNanos, 0u);
+}
+
+TEST(BankKernel, RefusesUnknownKindUntouched)
+{
+    PredictorPtr predictor = makePredictor("perceptron:n=5,h=12");
+    std::vector<BranchPredictor *> bank = {predictor.get()};
+    std::vector<SimResult> results;
+    EXPECT_FALSE(replayKernelBankAny("perceptron", bank, sharedPacked(),
+                                     {}, results));
+    EXPECT_TRUE(results.empty());
+}
+
+TEST(BankKernel, RefusesMixedGroupWithoutDisturbingState)
+{
+    PredictorPtr gshare_a = makePredictor("gshare:n=8,h=8");
+    PredictorPtr gshare_b = makePredictor("gshare:n=8,h=8");
+    PredictorPtr bimode = makePredictor("bimode:d=7");
+    std::vector<BranchPredictor *> bank = {gshare_a.get(),
+                                           bimode.get()};
+    std::vector<SimResult> results;
+    EXPECT_FALSE(replayKernelBankAny("gshare", bank, sharedPacked(), {},
+                                     results));
+
+    // The refused instance must still behave like an untouched one.
+    auto reader_a = sharedTrace().reader();
+    const SimResult after =
+        simulateAny(*gshare_a, reader_a, &sharedPacked());
+    auto reader_b = sharedTrace().reader();
+    const SimResult fresh =
+        simulateAny(*gshare_b, reader_b, &sharedPacked());
+    EXPECT_EQ(after.mispredictions, fresh.mispredictions);
+}
+
+/** Fused and unfused campaign runs over the same grid, at the given
+ *  worker counts, must serialize byte-identically. */
+void
+expectFusedMatchesUnfused(const std::vector<std::string> &configs,
+                          const std::vector<BenchmarkTrace> &benchmarks,
+                          unsigned fused_workers,
+                          unsigned unfused_workers)
+{
+    Campaign fused;
+    fused.addGrid(configs, benchmarks);
+    ASSERT_TRUE(fused.fusionEnabled());
+
+    Campaign unfused;
+    unfused.addGrid(configs, benchmarks);
+    unfused.setFusion(false);
+    ASSERT_FALSE(unfused.fusionEnabled());
+
+    const auto fused_results = fused.run(fused_workers);
+    const auto unfused_results = unfused.run(unfused_workers);
+    ASSERT_EQ(fused_results.size(), unfused_results.size());
+
+    // Default serialization excludes timing, so the runs must be
+    // byte-identical — including error rows and non-fast kinds.
+    std::ostringstream fused_json, unfused_json;
+    writeResultsJson(fused_json, fused_results);
+    writeResultsJson(unfused_json, unfused_results);
+    EXPECT_EQ(fused_json.str(), unfused_json.str());
+
+    for (const JobResult &result : unfused_results) {
+        if (result.ok())
+            EXPECT_EQ(result.result.fusedLanes, 0u);
+    }
+}
+
+TEST(BankCampaign, FusedMatchesUnfusedByteForByte)
+{
+    TraceCache cache;
+    const std::vector<BenchmarkTrace> benchmarks = resolveTraces(
+        cache, {bankSpec("bank-a", 3), bankSpec("bank-b", 4)});
+
+    // A grid that exercises every scheduling path at once: a fusable
+    // ladder, a second fusable kind, a non-fast kind (virtual loop),
+    // and a config error.
+    const std::vector<std::string> configs = {
+        "gshare:n=6,h=3",  "gshare:n=8,h=4", "gshare:n=10,h=5",
+        "bimode:d=7",      "perceptron:n=5,h=12",
+        "gshare:n=oops",
+    };
+    expectFusedMatchesUnfused(configs, benchmarks, 0, 1);
+}
+
+TEST(BankCampaign, MixedWarmupsDoNotCrossFuse)
+{
+    TraceCache cache;
+    const std::vector<BenchmarkTrace> benchmarks =
+        resolveTraces(cache, {bankSpec("bank-warm", 5)});
+
+    Campaign fused;
+    SimConfig warm;
+    warm.warmupBranches = 1000;
+    fused.addJob("gshare:n=8,h=4", benchmarks[0]);
+    fused.addJob("gshare:n=8,h=4", benchmarks[0], warm);
+    fused.addJob("gshare:n=8,h=8", benchmarks[0], warm);
+
+    Campaign unfused;
+    unfused.addJob("gshare:n=8,h=4", benchmarks[0]);
+    unfused.addJob("gshare:n=8,h=4", benchmarks[0], warm);
+    unfused.addJob("gshare:n=8,h=8", benchmarks[0], warm);
+    unfused.setFusion(false);
+
+    const auto fused_results = fused.run(1);
+    const auto unfused_results = unfused.run(1);
+    ASSERT_EQ(fused_results.size(), 3u);
+    for (std::size_t i = 0; i < 3; ++i) {
+        ASSERT_TRUE(fused_results[i].ok());
+        EXPECT_EQ(fused_results[i].result.mispredictions,
+                  unfused_results[i].result.mispredictions);
+        EXPECT_EQ(fused_results[i].result.branches,
+                  unfused_results[i].result.branches);
+    }
+    // Different warm-up lengths may not share a bank.
+    EXPECT_EQ(fused_results[0].result.fusedLanes, 0u);
+    EXPECT_EQ(fused_results[1].result.fusedLanes, 2u);
+    EXPECT_EQ(fused_results[2].result.fusedLanes, 2u);
+}
+
+TEST(BankCampaign, WideLadderSplitsAcrossBanksIdentically)
+{
+    TraceCache cache;
+    const std::vector<BenchmarkTrace> benchmarks =
+        resolveTraces(cache, {bankSpec("bank-wide", 6)});
+
+    // 40 same-kind jobs exceed kMaxBankLanes (32), forcing a split
+    // into multiple banks on one trace.
+    std::vector<std::string> configs;
+    for (unsigned h = 0; h <= 39; ++h)
+        configs.push_back("gshare:n=12,h=" + std::to_string(h % 13));
+    expectFusedMatchesUnfused(configs, benchmarks, 0, 1);
+}
+
+TEST(BankCampaign, PerBranchTrackingStaysOnPerJobPath)
+{
+    TraceCache cache;
+    const std::vector<BenchmarkTrace> benchmarks =
+        resolveTraces(cache, {bankSpec("bank-track", 7)});
+
+    SimConfig tracking;
+    tracking.trackPerBranch = true;
+    Campaign campaign;
+    campaign.addJob("gshare:n=8,h=4", benchmarks[0], tracking);
+    campaign.addJob("gshare:n=8,h=8", benchmarks[0], tracking);
+    const auto results = campaign.run(1);
+    ASSERT_EQ(results.size(), 2u);
+    for (const JobResult &result : results) {
+        ASSERT_TRUE(result.ok());
+        EXPECT_EQ(result.result.fusedLanes, 0u);
+        EXPECT_FALSE(result.result.perBranch.empty());
+    }
+}
+
+} // namespace
+} // namespace bpsim
