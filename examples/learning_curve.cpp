@@ -74,12 +74,20 @@ main(int argc, char **argv)
                    "bimodal:n=12;gshare:n=12;bimode:d=11;"
                    "perceptron:n=8,h=24",
                    "';'-separated predictor configs");
+    args.addFlag("grammar",
+                 "print the predictor config grammar (every "
+                 "registered kind with its parameter schema) and "
+                 "exit");
     args.addOption("trace-cache", "",
                    "persistent trace store directory "
                    "(default: $BPSIM_TRACE_CACHE, then .bpsim-cache; "
                    "'none' disables)");
     if (!args.parse(argc, argv))
         return 0;
+    if (args.flag("grammar")) {
+        std::cout << predictorGrammarHelp();
+        return 0;
+    }
 
     const auto spec = findBenchmark(args.get("benchmark"));
     if (!spec) {

@@ -36,7 +36,7 @@ BiModePredictor::BiModePredictor(const BiModeConfig &config)
 }
 
 PredictionDetail
-BiModePredictor::predictDetailed(std::uint64_t pc) const
+BiModePredictor::detailFast(std::uint64_t pc) const
 {
     const bool choice_taken = choice.predictTaken(choiceIndexFor(pc));
     const std::uint32_t bank = choice_taken ? kTakenBank : kNotTakenBank;
@@ -51,13 +51,7 @@ BiModePredictor::predictDetailed(std::uint64_t pc) const
 }
 
 void
-BiModePredictor::update(std::uint64_t pc, bool taken)
-{
-    updateFast(pc, taken);
-}
-
-void
-BiModePredictor::reset()
+BiModePredictor::resetFast()
 {
     history.clear();
     choice.reset();

@@ -32,6 +32,7 @@
 #define BPSIM_CORE_BIMODE_HH
 
 #include "predictors/counter.hh"
+#include "predictors/fast_base.hh"
 #include "predictors/history.hh"
 #include "predictors/predictor.hh"
 
@@ -64,7 +65,7 @@ struct BiModeConfig
 };
 
 /** The bi-mode predictor. */
-class BiModePredictor : public BranchPredictor
+class BiModePredictor : public FastPredictorBase<BiModePredictor>
 {
   public:
     /** Bank identifiers as exposed in PredictionDetail::bank. */
@@ -73,9 +74,8 @@ class BiModePredictor : public BranchPredictor
 
     explicit BiModePredictor(const BiModeConfig &config);
 
-    PredictionDetail predictDetailed(std::uint64_t pc) const override;
-    void update(std::uint64_t pc, bool taken) override;
-    void reset() override;
+    PredictionDetail detailFast(std::uint64_t pc) const;
+    void resetFast();
     std::string name() const override;
     std::uint64_t storageBits() const override;
     std::uint64_t counterBits() const override;

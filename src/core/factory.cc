@@ -3,19 +3,10 @@
 #include <cerrno>
 #include <climits>
 #include <cstdlib>
+#include <sstream>
 #include <utility>
 
-#include "core/bimode.hh"
-#include "predictors/agree.hh"
-#include "predictors/bimodal.hh"
-#include "predictors/filter.hh"
-#include "predictors/gshare.hh"
-#include "predictors/gskew.hh"
-#include "predictors/perceptron.hh"
-#include "predictors/static_predictors.hh"
-#include "predictors/tournament.hh"
-#include "predictors/twolevel.hh"
-#include "predictors/yags.hh"
+#include "core/registry.hh"
 #include "util/logging.hh"
 
 namespace bpsim
@@ -120,125 +111,27 @@ PredictorSpec::require(const std::string &key) const
 namespace
 {
 
-/** Thrown by build() on configuration errors; caught and converted
- *  to a PredictorResult by tryMakePredictor(). */
-struct SpecError
-{
-    std::string message;
-};
-
-unsigned
-requireParam(const PredictorSpec &spec, const std::string &key)
-{
-    const auto it = spec.params.find(key);
-    if (it == spec.params.end())
-        throw SpecError{"predictor '" + spec.kind +
-                        "' requires parameter " + key + "=<value>"};
-    return it->second;
-}
-
+/**
+ * Registry fold replacing the old hand-written if-chain: the first
+ * entry whose kind matches validates the spec against its schema and
+ * builds. Throws SpecError on unknown kinds, unknown or missing
+ * parameter keys, and builder-detected configuration errors.
+ */
 PredictorPtr
 build(const PredictorSpec &spec)
 {
-    const std::string &kind = spec.kind;
-
-    if (kind == "taken")
-        return std::make_unique<AlwaysTakenPredictor>();
-    if (kind == "nottaken")
-        return std::make_unique<AlwaysNotTakenPredictor>();
-    if (kind == "btfn")
-        return std::make_unique<BtfnPredictor>(spec.get("l", 12));
-    if (kind == "bimodal")
-        return std::make_unique<BimodalPredictor>(
-            requireParam(spec, "n"), spec.get("w", 2));
-    if (kind == "gag") {
-        TwoLevelConfig cfg = makeGAg(requireParam(spec, "h"));
-        cfg.counterWidth = spec.get("w", 2);
-        return std::make_unique<TwoLevelPredictor>(cfg);
-    }
-    if (kind == "gas") {
-        TwoLevelConfig cfg =
-            makeGAs(requireParam(spec, "h"), requireParam(spec, "a"));
-        cfg.counterWidth = spec.get("w", 2);
-        return std::make_unique<TwoLevelPredictor>(cfg);
-    }
-    if (kind == "pag") {
-        TwoLevelConfig cfg =
-            makePAg(requireParam(spec, "h"), requireParam(spec, "l"));
-        cfg.counterWidth = spec.get("w", 2);
-        return std::make_unique<TwoLevelPredictor>(cfg);
-    }
-    if (kind == "pas") {
-        TwoLevelConfig cfg =
-            makePAs(requireParam(spec, "h"), requireParam(spec, "l"),
-                    requireParam(spec, "a"));
-        cfg.counterWidth = spec.get("w", 2);
-        return std::make_unique<TwoLevelPredictor>(cfg);
-    }
-    if (kind == "gshare") {
-        const unsigned n = requireParam(spec, "n");
-        return std::make_unique<GsharePredictor>(n, spec.get("h", n),
-                                                 spec.get("w", 2));
-    }
-    if (kind == "bimode") {
-        const unsigned d = requireParam(spec, "d");
-        BiModeConfig cfg;
-        cfg.directionIndexBits = d;
-        cfg.choiceIndexBits = spec.get("c", d);
-        cfg.historyBits = spec.get("h", d);
-        cfg.counterWidth = spec.get("w", 2);
-        cfg.partialUpdate = spec.get("partial", 1) != 0;
-        cfg.alwaysUpdateChoice = spec.get("alwayschoice", 0) != 0;
-        return std::make_unique<BiModePredictor>(cfg);
-    }
-    if (kind == "agree") {
-        const unsigned n = requireParam(spec, "n");
-        AgreeConfig cfg;
-        cfg.indexBits = n;
-        cfg.historyBits = spec.get("h", n);
-        cfg.biasIndexBits = spec.get("b", n);
-        cfg.counterWidth = spec.get("w", 2);
-        return std::make_unique<AgreePredictor>(cfg);
-    }
-    if (kind == "gskew") {
-        const unsigned n = requireParam(spec, "n");
-        GskewConfig cfg;
-        cfg.bankIndexBits = n;
-        cfg.historyBits = spec.get("h", n);
-        cfg.counterWidth = spec.get("w", 2);
-        cfg.partialUpdate = spec.get("partial", 1) != 0;
-        return std::make_unique<GskewPredictor>(cfg);
-    }
-    if (kind == "yags") {
-        YagsConfig cfg;
-        cfg.choiceIndexBits = requireParam(spec, "c");
-        cfg.cacheIndexBits = requireParam(spec, "n");
-        cfg.tagBits = spec.get("t", 6);
-        cfg.historyBits = spec.get("h", cfg.cacheIndexBits);
-        cfg.counterWidth = spec.get("w", 2);
-        return std::make_unique<YagsPredictor>(cfg);
-    }
-    if (kind == "tournament")
-        return TournamentPredictor::makeStandard(requireParam(spec, "n"));
-    if (kind == "filter") {
-        const unsigned n = requireParam(spec, "n");
-        FilterConfig cfg;
-        cfg.indexBits = n;
-        cfg.historyBits = spec.get("h", n);
-        cfg.filterIndexBits = spec.get("b", n);
-        cfg.filterCounterBits = spec.get("k", 6);
-        cfg.counterWidth = spec.get("w", 2);
-        return std::make_unique<FilterPredictor>(cfg);
-    }
-    if (kind == "perceptron") {
-        PerceptronConfig cfg;
-        cfg.tableIndexBits = requireParam(spec, "n");
-        cfg.historyBits = spec.get("h", 24);
-        cfg.weightBits = spec.get("w", 8);
-        return std::make_unique<PerceptronPredictor>(cfg);
-    }
-
-    throw SpecError{"unknown predictor kind '" + kind + "'"};
+    PredictorPtr predictor;
+    bool matched = false;
+    forEachPredictorEntry([&]<typename Entry>() {
+        if (matched || spec.kind != Entry::kind)
+            return;
+        matched = true;
+        validateSpecParams<Entry>(spec);
+        predictor = Entry::build(spec);
+    });
+    if (!matched)
+        throw SpecError{"unknown predictor kind '" + spec.kind + "'"};
+    return predictor;
 }
 
 } // namespace
@@ -283,17 +176,60 @@ makePredictor(const PredictorSpec &spec)
 std::vector<std::string>
 knownPredictorKinds()
 {
-    return {"taken", "nottaken", "btfn", "bimodal", "gag", "gas", "pag",
-            "pas", "gshare", "bimode", "agree", "gskew", "yags",
-            "tournament", "perceptron", "filter"};
+    std::vector<std::string> kinds;
+    kinds.reserve(PredictorRegistry::size);
+    forEachPredictorEntry(
+        [&]<typename Entry>() { kinds.push_back(Entry::kind); });
+    return kinds;
 }
 
 bool
 hasFastReplay(const std::string &kind)
 {
-    return kind == "bimodal" || kind == "gshare" || kind == "bimode" ||
-           kind == "agree" || kind == "gskew" || kind == "yags" ||
-           kind == "tournament";
+    bool fast = false;
+    forEachPredictorEntry([&]<typename Entry>() {
+        fast = fast || (Entry::fastReplay && kind == Entry::kind);
+    });
+    return fast;
+}
+
+std::vector<PredictorKindInfo>
+predictorKindInfos()
+{
+    std::vector<PredictorKindInfo> infos;
+    infos.reserve(PredictorRegistry::size);
+    forEachPredictorEntry([&]<typename Entry>() {
+        PredictorKindInfo info;
+        info.kind = Entry::kind;
+        info.description = Entry::doc;
+        info.example = Entry::example;
+        info.fastReplay = Entry::fastReplay;
+        for (const ParamSpec &param : Entry::params)
+            info.params.push_back(
+                {param.key, param.required, param.doc});
+        infos.push_back(std::move(info));
+    });
+    return infos;
+}
+
+std::string
+predictorGrammarHelp()
+{
+    std::ostringstream os;
+    os << "predictor config grammar: kind[:key=value[,key=value...]]\n";
+    for (const PredictorKindInfo &info : predictorKindInfos()) {
+        os << "  " << info.example << "\n      " << info.description;
+        if (info.fastReplay)
+            os << " [fast replay]";
+        os << "\n";
+        for (const ParamInfo &param : info.params) {
+            os << "      " << param.key << "  " << param.doc;
+            if (param.required)
+                os << " (required)";
+            os << "\n";
+        }
+    }
+    return os.str();
 }
 
 std::string

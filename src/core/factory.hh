@@ -2,7 +2,11 @@
  * @file
  * Construction of predictors from configuration strings.
  *
- * Grammar: `kind[:key=value[,key=value...]]`, e.g.
+ * Grammar: `kind[:key=value[,key=value...]]`. The kinds, their
+ * parameter schemas and their builders all live in the compile-time
+ * registry (core/registry.hh); this block mirrors the registry's
+ * documented examples (predictorKindInfos() exposes them at
+ * runtime, predictorGrammarHelp() renders the full schema):
  *
  *   taken | nottaken | btfn:l=10
  *   bimodal:n=12
@@ -18,6 +22,9 @@
  *
  * Every example and benchmark binary accepts these strings, making
  * any predictor in the library reachable from the command line.
+ * Parameter keys are validated against the kind's schema: a
+ * misspelled key (`gshare:hist=12`) is a construction error naming
+ * the accepted keys, never a silent fall-back to a default.
  *
  * Two error-handling flavours are provided. The try-APIs
  * (PredictorSpec::tryParse(), tryMakePredictor()) report syntax and
@@ -105,8 +112,40 @@ PredictorPtr makePredictor(const std::string &configText);
  *  error. */
 PredictorPtr makePredictor(const PredictorSpec &spec);
 
-/** The list of recognized predictor kinds (for help texts). */
+/** The list of recognized predictor kinds (for help texts), in
+ *  registry order. */
 std::vector<std::string> knownPredictorKinds();
+
+/** Runtime view of one schema parameter (see core/registry.hh). */
+struct ParamInfo
+{
+    std::string key;
+    /** True when the key has no default and must be given. */
+    bool required = false;
+    std::string doc;
+};
+
+/** Runtime view of one registry entry, for help texts, docs and the
+ *  registry-driven tests. */
+struct PredictorKindInfo
+{
+    std::string kind;
+    /** One-line description of the scheme. */
+    std::string description;
+    /** A documented, always-constructible example config string. */
+    std::string example;
+    /** True when the kind runs on the devirtualized replay kernel. */
+    bool fastReplay = false;
+    std::vector<ParamInfo> params;
+};
+
+/** One entry per registered kind, in registry order — the runtime
+ *  projection of the compile-time registry (core/registry.hh). */
+std::vector<PredictorKindInfo> predictorKindInfos();
+
+/** The full config grammar with per-kind parameter schemas, rendered
+ *  from the registry for --help texts. */
+std::string predictorGrammarHelp();
 
 /**
  * True when predictors of @p kind have a devirtualized batched replay

@@ -20,7 +20,7 @@ AgreePredictor::AgreePredictor(const AgreeConfig &config)
 }
 
 PredictionDetail
-AgreePredictor::predictDetailed(std::uint64_t pc) const
+AgreePredictor::detailFast(std::uint64_t pc) const
 {
     const std::size_t bias_index = biasIndexFor(pc);
     const std::size_t index = counterIndexFor(pc);
@@ -38,13 +38,7 @@ AgreePredictor::predictDetailed(std::uint64_t pc) const
 }
 
 void
-AgreePredictor::update(std::uint64_t pc, bool taken)
-{
-    updateFast(pc, taken);
-}
-
-void
-AgreePredictor::reset()
+AgreePredictor::resetFast()
 {
     history.clear();
     counters.reset();

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "predictors/counter.hh"
+#include "predictors/fast_base.hh"
 #include "predictors/history.hh"
 #include "predictors/predictor.hh"
 
@@ -39,14 +40,13 @@ struct AgreeConfig
 };
 
 /** Bias-agreement de-aliased gshare. */
-class AgreePredictor : public BranchPredictor
+class AgreePredictor : public FastPredictorBase<AgreePredictor>
 {
   public:
     explicit AgreePredictor(const AgreeConfig &config);
 
-    PredictionDetail predictDetailed(std::uint64_t pc) const override;
-    void update(std::uint64_t pc, bool taken) override;
-    void reset() override;
+    PredictionDetail detailFast(std::uint64_t pc) const;
+    void resetFast();
     std::string name() const override;
     std::uint64_t storageBits() const override;
     std::uint64_t counterBits() const override;

@@ -15,20 +15,14 @@ BimodalPredictor::BimodalPredictor(unsigned indexBits, unsigned counterWidth)
 }
 
 PredictionDetail
-BimodalPredictor::predictDetailed(std::uint64_t pc) const
+BimodalPredictor::detailFast(std::uint64_t pc) const
 {
     const std::size_t index = indexFor(pc);
     return PredictionDetail{counters.predictTaken(index), true, 0, index};
 }
 
 void
-BimodalPredictor::update(std::uint64_t pc, bool taken)
-{
-    updateFast(pc, taken);
-}
-
-void
-BimodalPredictor::reset()
+BimodalPredictor::resetFast()
 {
     counters.reset();
 }

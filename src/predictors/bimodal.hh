@@ -9,6 +9,7 @@
 #define BPSIM_PREDICTORS_BIMODAL_HH
 
 #include "predictors/counter.hh"
+#include "predictors/fast_base.hh"
 #include "predictors/history.hh"
 #include "predictors/predictor.hh"
 
@@ -16,7 +17,7 @@ namespace bpsim
 {
 
 /** pc-indexed saturating-counter predictor. */
-class BimodalPredictor : public BranchPredictor
+class BimodalPredictor : public FastPredictorBase<BimodalPredictor>
 {
   public:
     /**
@@ -25,9 +26,8 @@ class BimodalPredictor : public BranchPredictor
      */
     explicit BimodalPredictor(unsigned indexBits, unsigned counterWidth = 2);
 
-    PredictionDetail predictDetailed(std::uint64_t pc) const override;
-    void update(std::uint64_t pc, bool taken) override;
-    void reset() override;
+    PredictionDetail detailFast(std::uint64_t pc) const;
+    void resetFast();
     std::string name() const override;
     std::uint64_t storageBits() const override;
     std::uint64_t directionCounters() const override;

@@ -11,7 +11,7 @@ namespace bpsim
 FilterPredictor::FilterPredictor(const FilterConfig &config)
     : cfg(config),
       runSaturation(
-          static_cast<std::uint8_t>(maskBits(cfg.filterCounterBits))),
+          static_cast<std::uint16_t>(maskBits(cfg.filterCounterBits))),
       history(cfg.historyBits),
       pht(checkedTableEntries(cfg.indexBits, "filter PHT"),
           cfg.counterWidth,
@@ -25,20 +25,6 @@ FilterPredictor::FilterPredictor(const FilterConfig &config)
         checkedTableEntries(cfg.filterIndexBits, "filter table"));
 }
 
-std::size_t
-FilterPredictor::phtIndexFor(std::uint64_t pc) const
-{
-    const std::uint64_t address = pcIndexBits(pc, cfg.indexBits);
-    return static_cast<std::size_t>(address ^ history.value());
-}
-
-std::size_t
-FilterPredictor::filterIndexFor(std::uint64_t pc) const
-{
-    return static_cast<std::size_t>(
-        pcIndexBits(pc, cfg.filterIndexBits));
-}
-
 bool
 FilterPredictor::isFiltered(std::uint64_t pc) const
 {
@@ -46,7 +32,7 @@ FilterPredictor::isFiltered(std::uint64_t pc) const
 }
 
 PredictionDetail
-FilterPredictor::predictDetailed(std::uint64_t pc) const
+FilterPredictor::detailFast(std::uint64_t pc) const
 {
     const std::size_t filter_index = filterIndexFor(pc);
     const FilterEntry &entry = filter[filter_index];
@@ -68,30 +54,7 @@ FilterPredictor::predictDetailed(std::uint64_t pc) const
 }
 
 void
-FilterPredictor::update(std::uint64_t pc, bool taken)
-{
-    FilterEntry &entry = filter[filterIndexFor(pc)];
-    const bool was_filtered = entry.runLength == runSaturation;
-
-    // Only unfiltered branches touch the PHT — that is the whole
-    // interference-reduction mechanism.
-    if (!was_filtered)
-        pht.update(phtIndexFor(pc), taken);
-
-    if ((entry.direction != 0) == taken) {
-        if (entry.runLength < runSaturation)
-            ++entry.runLength;
-    } else {
-        // Direction change: restart the run.
-        entry.direction = taken ? 1 : 0;
-        entry.runLength = 1;
-    }
-
-    history.push(taken);
-}
-
-void
-FilterPredictor::reset()
+FilterPredictor::resetFast()
 {
     history.clear();
     pht.reset();

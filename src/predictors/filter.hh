@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "predictors/counter.hh"
+#include "predictors/fast_base.hh"
 #include "predictors/history.hh"
 #include "predictors/predictor.hh"
 
@@ -43,7 +44,7 @@ struct FilterConfig
 };
 
 /** PHT-interference-filtering gshare. */
-class FilterPredictor : public BranchPredictor
+class FilterPredictor : public FastPredictorBase<FilterPredictor>
 {
   public:
     /** Bank id reported when the filter served the prediction. */
@@ -52,9 +53,8 @@ class FilterPredictor : public BranchPredictor
 
     explicit FilterPredictor(const FilterConfig &config);
 
-    PredictionDetail predictDetailed(std::uint64_t pc) const override;
-    void update(std::uint64_t pc, bool taken) override;
-    void reset() override;
+    PredictionDetail detailFast(std::uint64_t pc) const;
+    void resetFast();
     std::string name() const override;
     std::uint64_t storageBits() const override;
     std::uint64_t counterBits() const override;
@@ -63,20 +63,86 @@ class FilterPredictor : public BranchPredictor
     /** True when the branch at @p pc is currently filtered. */
     bool isFiltered(std::uint64_t pc) const;
 
+    /** PHT index for @p pc under the current history. */
+    std::size_t
+    phtIndexFor(std::uint64_t pc) const
+    {
+        const std::uint64_t address = pcIndexBits(pc, cfg.indexBits);
+        return static_cast<std::size_t>(address ^ history.value());
+    }
+
+    /** Filter-table index for @p pc. */
+    std::size_t
+    filterIndexFor(std::uint64_t pc) const
+    {
+        return static_cast<std::size_t>(
+            pcIndexBits(pc, cfg.filterIndexBits));
+    }
+
+    /** Devirtualized hot path: == predictDetailed().taken. */
+    bool
+    predictFast(std::uint64_t pc) const
+    {
+        const FilterEntry &entry = filter[filterIndexFor(pc)];
+        if (entry.runLength == runSaturation)
+            return entry.direction != 0;
+        return pht.predictTaken(phtIndexFor(pc));
+    }
+
+    /** Devirtualized hot path: the state transition of update(). */
+    void
+    updateFast(std::uint64_t pc, bool taken)
+    {
+        (void)stepFast(pc, taken);
+    }
+
+    /**
+     * Fused hot path: predict + update sharing the filter-entry
+     * lookup and one PHT index; bit-identical to predictFast() then
+     * updateFast(). A filtered branch bypasses the PHT on both
+     * sides, so the fused path touches the PHT at most once.
+     */
+    bool
+    stepFast(std::uint64_t pc, bool taken)
+    {
+        FilterEntry &entry = filter[filterIndexFor(pc)];
+        const bool was_filtered = entry.runLength == runSaturation;
+        bool prediction;
+        if (was_filtered) {
+            prediction = entry.direction != 0;
+        } else {
+            // Only unfiltered branches touch the PHT — that is the
+            // whole interference-reduction mechanism.
+            const std::size_t index = phtIndexFor(pc);
+            prediction = pht.predictTaken(index);
+            pht.update(index, taken);
+        }
+        if ((entry.direction != 0) == taken) {
+            if (entry.runLength < runSaturation)
+                ++entry.runLength;
+        } else {
+            // Direction change: restart the run.
+            entry.direction = taken ? 1 : 0;
+            entry.runLength = 1;
+        }
+        history.push(taken);
+        return prediction;
+    }
+
   private:
     struct FilterEntry
     {
-        /** Direction of the current run (1 = taken). */
-        std::uint8_t direction = 0;
+        /** Direction of the current run (1 = taken). uint16 rather
+         *  than uint8 for the same aliasing reason as CounterTable:
+         *  unsigned-char stores would defeat type-based alias
+         *  analysis in the inlined replay kernel. */
+        std::uint16_t direction = 0;
         /** Consecutive same-direction outcomes, saturating. */
-        std::uint8_t runLength = 0;
+        std::uint16_t runLength = 0;
     };
 
-    std::size_t phtIndexFor(std::uint64_t pc) const;
-    std::size_t filterIndexFor(std::uint64_t pc) const;
-
     FilterConfig cfg;
-    std::uint8_t runSaturation;
+    std::uint16_t runSaturation;
     HistoryRegister history;
     CounterTable pht;
     std::vector<FilterEntry> filter;

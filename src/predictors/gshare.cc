@@ -19,20 +19,14 @@ GsharePredictor::GsharePredictor(unsigned indexBits, unsigned historyBits,
 }
 
 PredictionDetail
-GsharePredictor::predictDetailed(std::uint64_t pc) const
+GsharePredictor::detailFast(std::uint64_t pc) const
 {
     const std::size_t index = indexFor(pc);
     return PredictionDetail{counters.predictTaken(index), true, 0, index};
 }
 
 void
-GsharePredictor::update(std::uint64_t pc, bool taken)
-{
-    updateFast(pc, taken);
-}
-
-void
-GsharePredictor::reset()
+GsharePredictor::resetFast()
 {
     counters.reset();
     history.clear();

@@ -18,6 +18,7 @@
 #define BPSIM_PREDICTORS_GSHARE_HH
 
 #include "predictors/counter.hh"
+#include "predictors/fast_base.hh"
 #include "predictors/history.hh"
 #include "predictors/predictor.hh"
 
@@ -25,7 +26,7 @@ namespace bpsim
 {
 
 /** Global-history xor-indexed two-level predictor. */
-class GsharePredictor : public BranchPredictor
+class GsharePredictor : public FastPredictorBase<GsharePredictor>
 {
   public:
     /**
@@ -36,9 +37,8 @@ class GsharePredictor : public BranchPredictor
     GsharePredictor(unsigned indexBits, unsigned historyBits,
                     unsigned counterWidth = 2);
 
-    PredictionDetail predictDetailed(std::uint64_t pc) const override;
-    void update(std::uint64_t pc, bool taken) override;
-    void reset() override;
+    PredictionDetail detailFast(std::uint64_t pc) const;
+    void resetFast();
     std::string name() const override;
     std::uint64_t storageBits() const override;
     std::uint64_t counterBits() const override;

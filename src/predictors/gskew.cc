@@ -23,7 +23,7 @@ GskewPredictor::GskewPredictor(const GskewConfig &config)
 }
 
 PredictionDetail
-GskewPredictor::predictDetailed(std::uint64_t pc) const
+GskewPredictor::detailFast(std::uint64_t pc) const
 {
     int votes = 0;
     std::size_t serving_index = 0;
@@ -48,13 +48,7 @@ GskewPredictor::predictDetailed(std::uint64_t pc) const
 }
 
 void
-GskewPredictor::update(std::uint64_t pc, bool taken)
-{
-    updateFast(pc, taken);
-}
-
-void
-GskewPredictor::reset()
+GskewPredictor::resetFast()
 {
     history.clear();
     for (auto &bank : banks)

@@ -24,6 +24,7 @@
 #include <array>
 
 #include "predictors/counter.hh"
+#include "predictors/fast_base.hh"
 #include "predictors/history.hh"
 #include "predictors/predictor.hh"
 
@@ -48,14 +49,13 @@ struct GskewConfig
 };
 
 /** Majority-vote skewed predictor. */
-class GskewPredictor : public BranchPredictor
+class GskewPredictor : public FastPredictorBase<GskewPredictor>
 {
   public:
     explicit GskewPredictor(const GskewConfig &config);
 
-    PredictionDetail predictDetailed(std::uint64_t pc) const override;
-    void update(std::uint64_t pc, bool taken) override;
-    void reset() override;
+    PredictionDetail detailFast(std::uint64_t pc) const;
+    void resetFast();
     std::string name() const override;
     std::uint64_t storageBits() const override;
     std::uint64_t counterBits() const override;

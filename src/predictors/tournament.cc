@@ -24,7 +24,7 @@ TournamentPredictor::TournamentPredictor(PredictorPtr component0,
 }
 
 PredictionDetail
-TournamentPredictor::predictDetailed(std::uint64_t pc) const
+TournamentPredictor::detailFast(std::uint64_t pc) const
 {
     // Meta counter "taken" side selects component 1.
     const unsigned selected = meta.predictTaken(metaIndexFor(pc)) ? 1 : 0;
@@ -38,13 +38,7 @@ TournamentPredictor::predictDetailed(std::uint64_t pc) const
 }
 
 void
-TournamentPredictor::update(std::uint64_t pc, bool taken)
-{
-    updateFast(pc, taken);
-}
-
-void
-TournamentPredictor::reset()
+TournamentPredictor::resetFast()
 {
     meta.reset();
     components[0]->reset();

@@ -15,6 +15,7 @@
 
 #include "predictors/bimodal.hh"
 #include "predictors/counter.hh"
+#include "predictors/fast_base.hh"
 #include "predictors/gshare.hh"
 #include "predictors/history.hh"
 #include "predictors/predictor.hh"
@@ -23,7 +24,7 @@ namespace bpsim
 {
 
 /** Meta-selected pair of component predictors. */
-class TournamentPredictor : public BranchPredictor
+class TournamentPredictor : public FastPredictorBase<TournamentPredictor>
 {
   public:
     /**
@@ -34,9 +35,8 @@ class TournamentPredictor : public BranchPredictor
     TournamentPredictor(PredictorPtr component0, PredictorPtr component1,
                         unsigned metaIndexBits);
 
-    PredictionDetail predictDetailed(std::uint64_t pc) const override;
-    void update(std::uint64_t pc, bool taken) override;
-    void reset() override;
+    PredictionDetail detailFast(std::uint64_t pc) const;
+    void resetFast();
     std::string name() const override;
     std::uint64_t storageBits() const override;
     std::uint64_t counterBits() const override;

@@ -18,42 +18,15 @@ TwoLevelPredictor::TwoLevelPredictor(const TwoLevelConfig &config)
     }
 }
 
-std::uint64_t
-TwoLevelPredictor::historyFor(std::uint64_t pc) const
-{
-    if (cfg.scope == HistoryScope::Global)
-        return globalHistory.value();
-    return localHistory->value(pc);
-}
-
-std::size_t
-TwoLevelPredictor::indexFor(std::uint64_t pc) const
-{
-    // History fills the low bits; pc bits select the PHT above it.
-    const std::uint64_t history = historyFor(pc);
-    const std::uint64_t pht = pcIndexBits(pc, cfg.pcBits);
-    return static_cast<std::size_t>((pht << cfg.historyBits) | history);
-}
-
 PredictionDetail
-TwoLevelPredictor::predictDetailed(std::uint64_t pc) const
+TwoLevelPredictor::detailFast(std::uint64_t pc) const
 {
     const std::size_t index = indexFor(pc);
     return PredictionDetail{counters.predictTaken(index), true, 0, index};
 }
 
 void
-TwoLevelPredictor::update(std::uint64_t pc, bool taken)
-{
-    counters.update(indexFor(pc), taken);
-    if (cfg.scope == HistoryScope::Global)
-        globalHistory.push(taken);
-    else
-        localHistory->push(pc, taken);
-}
-
-void
-TwoLevelPredictor::reset()
+TwoLevelPredictor::resetFast()
 {
     counters.reset();
     globalHistory.clear();

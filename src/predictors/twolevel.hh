@@ -21,6 +21,7 @@
 #include <optional>
 
 #include "predictors/counter.hh"
+#include "predictors/fast_base.hh"
 #include "predictors/history.hh"
 #include "predictors/predictor.hh"
 
@@ -52,26 +53,77 @@ struct TwoLevelConfig
 };
 
 /** Generic two-level adaptive predictor covering GAg/GAs/PAg/PAs. */
-class TwoLevelPredictor : public BranchPredictor
+class TwoLevelPredictor : public FastPredictorBase<TwoLevelPredictor>
 {
   public:
     explicit TwoLevelPredictor(const TwoLevelConfig &config);
 
-    PredictionDetail predictDetailed(std::uint64_t pc) const override;
-    void update(std::uint64_t pc, bool taken) override;
-    void reset() override;
+    PredictionDetail detailFast(std::uint64_t pc) const;
+    void resetFast();
     std::string name() const override;
     std::uint64_t storageBits() const override;
     std::uint64_t counterBits() const override;
     std::uint64_t directionCounters() const override;
 
     /** Second-level index for @p pc under the current history. */
-    std::size_t indexFor(std::uint64_t pc) const;
+    std::size_t
+    indexFor(std::uint64_t pc) const
+    {
+        // History fills the low bits; pc bits select the PHT above it.
+        const std::uint64_t history = historyFor(pc);
+        const std::uint64_t pht = pcIndexBits(pc, cfg.pcBits);
+        return static_cast<std::size_t>(
+            (pht << cfg.historyBits) | history);
+    }
+
+    /** Devirtualized hot path: == predictDetailed().taken. The scope
+     *  branch is perfectly predictable (fixed per instance), so one
+     *  generic core serves all four taxonomy points. */
+    bool
+    predictFast(std::uint64_t pc) const
+    {
+        return counters.predictTaken(indexFor(pc));
+    }
+
+    /** Devirtualized hot path: the state transition of update(). */
+    void
+    updateFast(std::uint64_t pc, bool taken)
+    {
+        counters.update(indexFor(pc), taken);
+        pushHistory(pc, taken);
+    }
+
+    /** Fused hot path: predict + update sharing one second-level
+     *  index; bit-identical to predictFast() then updateFast(). */
+    bool
+    stepFast(std::uint64_t pc, bool taken)
+    {
+        const std::size_t index = indexFor(pc);
+        const bool prediction = counters.predictTaken(index);
+        counters.update(index, taken);
+        pushHistory(pc, taken);
+        return prediction;
+    }
 
     const TwoLevelConfig &config() const { return cfg; }
 
   private:
-    std::uint64_t historyFor(std::uint64_t pc) const;
+    std::uint64_t
+    historyFor(std::uint64_t pc) const
+    {
+        if (cfg.scope == HistoryScope::Global)
+            return globalHistory.value();
+        return localHistory->value(pc);
+    }
+
+    void
+    pushHistory(std::uint64_t pc, bool taken)
+    {
+        if (cfg.scope == HistoryScope::Global)
+            globalHistory.push(taken);
+        else
+            localHistory->push(pc, taken);
+    }
 
     TwoLevelConfig cfg;
     HistoryRegister globalHistory;

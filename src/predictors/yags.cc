@@ -25,7 +25,7 @@ YagsPredictor::YagsPredictor(const YagsConfig &config)
 }
 
 PredictionDetail
-YagsPredictor::predictDetailed(std::uint64_t pc) const
+YagsPredictor::detailFast(std::uint64_t pc) const
 {
     const Lookup look = lookupFor(pc);
     PredictionDetail detail;
@@ -45,13 +45,7 @@ YagsPredictor::predictDetailed(std::uint64_t pc) const
 }
 
 void
-YagsPredictor::update(std::uint64_t pc, bool taken)
-{
-    updateFast(pc, taken);
-}
-
-void
-YagsPredictor::reset()
+YagsPredictor::resetFast()
 {
     history.clear();
     choice.reset();

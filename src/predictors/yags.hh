@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "predictors/counter.hh"
+#include "predictors/fast_base.hh"
 #include "predictors/history.hh"
 #include "predictors/predictor.hh"
 
@@ -40,7 +41,7 @@ struct YagsConfig
 };
 
 /** Tagged-exception-cache successor to bi-mode. */
-class YagsPredictor : public BranchPredictor
+class YagsPredictor : public FastPredictorBase<YagsPredictor>
 {
   public:
     static constexpr std::uint32_t kNotTakenCache = 0;
@@ -50,9 +51,8 @@ class YagsPredictor : public BranchPredictor
 
     explicit YagsPredictor(const YagsConfig &config);
 
-    PredictionDetail predictDetailed(std::uint64_t pc) const override;
-    void update(std::uint64_t pc, bool taken) override;
-    void reset() override;
+    PredictionDetail detailFast(std::uint64_t pc) const;
+    void resetFast();
     std::string name() const override;
     std::uint64_t storageBits() const override;
     std::uint64_t counterBits() const override;

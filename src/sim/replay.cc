@@ -1,12 +1,6 @@
 #include "sim/replay.hh"
 
-#include "core/bimode.hh"
-#include "predictors/agree.hh"
-#include "predictors/bimodal.hh"
-#include "predictors/gshare.hh"
-#include "predictors/gskew.hh"
-#include "predictors/tournament.hh"
-#include "predictors/yags.hh"
+#include "core/registry.hh"
 #include "sim/replay_kernel.hh"
 
 namespace bpsim
@@ -55,30 +49,20 @@ replayKernelBankAny(const std::string &kind,
                     const PackedTrace &packed, const SimConfig &config,
                     std::vector<SimResult> &results)
 {
-    // Keep this list in sync with simulateAny() below and
-    // hasFastReplay() in core/factory.cc.
-    if (kind == "bimodal")
-        return runBank<BimodalPredictor>(predictors, packed, config,
-                                         results);
-    if (kind == "gshare")
-        return runBank<GsharePredictor>(predictors, packed, config,
-                                        results);
-    if (kind == "bimode")
-        return runBank<BiModePredictor>(predictors, packed, config,
-                                        results);
-    if (kind == "agree")
-        return runBank<AgreePredictor>(predictors, packed, config,
-                                       results);
-    if (kind == "gskew")
-        return runBank<GskewPredictor>(predictors, packed, config,
-                                       results);
-    if (kind == "yags")
-        return runBank<YagsPredictor>(predictors, packed, config,
-                                      results);
-    if (kind == "tournament")
-        return runBank<TournamentPredictor>(predictors, packed, config,
-                                            results);
-    return false;
+    // Registry fold: the banked kernel is instantiated once per
+    // fast-replay entry, selected by the group's kind string. A new
+    // registry entry with fastReplay set is picked up here (and in
+    // simulateAny() below) with no further wiring.
+    bool handled = false;
+    forEachPredictorEntry([&]<typename Entry>() {
+        if constexpr (Entry::fastReplay) {
+            if (!handled && kind == Entry::kind) {
+                handled = runBank<typename Entry::Predictor>(
+                    predictors, packed, config, results);
+            }
+        }
+    });
+    return handled;
 }
 
 SimResult
@@ -86,23 +70,25 @@ simulateAny(BranchPredictor &predictor, TraceReader &trace,
             const PackedTrace *packed, const SimConfig &config)
 {
     // One dynamic_cast per *run* (not per branch) selects the
-    // concrete kernel instantiation. Keep this list in sync with
-    // hasFastReplay() in core/factory.cc.
+    // concrete kernel instantiation via a registry fold. Entries
+    // sharing a C++ type (the two-level taxonomy kinds) resolve to
+    // the same instantiation; the first match wins.
     if (packed && !config.trackPerBranch) {
-        if (auto *p = dynamic_cast<BimodalPredictor *>(&predictor))
-            return replayKernel(*p, *packed, config);
-        if (auto *p = dynamic_cast<GsharePredictor *>(&predictor))
-            return replayKernel(*p, *packed, config);
-        if (auto *p = dynamic_cast<BiModePredictor *>(&predictor))
-            return replayKernel(*p, *packed, config);
-        if (auto *p = dynamic_cast<AgreePredictor *>(&predictor))
-            return replayKernel(*p, *packed, config);
-        if (auto *p = dynamic_cast<GskewPredictor *>(&predictor))
-            return replayKernel(*p, *packed, config);
-        if (auto *p = dynamic_cast<YagsPredictor *>(&predictor))
-            return replayKernel(*p, *packed, config);
-        if (auto *p = dynamic_cast<TournamentPredictor *>(&predictor))
-            return replayKernel(*p, *packed, config);
+        SimResult result;
+        bool ran = false;
+        forEachPredictorEntry([&]<typename Entry>() {
+            if constexpr (Entry::fastReplay) {
+                if (ran)
+                    return;
+                if (auto *p = dynamic_cast<typename Entry::Predictor *>(
+                        &predictor)) {
+                    result = replayKernel(*p, *packed, config);
+                    ran = true;
+                }
+            }
+        });
+        if (ran)
+            return result;
     }
     return simulate(predictor, trace, config);
 }

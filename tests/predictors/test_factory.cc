@@ -107,6 +107,31 @@ TEST(FactoryTry, MissingRequiredParamReturnsError)
               std::string::npos);
 }
 
+TEST(FactoryTry, MisspelledParamKeyReturnsErrorNamingValidKeys)
+{
+    // "hist" is not a gshare key; it used to parse and silently fall
+    // back to the default history length. The registry schema now
+    // rejects it, naming the keys that would have been accepted.
+    const PredictorResult result = tryMakePredictor("gshare:hist=12");
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.error.find("unknown parameter 'hist'"),
+              std::string::npos)
+        << result.error;
+    EXPECT_NE(result.error.find("accepted keys"), std::string::npos)
+        << result.error;
+    EXPECT_NE(result.error.find("n, h"), std::string::npos)
+        << result.error;
+}
+
+TEST(FactoryTry, ParamOnParameterlessKindReturnsError)
+{
+    const PredictorResult result = tryMakePredictor("taken:n=4");
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.error.find("takes no parameters"),
+              std::string::npos)
+        << result.error;
+}
+
 TEST(FactoryTry, ParseErrorPropagates)
 {
     const PredictorResult result = tryMakePredictor("gshare:n=");
@@ -170,53 +195,16 @@ TEST(PredictorSpecTryParse, UintMaxItselfStillParses)
 
 TEST(Factory, BuildsEveryKnownKind)
 {
-    const std::vector<std::string> configs = {
-        "taken",
-        "nottaken",
-        "btfn:l=8",
-        "bimodal:n=8",
-        "gag:h=8",
-        "gas:h=6,a=2",
-        "pag:h=6,l=6",
-        "pas:h=5,l=6,a=2",
-        "gshare:n=10,h=8",
-        "bimode:d=8",
-        "agree:n=8",
-        "gskew:n=8",
-        "yags:c=8,n=6",
-        "tournament:n=8",
-        "perceptron:n=6,h=12",
-        "filter:n=8",
-    };
-    for (const std::string &config : configs) {
-        const PredictorPtr predictor = makePredictor(config);
-        ASSERT_NE(predictor, nullptr) << config;
+    // The registry's documented examples enumerate every kind — no
+    // hand-maintained list to fall out of sync.
+    for (const PredictorKindInfo &info : predictorKindInfos()) {
+        const PredictorPtr predictor = makePredictor(info.example);
+        ASSERT_NE(predictor, nullptr) << info.example;
         // Every predictor must answer the whole interface.
         predictor->predict(0x1000);
         predictor->update(0x1000, true);
         predictor->reset();
-        EXPECT_FALSE(predictor->name().empty()) << config;
-    }
-}
-
-TEST(Factory, EveryKnownKindListedIsConstructible)
-{
-    // knownPredictorKinds() is the help text; each entry must be
-    // accepted by the factory (with generic parameters).
-    const std::map<std::string, std::string> args = {
-        {"btfn", ""},          {"bimodal", ":n=6"},
-        {"gag", ":h=6"},       {"gas", ":h=4,a=2"},
-        {"pag", ":h=4,l=4"},   {"pas", ":h=4,l=4,a=2"},
-        {"gshare", ":n=6"},    {"bimode", ":d=6"},
-        {"agree", ":n=6"},     {"gskew", ":n=6"},
-        {"yags", ":c=6,n=4"},  {"tournament", ":n=6"},
-        {"perceptron", ":n=6"}, {"filter", ":n=6"},
-        {"taken", ""},         {"nottaken", ""},
-    };
-    for (const std::string &kind : knownPredictorKinds()) {
-        const auto it = args.find(kind);
-        ASSERT_NE(it, args.end()) << "untested kind " << kind;
-        EXPECT_NE(makePredictor(kind + it->second), nullptr);
+        EXPECT_FALSE(predictor->name().empty()) << info.example;
     }
 }
 
@@ -250,6 +238,12 @@ TEST(FactoryDeath, UnknownKindIsFatal)
 {
     EXPECT_EXIT(makePredictor("tage:n=10"),
                 ::testing::ExitedWithCode(1), "unknown predictor kind");
+}
+
+TEST(FactoryDeath, UnknownParamKeyIsFatal)
+{
+    EXPECT_EXIT(makePredictor("gshare:hist=12"),
+                ::testing::ExitedWithCode(1), "unknown parameter");
 }
 
 TEST(FactoryDeath, EmptyKindIsFatal)

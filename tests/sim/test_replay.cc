@@ -101,12 +101,22 @@ TEST(ReplayCoverage, CoversEveryFactoryKind)
 
 TEST(ReplayCoverage, FastReplayKindsAreFactoryKinds)
 {
+    // hasFastReplay() must agree with the registry entry flags, and
+    // every fast kind must be a factory kind.
     const auto kinds = knownPredictorKinds();
     unsigned fast = 0;
-    for (const std::string &kind : kinds)
-        fast += hasFastReplay(kind) ? 1 : 0;
-    // The seven devirtualized kinds of sim/replay.cc.
-    EXPECT_EQ(fast, 7u);
+    for (const PredictorKindInfo &info : predictorKindInfos()) {
+        EXPECT_EQ(hasFastReplay(info.kind), info.fastReplay);
+        EXPECT_NE(std::find(kinds.begin(), kinds.end(), info.kind),
+                  kinds.end());
+        fast += info.fastReplay ? 1 : 0;
+    }
+    // The static predictors and perceptron stay on the virtual loop;
+    // everything else runs on the kernel.
+    EXPECT_EQ(fast, kinds.size() - 4);
+    EXPECT_TRUE(hasFastReplay("filter"));
+    EXPECT_TRUE(hasFastReplay("gag"));
+    EXPECT_FALSE(hasFastReplay("perceptron"));
     EXPECT_FALSE(hasFastReplay("no-such-kind"));
 }
 

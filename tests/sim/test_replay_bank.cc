@@ -67,6 +67,10 @@ sharedPacked()
  */
 const std::map<std::string, std::vector<std::string>> kBankSpecs = {
     {"bimodal", {"bimodal:n=6", "bimodal:n=8", "bimodal:n=10"}},
+    {"gag", {"gag:h=6", "gag:h=8", "gag:h=10"}},
+    {"gas", {"gas:h=5,a=2", "gas:h=6,a=3", "gas:h=8,a=2"}},
+    {"pag", {"pag:h=5,l=5", "pag:h=6,l=6", "pag:h=8,l=4"}},
+    {"pas", {"pas:h=4,l=5,a=2", "pas:h=5,l=6,a=3"}},
     {"gshare", {"gshare:n=6,h=3", "gshare:n=8,h=8", "gshare:n=10,h=5"}},
     {"bimode", {"bimode:d=6", "bimode:d=7,c=6,h=5", "bimode:d=8"}},
     {"agree", {"agree:n=6,h=4,b=6", "agree:n=8,h=8,b=8"}},
@@ -74,6 +78,8 @@ const std::map<std::string, std::vector<std::string>> kBankSpecs = {
     {"yags", {"yags:c=7,n=5,t=5,h=5", "yags:c=8,n=6,t=6,h=6"}},
     {"tournament", {"tournament:n=6", "tournament:n=7",
                     "tournament:n=8"}},
+    {"filter", {"filter:n=6,h=4,b=6,k=2", "filter:n=8,h=8,b=8,k=3",
+                "filter:n=10,h=5,b=7,k=6"}},
 };
 
 TEST(BankCoverage, CoversEveryFastReplayKind)
@@ -269,11 +275,14 @@ TEST(BankCampaign, FusedMatchesUnfusedByteForByte)
         cache, {bankSpec("bank-a", 3), bankSpec("bank-b", 4)});
 
     // A grid that exercises every scheduling path at once: a fusable
-    // ladder, a second fusable kind, a non-fast kind (virtual loop),
-    // and a config error.
+    // ladder, further fusable kinds (including the registry-promoted
+    // filter and gag), a non-fast kind (virtual loop), and a config
+    // error.
     const std::vector<std::string> configs = {
         "gshare:n=6,h=3",  "gshare:n=8,h=4", "gshare:n=10,h=5",
         "bimode:d=7",      "perceptron:n=5,h=12",
+        "filter:n=8,h=8,b=8,k=3", "filter:n=6,h=4,b=6,k=2",
+        "gag:h=8",         "gag:h=10",
         "gshare:n=oops",
     };
     expectFusedMatchesUnfused(configs, benchmarks, 0, 1);
