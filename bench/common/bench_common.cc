@@ -15,28 +15,19 @@ namespace bpsim::bench
 void
 addCommonOptions(ArgParser &args)
 {
-    args.addFlag("quick", "scale dynamic branch counts down 5x");
-    args.addFlag("csv", "also emit tables as CSV");
-    args.addFlag("json", "also dump per-job campaign results as JSON");
-    args.addOption("jobs", "0",
-                   "campaign worker threads (0 = one per hardware "
-                   "thread)");
-    args.addFlag("timing",
-                 "include machine-dependent wall time / throughput in "
-                 "JSON output");
-    args.addOption("trace-cache", "",
-                   "persistent trace store directory "
-                   "(default: $BPSIM_TRACE_CACHE, then .bpsim-cache; "
-                   "'none' disables)");
-    args.addFlag("verbose", "progress logging to stderr");
+    CommonOptions::declare(args);
 }
 
 std::uint64_t
 applyCommonOptions(const ArgParser &args)
 {
-    setVerbose(args.flag("verbose"));
-    setDefaultWorkerCount(static_cast<unsigned>(args.getUint("jobs")));
-    return args.flag("quick") ? 5 : 1;
+    const CommonOptions opts = CommonOptions::fromArgs(args);
+    setVerbose(opts.verbose);
+    // The blocking drivers call Campaign::run(0) all over; feed the
+    // legacy process-wide default for them. Scheduler-based callers
+    // pass opts.jobs explicitly instead.
+    setDefaultWorkerCount(opts.jobs);
+    return opts.quickDivisor();
 }
 
 std::string
@@ -77,13 +68,8 @@ maybeEmitJson(const ArgParser &args,
 std::vector<WorkloadSpec>
 scaledSuite(std::vector<WorkloadSpec> specs, std::uint64_t divisor)
 {
-    if (divisor > 1) {
-        for (auto &spec : specs) {
-            spec.dynamicBranches =
-                std::max<std::uint64_t>(spec.dynamicBranches / divisor,
-                                        50'000);
-        }
-    }
+    for (auto &spec : specs)
+        spec = scaledBenchmark(std::move(spec), divisor);
     return specs;
 }
 

@@ -110,10 +110,7 @@ main(int argc, char **argv)
     args.addOption("btb-ways", "4", "BTB associativity");
     args.addFlag("calls",
                  "emit call/return records and report RAS accuracy");
-    args.addOption("trace-cache", "",
-                   "persistent trace store directory "
-                   "(default: $BPSIM_TRACE_CACHE, then .bpsim-cache; "
-                   "'none' disables)");
+    CommonOptions::declareTraceCache(args);
     if (!args.parse(argc, argv))
         return 0;
 
@@ -124,7 +121,8 @@ main(int argc, char **argv)
     }
     if (args.flag("calls"))
         spec->emitCallsAndReturns = true;
-    TraceCache cache(resolveTraceStoreDir(args.get("trace-cache")));
+    TraceCache cache(resolveTraceStoreDir(
+        CommonOptions::fromArgs(args).traceCache));
     const MemoryTrace &trace = cache.traceFor(*spec);
 
     BtbConfig btb_cfg;

@@ -55,10 +55,7 @@ main(int argc, char **argv)
     args.addOption("benchmark", "gcc", "benchmark name");
     args.addOption("size-bits", "12",
                    "gshare index width n for the predictor panel");
-    args.addOption("trace-cache", "",
-                   "persistent trace store directory "
-                   "(default: $BPSIM_TRACE_CACHE, then .bpsim-cache; "
-                   "'none' disables)");
+    bpsim::CommonOptions::declareTraceCache(args);
     if (!args.parse(argc, argv))
         return 0;
 
@@ -71,7 +68,8 @@ main(int argc, char **argv)
     const unsigned n = static_cast<unsigned>(args.getUint("size-bits"));
 
     bpsim::TraceCache cache(
-        bpsim::resolveTraceStoreDir(args.get("trace-cache")));
+        bpsim::resolveTraceStoreDir(
+        bpsim::CommonOptions::fromArgs(args).traceCache));
     const bpsim::MemoryTrace &trace = cache.traceFor(*spec);
     bpsim::TraceStats stats;
     auto stat_reader = trace.reader();

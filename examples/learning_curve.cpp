@@ -78,10 +78,7 @@ main(int argc, char **argv)
                  "print the predictor config grammar (every "
                  "registered kind with its parameter schema) and "
                  "exit");
-    args.addOption("trace-cache", "",
-                   "persistent trace store directory "
-                   "(default: $BPSIM_TRACE_CACHE, then .bpsim-cache; "
-                   "'none' disables)");
+    CommonOptions::declareTraceCache(args);
     if (!args.parse(argc, argv))
         return 0;
     if (args.flag("grammar")) {
@@ -94,7 +91,8 @@ main(int argc, char **argv)
         std::cerr << "unknown benchmark\n";
         return 1;
     }
-    TraceCache cache(resolveTraceStoreDir(args.get("trace-cache")));
+    TraceCache cache(resolveTraceStoreDir(
+        CommonOptions::fromArgs(args).traceCache));
     const MemoryTrace &trace = cache.traceFor(*spec);
     const std::uint64_t interval = args.getUint("interval");
 

@@ -34,10 +34,7 @@ main(int argc, char **argv)
                    "benchmark name (see DESIGN.md Table 2 list)");
     args.addOption("size-bits", "11",
                    "bi-mode direction-bank width d (2^d counters/bank)");
-    args.addOption("trace-cache", "",
-                   "persistent trace store directory "
-                   "(default: $BPSIM_TRACE_CACHE, then .bpsim-cache; "
-                   "'none' disables)");
+    bpsim::CommonOptions::declareTraceCache(args);
     if (!args.parse(argc, argv))
         return 0;
 
@@ -53,7 +50,8 @@ main(int argc, char **argv)
               << spec->dynamicBranches << " conditional branches, "
               << spec->staticBranches << " static sites)...\n";
     bpsim::TraceCache cache(
-        bpsim::resolveTraceStoreDir(args.get("trace-cache")));
+        bpsim::resolveTraceStoreDir(
+        bpsim::CommonOptions::fromArgs(args).traceCache));
     const bpsim::MemoryTrace &trace = cache.traceFor(*spec);
 
     // The contribution: a bi-mode predictor in its canonical shape.

@@ -2,12 +2,10 @@
 
 #include <atomic>
 #include <exception>
-#include <map>
-#include <mutex>
 #include <thread>
-#include <tuple>
 #include <utility>
 
+#include "campaign/scheduler.hh"
 #include "core/factory.hh"
 #include "sim/replay.hh"
 #include "util/logging.hh"
@@ -20,128 +18,6 @@ namespace
 
 /** 0 = follow the hardware; set from --jobs. */
 std::atomic<unsigned> configured_workers{0};
-
-/**
- * One worker-pool work unit: either a single job on the classic
- * per-job path (kind empty) or a fused bank of same-kind jobs over
- * one shared PackedTrace.
- */
-struct WorkGroup
-{
-    /** Job indices, ascending. */
-    std::vector<std::size_t> jobs;
-    /** Fast-replay kind shared by every job; empty for the per-job
-     *  path. */
-    std::string kind;
-};
-
-/**
- * Upper bound on fused lanes per bank. Groups wider than this split:
- * beyond a point more lanes stop amortizing anything (the trace pass
- * is already shared) and only grow the bank's working set past the
- * cache levels the single-lane tables were sized for, while smaller
- * chunks keep the worker pool fed.
- */
-constexpr std::size_t kMaxBankLanes = 32;
-
-/**
- * Partitions jobs into work groups, preserving job order inside each
- * group and ordering groups by first member. Jobs are fusable when
- * they carry a packed trace, their config's kind has a bank kernel,
- * and their SimConfig is bank-compatible (no per-branch tracking;
- * warm-up length is part of the grouping key). Everything else
- * becomes a singleton group on the per-job path.
- */
-std::vector<WorkGroup>
-planGroups(const std::vector<Job> &jobs, bool fuse)
-{
-    std::vector<WorkGroup> groups;
-    groups.reserve(jobs.size());
-    // Grouping key: one bank = one trace × one concrete kind × one
-    // warm-up length. (SimConfig currently adds only trackPerBranch,
-    // which fusable jobs must have off; a new SimConfig knob that
-    // changes replay semantics must join this key.)
-    std::map<std::tuple<const PackedTrace *, std::string, std::uint64_t>,
-             std::size_t>
-        open;
-    for (std::size_t i = 0; i < jobs.size(); ++i) {
-        const Job &job = jobs[i];
-        std::string kind;
-        if (fuse && job.packed != nullptr && job.trace != nullptr &&
-            !job.simConfig.trackPerBranch) {
-            kind = fastReplayKind(job.configText);
-        }
-        if (kind.empty()) {
-            groups.push_back({{i}, {}});
-            continue;
-        }
-        const auto key = std::make_tuple(job.packed, kind,
-                                         job.simConfig.warmupBranches);
-        const auto it = open.find(key);
-        if (it != open.end() &&
-            groups[it->second].jobs.size() < kMaxBankLanes) {
-            groups[it->second].jobs.push_back(i);
-            continue;
-        }
-        // New group, or the open one is full — start a fresh bank.
-        open[key] = groups.size();
-        groups.push_back({{i}, std::move(kind)});
-    }
-    return groups;
-}
-
-/**
- * Runs one fused group: constructs every job's predictor, banks the
- * successes through replayKernelBankAny(), and lands construction
- * errors exactly as the per-job path would. Falls back to per-job
- * runs if the bank refuses the group (which grouping should make
- * impossible).
- */
-std::vector<JobResult>
-runFusedGroup(const std::vector<Job> &all, const WorkGroup &group)
-{
-    std::vector<JobResult> results(group.jobs.size());
-    std::vector<PredictorPtr> owned;
-    std::vector<BranchPredictor *> bank;
-    std::vector<std::size_t> lane_slot;
-    for (std::size_t k = 0; k < group.jobs.size(); ++k) {
-        const Job &job = all[group.jobs[k]];
-        JobResult &result = results[k];
-        result.index = job.index;
-        result.benchmark = job.benchmark;
-        result.configText = job.configText;
-        PredictorResult made = tryMakePredictor(job.configText);
-        if (!made.ok()) {
-            result.error = std::move(made.error);
-            continue;
-        }
-        bank.push_back(made.predictor.get());
-        owned.push_back(std::move(made.predictor));
-        lane_slot.push_back(k);
-    }
-
-    std::vector<SimResult> sims;
-    const Job &first = all[group.jobs.front()];
-    if (bank.empty() ||
-        !replayKernelBankAny(group.kind, bank, *first.packed,
-                             first.simConfig, sims)) {
-        if (!bank.empty()) {
-            BPSIM_WARN("bank kernel refused fused group of kind '"
-                       << group.kind << "'; running jobs singly");
-            for (std::size_t k = 0; k < group.jobs.size(); ++k)
-                results[k] = runJob(all[group.jobs[k]]);
-        }
-        return results;
-    }
-
-    for (std::size_t lane = 0; lane < sims.size(); ++lane) {
-        JobResult &result = results[lane_slot[lane]];
-        result.result = std::move(sims[lane]);
-        result.result.benchmark = result.benchmark;
-        result.result.configText = result.configText;
-    }
-    return results;
-}
 
 } // namespace
 
@@ -211,8 +87,8 @@ runJob(const Job &job)
         return result;
     }
     auto reader = job.trace->reader();
-    result.result =
-        simulateAny(*made.predictor, reader, job.packed, job.simConfig);
+    result.result = simulateAny(*made.predictor, reader,
+                                job.packed.get(), job.simConfig);
     result.result.benchmark = job.benchmark;
     result.result.configText = job.configText;
     return result;
@@ -221,73 +97,60 @@ runJob(const Job &job)
 std::vector<JobResult>
 Campaign::run(unsigned workers, const ProgressFn &progress) const
 {
-    const std::vector<WorkGroup> groups = planGroups(jobList, fuseJobs);
     std::vector<JobResult> results(jobList.size());
-    std::atomic<std::size_t> cursor{0};
-    std::mutex lock;
+    if (jobList.empty())
+        return results;
+
+    if (workers == 0)
+        workers = defaultWorkerCount();
+    if (jobList.size() < workers)
+        workers = static_cast<unsigned>(jobList.size());
+
+    // The blocking API is a wrapper over the incremental scheduler:
+    // submit everything into a paused queue first, so the fusion
+    // sweep sees the whole grid (the same banks the historical
+    // up-front grouping planned), then release the pool and drain.
+    CampaignScheduler::Options options;
+    options.workers = workers;
+    options.fuse = fuseJobs;
+    options.paused = true;
+    CampaignScheduler scheduler(options);
+
     std::size_t completed = 0;
     bool progress_disabled = false;
-
-    const auto worker_loop = [&]() {
-        for (;;) {
-            const std::size_t g =
-                cursor.fetch_add(1, std::memory_order_relaxed);
-            if (g >= groups.size())
-                return;
-            const WorkGroup &group = groups[g];
-            std::vector<JobResult> group_results;
-            if (group.kind.empty())
-                group_results.push_back(runJob(jobList[group.jobs[0]]));
-            else
-                group_results = runFusedGroup(jobList, group);
-
-            const std::lock_guard<std::mutex> guard(lock);
-            for (std::size_t k = 0; k < group.jobs.size(); ++k) {
-                // Results land in their job's slot, so the returned
-                // ordering never depends on the thread schedule (or
-                // on how jobs were grouped).
-                const std::size_t i = group.jobs[k];
-                results[i] = std::move(group_results[k]);
-                ++completed;
-                // An exception escaping into a worker thread would
-                // std::terminate the process; a broken progress hook
-                // must not take the campaign down, so swallow and
-                // disable it.
-                if (progress && !progress_disabled) {
-                    try {
-                        progress(
-                            {completed, jobList.size(), &results[i]});
-                    } catch (const std::exception &e) {
-                        progress_disabled = true;
-                        BPSIM_WARN("campaign progress callback threw ("
-                                   << e.what()
-                                   << "); progress reporting disabled");
-                    } catch (...) {
-                        progress_disabled = true;
-                        BPSIM_WARN("campaign progress callback threw; "
-                                   << "progress reporting disabled");
-                    }
-                }
+    // The scheduler serializes completion callbacks, so the shared
+    // captures need no extra locking; drain() below orders every
+    // callback's writes before the return.
+    const auto on_done = [&](CampaignScheduler::Ticket,
+                             JobResult result) {
+        // Results land in their job's slot, so the returned ordering
+        // never depends on the thread schedule (or on how jobs were
+        // batched).
+        const std::size_t i = result.index;
+        results[i] = std::move(result);
+        ++completed;
+        // An exception escaping into a worker thread would
+        // std::terminate the process; a broken progress hook must
+        // not take the campaign down, so swallow and disable it.
+        if (progress && !progress_disabled) {
+            try {
+                progress({completed, jobList.size(), &results[i]});
+            } catch (const std::exception &e) {
+                progress_disabled = true;
+                BPSIM_WARN("campaign progress callback threw ("
+                           << e.what()
+                           << "); progress reporting disabled");
+            } catch (...) {
+                progress_disabled = true;
+                BPSIM_WARN("campaign progress callback threw; "
+                           << "progress reporting disabled");
             }
         }
     };
 
-    if (workers == 0)
-        workers = defaultWorkerCount();
-    if (groups.size() < workers)
-        workers = static_cast<unsigned>(groups.size());
-
-    if (workers <= 1) {
-        worker_loop();
-        return results;
-    }
-
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (unsigned t = 0; t < workers; ++t)
-        pool.emplace_back(worker_loop);
-    for (std::thread &thread : pool)
-        thread.join();
+    for (const Job &job : jobList)
+        scheduler.submit(job, on_done);
+    scheduler.drain();
     return results;
 }
 
@@ -298,9 +161,11 @@ resolveTraces(TraceCache &cache, const std::vector<WorkloadSpec> &specs)
     benchmarks.reserve(specs.size());
     for (const WorkloadSpec &spec : specs) {
         // Pack once per benchmark (serially, like trace generation);
-        // every job on the benchmark then shares both forms.
-        benchmarks.push_back(
-            {spec.name, &cache.traceFor(spec), &cache.packedFor(spec)});
+        // every job on the benchmark then shares both forms through
+        // owning handles, so the jobs stay valid even if they outlive
+        // this cache.
+        benchmarks.push_back({spec.name, cache.handleFor(spec),
+                              cache.packedHandleFor(spec)});
     }
     return benchmarks;
 }

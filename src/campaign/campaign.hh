@@ -9,10 +9,9 @@
  *   1. declare the grid (addGrid()/addJob()); each cell is a Job —
  *      one factory configuration string run over one shared,
  *      immutable, pre-generated MemoryTrace;
- *   2. run() executes the work on a pool of worker threads pulling
- *      from a shared atomic cursor (generate once, simulate many:
- *      traces are read-only in simulate(), predictors are
- *      constructed per job);
+ *   2. run() executes the work on a pool of worker threads
+ *      (generate once, simulate many: traces are read-only in
+ *      simulate(), predictors are constructed per job);
  *   3. results come back as one JobResult per job, *in job order*,
  *      regardless of the thread schedule — runs with different
  *      `--jobs` values are bit-identical.
@@ -36,6 +35,14 @@
  * string is rejected by tryMakePredictor() completes with
  * JobResult::error set and every other job still runs.
  *
+ * run() is a thin blocking wrapper over the incremental
+ * CampaignScheduler (campaign/scheduler.hh), which is the primitive
+ * long-running callers (the campaign service daemon, src/serve/)
+ * build on: submit jobs over time, get per-ticket completion
+ * callbacks, drain. The wrapper submits every declared job to a
+ * private paused scheduler, resumes it, and drains — bit-identical
+ * to the historical in-place pool at any worker count.
+ *
  * Emitters for the result list (JSON array, text table) live in
  * campaign/emitters.hh.
  */
@@ -51,6 +58,7 @@
 #include "sim/simulator.hh"
 #include "sim/trace_cache.hh"
 #include "trace/memory_trace.hh"
+#include "trace/trace_handle.hh"
 #include "workload/workload_spec.hh"
 
 namespace bpsim
@@ -60,29 +68,33 @@ namespace bpsim
 struct BenchmarkTrace
 {
     std::string name;
-    /** Borrowed; must outlive any campaign run that uses it. */
-    const MemoryTrace *trace = nullptr;
+    /** Trace to replay. Handles constructed from a raw pointer are
+     *  borrows (the pointee must outlive every run that uses it);
+     *  handles from TraceCache::handleFor()/resolveTraces() share
+     *  ownership and make any job lifetime safe. */
+    TraceHandle trace = nullptr;
     /** Packed form of the same trace for the devirtualized replay
      *  kernel; null disables the fast path for jobs on this
-     *  benchmark. Borrowed like @ref trace. */
-    const PackedTrace *packed = nullptr;
+     *  benchmark. Ownership semantics as @ref trace. */
+    PackedTraceHandle packed = nullptr;
 };
 
 /** One independent unit of campaign work. */
 struct Job
 {
     /** Slot in the deterministic result ordering; assigned by
-     *  Campaign::addJob(). */
+     *  Campaign::addJob() (schedulers key progress on it too). */
     std::size_t index = 0;
     /** Predictor configuration in the factory grammar. */
     std::string configText;
     /** Benchmark name, for reporting. */
     std::string benchmark;
-    /** Shared immutable trace to replay. */
-    const MemoryTrace *trace = nullptr;
+    /** Shared immutable trace to replay (borrowed or owning; see
+     *  BenchmarkTrace::trace). */
+    TraceHandle trace = nullptr;
     /** Packed trace for the fast replay path; may be null (the job
      *  then always uses the virtual simulate() loop). */
-    const PackedTrace *packed = nullptr;
+    PackedTraceHandle packed = nullptr;
     /** Per-job simulation options (warm-up, per-branch tracking). */
     SimConfig simConfig;
 };
@@ -120,6 +132,12 @@ using ProgressFn = std::function<void(const CampaignProgress &)>;
  * Sets the process-wide default worker count used when run() is
  * called with workers == 0. Wired to the bench binaries' `--jobs`
  * flag; 0 means "one worker per hardware thread".
+ *
+ * Legacy knob: only the blocking Campaign::run(0) compatibility
+ * wrapper consults it. New code should pass the worker count
+ * explicitly — CampaignScheduler::Options::workers is per-scheduler
+ * state, never global (util/args CommonOptions carries the parsed
+ * `--jobs` value for exactly that hand-off).
  */
 void setDefaultWorkerCount(unsigned n);
 

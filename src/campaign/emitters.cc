@@ -8,6 +8,20 @@ namespace bpsim
 {
 
 void
+writeResultJson(std::ostream &os, const JobResult &job, bool withTiming)
+{
+    if (job.ok()) {
+        os << "{\"ok\":true,\"result\":";
+        job.result.toJson(os, withTiming);
+        os << "}";
+    } else {
+        os << "{\"ok\":false,\"benchmark\":" << jsonString(job.benchmark)
+           << ",\"config\":" << jsonString(job.configText)
+           << ",\"error\":" << jsonString(job.error) << "}";
+    }
+}
+
+void
 writeResultsJson(std::ostream &os, const std::vector<JobResult> &results,
                  bool withTiming)
 {
@@ -18,16 +32,7 @@ writeResultsJson(std::ostream &os, const std::vector<JobResult> &results,
             os << ",";
         first = false;
         os << "\n  ";
-        if (job.ok()) {
-            os << "{\"ok\":true,\"result\":";
-            job.result.toJson(os, withTiming);
-            os << "}";
-        } else {
-            os << "{\"ok\":false,\"benchmark\":"
-               << jsonString(job.benchmark)
-               << ",\"config\":" << jsonString(job.configText)
-               << ",\"error\":" << jsonString(job.error) << "}";
-        }
+        writeResultJson(os, job, withTiming);
     }
     os << "\n]\n";
 }

@@ -36,6 +36,15 @@ void writeResultsJson(std::ostream &os,
                       const std::vector<JobResult> &results,
                       bool withTiming = false);
 
+/**
+ * Writes the JSON object for one job — exactly the element
+ * writeResultsJson() emits at each array position. The campaign
+ * service streams these one per result line; a client that joins
+ * them back into an array reproduces the offline emitter's bytes.
+ */
+void writeResultJson(std::ostream &os, const JobResult &result,
+                     bool withTiming = false);
+
 /** Formats @p results as one table row per job, errors inline. A
  *  throughput column is appended when @p withTiming is set. */
 TextTable resultsTable(const std::vector<JobResult> &results,

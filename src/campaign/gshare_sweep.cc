@@ -43,7 +43,8 @@ sweepGshare(unsigned indexBits,
     std::vector<BenchmarkTrace> benchmarks;
     benchmarks.reserve(traces.size());
     for (std::size_t b = 0; b < traces.size(); ++b)
-        benchmarks.push_back({"trace" + std::to_string(b), traces[b]});
+        benchmarks.push_back(
+            {"trace" + std::to_string(b), traces[b], {}});
     return sweepGshare(indexBits, benchmarks, minHistory);
 }
 

@@ -1,0 +1,192 @@
+#include "serve/client.hh"
+
+#include "util/json.hh"
+
+namespace bpsim::serve
+{
+
+ServeClient::~ServeClient()
+{
+    disconnect();
+}
+
+ServeClient::ServeClient(ServeClient &&other) noexcept
+    : fd(other.fd), reader(std::move(other.reader))
+{
+    other.fd = -1;
+}
+
+ServeClient &
+ServeClient::operator=(ServeClient &&other) noexcept
+{
+    if (this != &other) {
+        disconnect();
+        fd = other.fd;
+        reader = std::move(other.reader);
+        other.fd = -1;
+    }
+    return *this;
+}
+
+bool
+ServeClient::connect(const std::string &socketPath, std::string &error)
+{
+    disconnect();
+    fd = connectUnix(socketPath, error);
+    if (fd < 0)
+        return false;
+    reader = std::make_unique<LineReader>(fd);
+    return true;
+}
+
+void
+ServeClient::disconnect()
+{
+    reader.reset();
+    closeFd(fd);
+    fd = -1;
+}
+
+bool
+ServeClient::sendLine(const std::string &line)
+{
+    if (fd < 0)
+        return false;
+    if (!line.empty() && line.back() == '\n')
+        return sendAll(fd, line);
+    return sendAll(fd, line + "\n");
+}
+
+std::optional<std::string>
+ServeClient::readLine()
+{
+    if (!reader)
+        return std::nullopt;
+    return reader->readLine();
+}
+
+std::optional<std::vector<std::string>>
+ServeClient::runCampaign(const CampaignRequest &request,
+                         std::string &error)
+{
+    if (!sendLine(campaignRequestLine(request))) {
+        error = "failed to send request (daemon gone?)";
+        return std::nullopt;
+    }
+
+    std::vector<std::string> payloads;
+    bool accepted = false;
+    for (;;) {
+        const auto line = readLine();
+        if (!line) {
+            error = "connection closed mid-campaign";
+            return std::nullopt;
+        }
+        const Event event = parseEvent(*line);
+        // Interleaved events for other campaign ids would belong to
+        // a multiplexing caller; this blocking driver runs one
+        // campaign per call, so everything it sees must be its own.
+        switch (event.kind) {
+          case Event::Kind::Accepted:
+            if (event.id != request.id) {
+                error = "accepted event for foreign id '" + event.id +
+                        "'";
+                return std::nullopt;
+            }
+            accepted = true;
+            payloads.reserve(event.jobs);
+            break;
+          case Event::Kind::Rejected:
+            error = "rejected: " + event.error;
+            return std::nullopt;
+          case Event::Kind::Error:
+            error = "protocol error: " + event.error;
+            return std::nullopt;
+          case Event::Kind::Result:
+            if (!accepted || event.id != request.id ||
+                event.index != payloads.size()) {
+                error = "result out of order (index " +
+                        std::to_string(event.index) + ", expected " +
+                        std::to_string(payloads.size()) + ")";
+                return std::nullopt;
+            }
+            if (event.payload.empty()) {
+                error = "result event with empty payload";
+                return std::nullopt;
+            }
+            payloads.push_back(event.payload);
+            break;
+          case Event::Kind::Done:
+            if (!accepted || event.id != request.id ||
+                event.jobs != payloads.size()) {
+                error = "done event before all results arrived";
+                return std::nullopt;
+            }
+            return payloads;
+          case Event::Kind::Pong:
+          case Event::Kind::Stats:
+            break; // stray but harmless
+          case Event::Kind::Invalid:
+            error = "unparseable event: " + event.error;
+            return std::nullopt;
+        }
+    }
+}
+
+std::optional<std::string>
+ServeClient::roundTrip(const std::string &line)
+{
+    if (!sendLine(line))
+        return std::nullopt;
+    return readLine();
+}
+
+bool
+ServeClient::ping()
+{
+    const auto reply = roundTrip("{\"op\":\"ping\"}");
+    if (!reply)
+        return false;
+    return parseEvent(*reply).kind == Event::Kind::Pong;
+}
+
+std::string
+campaignRequestLine(const CampaignRequest &request)
+{
+    std::string line = "{\"op\":\"campaign\",\"id\":" +
+                       jsonString(request.id) + ",\"configs\":[";
+    for (std::size_t i = 0; i < request.configs.size(); ++i) {
+        if (i > 0)
+            line += ",";
+        line += jsonString(request.configs[i]);
+    }
+    line += "],\"benchmarks\":[";
+    for (std::size_t i = 0; i < request.benchmarks.size(); ++i) {
+        if (i > 0)
+            line += ",";
+        line += jsonString(request.benchmarks[i]);
+    }
+    line += "],\"divisor\":" + std::to_string(request.divisor) +
+            ",\"warmup\":" + std::to_string(request.warmup) +
+            ",\"timing\":" + (request.timing ? "true" : "false") +
+            "}\n";
+    return line;
+}
+
+std::string
+joinResultsJson(const std::vector<std::string> &payloads)
+{
+    std::string out = "[";
+    bool first = true;
+    for (const std::string &payload : payloads) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += "\n  ";
+        out += payload;
+    }
+    out += "\n]\n";
+    return out;
+}
+
+} // namespace bpsim::serve

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Client-side driver for the campaign service.
+ *
+ * ServeClient wraps one connection to a CampaignServer: submit a
+ * campaign, stream its result events, hand back the per-job payload
+ * strings in index order. joinResultsJson() reassembles those
+ * payloads into exactly the JSON array the offline emitter
+ * (campaign/emitters.hh writeResultsJson()) produces — the
+ * byte-identity contract the CI smoke test diffs against.
+ */
+
+#ifndef BPSIM_SERVE_CLIENT_HH
+#define BPSIM_SERVE_CLIENT_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hh"
+#include "serve/socket_io.hh"
+
+namespace bpsim::serve
+{
+
+/** One blocking connection to the campaign service daemon. */
+class ServeClient
+{
+  public:
+    ServeClient() = default;
+    ~ServeClient();
+
+    ServeClient(const ServeClient &) = delete;
+    ServeClient &operator=(const ServeClient &) = delete;
+    ServeClient(ServeClient &&other) noexcept;
+    ServeClient &operator=(ServeClient &&other) noexcept;
+
+    /** Connects to the daemon's socket; false with @p error set. */
+    bool connect(const std::string &socketPath, std::string &error);
+
+    bool connected() const { return fd >= 0; }
+    void disconnect();
+
+    /**
+     * Submits @p request and streams until its "done" event.
+     * Returns the payloads in job-index order (the daemon already
+     * delivers them ordered; the order is verified here), or
+     * std::nullopt with @p error set on rejection, protocol
+     * violation, or disconnect.
+     */
+    std::optional<std::vector<std::string>>
+    runCampaign(const CampaignRequest &request, std::string &error);
+
+    /** Sends a raw request line (tests poke malformed input through
+     *  this) and returns the next event line. */
+    std::optional<std::string> roundTrip(const std::string &line);
+
+    /** Liveness probe; false when the daemon is unreachable. */
+    bool ping();
+
+    /** Sends one raw line (framing '\n' appended when missing). */
+    bool sendLine(const std::string &line);
+
+    /** Reads the next event line; std::nullopt once the daemon is
+     *  gone. For callers driving the stream themselves. */
+    std::optional<std::string> readLine();
+
+  private:
+    int fd = -1;
+    std::unique_ptr<LineReader> reader;
+};
+
+/** Serializes a campaign request to its wire line (with '\n'). */
+std::string campaignRequestLine(const CampaignRequest &request);
+
+/**
+ * Joins per-job payloads into the offline emitter's array framing:
+ * `[\n  <p0>,\n  <p1>\n]\n`. Byte-identical to writeResultsJson()
+ * over the same jobs.
+ */
+std::string joinResultsJson(const std::vector<std::string> &payloads);
+
+} // namespace bpsim::serve
+
+#endif // BPSIM_SERVE_CLIENT_HH

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * bpsim_client — command-line driver for the campaign service.
+ *
+ * Submits one config × benchmark campaign to a running bpsim_serve
+ * daemon and prints the reassembled results JSON to stdout. With
+ * --offline the same grid runs in-process through Campaign::run()
+ * instead — the output is byte-identical by contract, which is
+ * exactly what the CI smoke test diffs:
+ *
+ *   bpsim_client --socket S --id a --configs gshare:n=10,bimode:d=9 \
+ *                --benchmarks go,compress --quick        > served.json
+ *   bpsim_client --offline  --configs gshare:n=10,bimode:d=9 \
+ *                --benchmarks go,compress --quick        > offline.json
+ *   diff served.json offline.json
+ */
+
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hh"
+#include "campaign/emitters.hh"
+#include "serve/client.hh"
+#include "trace/trace_store.hh"
+#include "util/args.hh"
+#include "util/logging.hh"
+#include "workload/benchmarks.hh"
+
+namespace
+{
+
+std::vector<std::string>
+splitCommas(const std::string &text)
+{
+    std::vector<std::string> parts;
+    std::string part;
+    std::istringstream is(text);
+    while (std::getline(is, part, ',')) {
+        if (!part.empty())
+            parts.push_back(part);
+    }
+    return parts;
+}
+
+int
+runOffline(const bpsim::serve::CampaignRequest &request,
+           const std::string &traceCacheFlag, unsigned workers)
+{
+    using namespace bpsim;
+
+    TraceCache cache(resolveTraceStoreDir(traceCacheFlag));
+    std::vector<WorkloadSpec> specs;
+    for (const std::string &name : request.benchmarks) {
+        auto spec = findBenchmark(name);
+        if (!spec)
+            BPSIM_FATAL("unknown benchmark '" << name << "'");
+        specs.push_back(
+            scaledBenchmark(std::move(*spec), request.divisor));
+    }
+
+    Campaign campaign;
+    SimConfig simConfig;
+    simConfig.warmupBranches = request.warmup;
+    campaign.addGrid(request.configs, resolveTraces(cache, specs),
+                     simConfig);
+    const std::vector<JobResult> results = campaign.run(workers);
+    writeResultsJson(std::cout, results, request.timing);
+    std::cout.flush();
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace bpsim;
+
+    ArgParser args("bpsim_client",
+                   "Submits one campaign to a bpsim_serve daemon and "
+                   "prints the streamed results as the offline JSON "
+                   "array (byte-identical to --offline).");
+    args.addOption("socket", "/tmp/bpsim-serve.sock",
+                   "daemon socket path");
+    args.addOption("id", "campaign",
+                   "campaign id echoed on every event");
+    args.addOption("configs", "",
+                   "comma-separated predictor configs "
+                   "(e.g. gshare:n=10,bimode:d=9)");
+    args.addOption("benchmarks", "",
+                   "comma-separated benchmark names (e.g. go,compress)");
+    args.addOption("warmup", "0",
+                   "warm-up branches excluded from statistics");
+    args.addFlag("offline",
+                 "run the same grid in-process via Campaign::run() "
+                 "instead of the daemon (for diffing)");
+    CommonOptions::declare(args);
+    if (!args.parse(argc, argv))
+        return 0;
+
+    const CommonOptions opts = CommonOptions::fromArgs(args);
+    setVerbose(opts.verbose);
+
+    serve::CampaignRequest request;
+    request.id = args.get("id");
+    request.configs = splitCommas(args.get("configs"));
+    request.benchmarks = splitCommas(args.get("benchmarks"));
+    request.divisor = opts.quickDivisor();
+    request.warmup = args.getUint("warmup");
+    request.timing = opts.timing;
+    if (request.configs.empty() || request.benchmarks.empty())
+        BPSIM_FATAL("--configs and --benchmarks are required");
+
+    if (args.flag("offline"))
+        return runOffline(request, opts.traceCache, opts.jobs);
+
+    serve::ServeClient client;
+    std::string error;
+    if (!client.connect(args.get("socket"), error))
+        BPSIM_FATAL("cannot reach daemon: " << error);
+
+    const auto payloads = client.runCampaign(request, error);
+    if (!payloads)
+        BPSIM_FATAL("campaign failed: " << error);
+    std::cout << serve::joinResultsJson(*payloads);
+    std::cout.flush();
+    return 0;
+}

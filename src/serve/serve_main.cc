@@ -1,0 +1,115 @@
+/**
+ * @file
+ * bpsim_serve — the campaign service daemon.
+ *
+ * Binds a unix-domain socket, serves concurrent bpsim_client (or
+ * any JSON-lines) peers off one shared worker pool and trace cache,
+ * and drains gracefully on SIGTERM/SIGINT: accepted campaigns finish
+ * and stream out before the process exits.
+ */
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <iostream>
+
+#include <unistd.h>
+
+#include "serve/server.hh"
+#include "trace/trace_store.hh"
+#include "util/args.hh"
+#include "util/logging.hh"
+
+namespace
+{
+
+// Self-pipe: the handler's only async-signal-safe option is a
+// write(); the main thread parks on the read end and runs the
+// actual (lock-taking) shutdown.
+int gSignalPipe[2] = {-1, -1};
+
+void
+onSignal(int)
+{
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t n =
+        ::write(gSignalPipe[1], &byte, 1);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace bpsim;
+
+    ArgParser args("bpsim_serve",
+                   "Campaign service daemon: accepts experiment "
+                   "requests from concurrent clients over a "
+                   "unix-domain socket, fusing compatible jobs "
+                   "across clients into shared banked sweeps.");
+    args.addOption("socket", "/tmp/bpsim-serve.sock",
+                   "unix-domain socket path to listen on");
+    args.addOption("jobs", "0",
+                   "campaign worker threads (0 = one per hardware "
+                   "thread)");
+    args.addOption("max-pending", "1024",
+                   "admission bound on queued jobs; campaigns that "
+                   "would overflow it are rejected whole (0 = "
+                   "unbounded)");
+    args.addOption("max-jobs-per-request", "4096",
+                   "reject any single campaign larger than this");
+    args.addFlag("no-fuse", "disable cross-client banked fusion");
+    CommonOptions::declareTraceCache(args);
+    if (!args.parse(argc, argv))
+        return 0;
+
+    const CommonOptions opts = CommonOptions::fromArgs(args);
+    setVerbose(opts.verbose);
+
+    serve::CampaignServer::Options serverOpts;
+    serverOpts.socketPath = args.get("socket");
+    serverOpts.workers = opts.jobs;
+    serverOpts.fuse = !args.flag("no-fuse");
+    serverOpts.maxPending =
+        static_cast<std::size_t>(args.getUint("max-pending"));
+    serverOpts.maxJobsPerRequest =
+        static_cast<std::size_t>(args.getUint("max-jobs-per-request"));
+    serverOpts.traceCacheDir = resolveTraceStoreDir(opts.traceCache);
+
+    serve::CampaignServer server(std::move(serverOpts));
+    std::string error;
+    if (!server.start(error)) {
+        std::cerr << "bpsim_serve: " << error << "\n";
+        return 1;
+    }
+
+    if (::pipe(gSignalPipe) != 0) {
+        std::cerr << "bpsim_serve: pipe: " << std::strerror(errno)
+                  << "\n";
+        return 1;
+    }
+    std::signal(SIGTERM, onSignal);
+    std::signal(SIGINT, onSignal);
+
+    std::cout << "bpsim_serve: listening on " << server.socketPath()
+              << " (max-pending " << args.get("max-pending") << ")"
+              << std::endl;
+
+    char byte = 0;
+    while (::read(gSignalPipe[0], &byte, 1) < 0 && errno == EINTR) {
+    }
+
+    std::cout << "bpsim_serve: draining..." << std::endl;
+    server.stop();
+
+    const auto stats = server.stats();
+    const auto sched = server.schedulerStats();
+    std::cout << "bpsim_serve: drained; sessions="
+              << stats.sessionsAccepted << " campaigns="
+              << stats.campaignsAccepted << " rejected="
+              << stats.campaignsRejected << " jobs="
+              << sched.completed << " fusedBanks=" << sched.fusedBanks
+              << std::endl;
+    return 0;
+}

@@ -1,0 +1,154 @@
+#include "serve/socket_io.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace bpsim::serve
+{
+
+namespace
+{
+
+bool
+fillAddress(const std::string &path, sockaddr_un &addr,
+            std::string &error)
+{
+    if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+        error = "socket path '" + path + "' is empty or too long";
+        return false;
+    }
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return true;
+}
+
+std::string
+errnoText(const char *what)
+{
+    return std::string(what) + ": " + std::strerror(errno);
+}
+
+} // namespace
+
+int
+listenUnix(const std::string &path, std::string &error)
+{
+    sockaddr_un addr;
+    if (!fillAddress(path, addr, error))
+        return -1;
+
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        error = errnoText("socket");
+        return -1;
+    }
+    // A stale socket file from a previous daemon run would make
+    // bind() fail with EADDRINUSE even though nothing is listening.
+    ::unlink(path.c_str());
+    if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        error = errnoText("bind");
+        ::close(fd);
+        return -1;
+    }
+    if (::listen(fd, 64) != 0) {
+        error = errnoText("listen");
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+int
+connectUnix(const std::string &path, std::string &error)
+{
+    sockaddr_un addr;
+    if (!fillAddress(path, addr, error))
+        return -1;
+
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        error = errnoText("socket");
+        return -1;
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        error = errnoText(("connect " + path).c_str());
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+bool
+sendAll(int fd, const std::string &data)
+{
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+        // MSG_NOSIGNAL: a peer that disconnected mid-stream must
+        // surface as EPIPE here, not as a process-killing SIGPIPE.
+        const ssize_t n = ::send(fd, data.data() + sent,
+                                 data.size() - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+void
+closeFd(int fd)
+{
+    if (fd >= 0)
+        ::close(fd);
+}
+
+LineReader::LineReader(int fd, std::size_t maxLine)
+    : fd(fd), maxLine(maxLine)
+{
+}
+
+std::optional<std::string>
+LineReader::readLine()
+{
+    for (;;) {
+        const auto newline = buffer.find('\n');
+        if (newline != std::string::npos) {
+            std::string line = buffer.substr(0, newline);
+            buffer.erase(0, newline + 1);
+            return line;
+        }
+        if (eof) {
+            if (buffer.empty())
+                return std::nullopt;
+            std::string line = std::move(buffer);
+            buffer.clear();
+            return line;
+        }
+        if (buffer.size() > maxLine)
+            return std::nullopt;
+
+        char chunk[4096];
+        const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return std::nullopt;
+        }
+        if (n == 0) {
+            eof = true;
+            continue;
+        }
+        buffer.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+} // namespace bpsim::serve

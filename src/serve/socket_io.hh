@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Thin AF_UNIX socket plumbing for the campaign service.
+ *
+ * Everything here is deliberately boring POSIX: a listener bound to
+ * a filesystem path, a blocking connect, a send-everything loop that
+ * never raises SIGPIPE, and a buffered line reader for the
+ * JSON-lines protocol. Errors are returned, not thrown — the daemon
+ * treats every socket failure as "that peer is gone", never as a
+ * reason to die.
+ */
+
+#ifndef BPSIM_SERVE_SOCKET_IO_HH
+#define BPSIM_SERVE_SOCKET_IO_HH
+
+#include <optional>
+#include <string>
+
+namespace bpsim::serve
+{
+
+/**
+ * Creates, binds and listens on a unix-domain socket at @p path
+ * (removing a stale socket file first). Returns the listening fd, or
+ * -1 with @p error filled.
+ */
+int listenUnix(const std::string &path, std::string &error);
+
+/** Connects to the daemon at @p path; -1 with @p error on failure. */
+int connectUnix(const std::string &path, std::string &error);
+
+/**
+ * Writes all of @p data to @p fd, retrying short writes, with
+ * SIGPIPE suppressed. Returns false once the peer is gone.
+ */
+bool sendAll(int fd, const std::string &data);
+
+/** Closes @p fd if valid (idempotent helper for RAII-less paths). */
+void closeFd(int fd);
+
+/**
+ * Buffered reader that splits a socket stream into '\n'-terminated
+ * lines. A line longer than @p maxLine (default 4 MiB) is treated as
+ * a protocol violation and ends the stream — unbounded buffering on
+ * hostile input must not exhaust the daemon.
+ */
+class LineReader
+{
+  public:
+    explicit LineReader(int fd, std::size_t maxLine = 4u << 20);
+
+    /**
+     * The next line without its terminating '\n' (a final unterminated
+     * line before EOF is returned as-is). std::nullopt on EOF, error,
+     * or an overlong line.
+     */
+    std::optional<std::string> readLine();
+
+  private:
+    int fd;
+    std::size_t maxLine;
+    std::string buffer;
+    bool eof = false;
+};
+
+} // namespace bpsim::serve
+
+#endif // BPSIM_SERVE_SOCKET_IO_HH

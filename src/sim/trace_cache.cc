@@ -80,7 +80,7 @@ TraceCache::traceFor(const WorkloadSpec &spec)
                         << "' requested with two different dynamic "
                         << "counts");
         }
-        return it->second;
+        return *it->second;
     }
 
     if (store != nullptr) {
@@ -93,9 +93,13 @@ TraceCache::traceFor(const WorkloadSpec &spec)
             BPSIM_INFORM("loaded cached trace for " << spec.name << " ("
                          << loaded.size() << " branches)");
             ++counters.traceLoads;
-            it = traces.emplace(spec.name, std::move(loaded)).first;
+            it = traces
+                     .emplace(spec.name,
+                              std::make_shared<const MemoryTrace>(
+                                  std::move(loaded)))
+                     .first;
             dynamicCounts[spec.name] = spec.dynamicBranches;
-            return it->second;
+            return *it->second;
         }
         if (status == StoreStatus::Invalid) {
             ++counters.invalidFiles;
@@ -107,18 +111,21 @@ TraceCache::traceFor(const WorkloadSpec &spec)
     BPSIM_INFORM("generating trace for " << spec.name << " ("
                  << spec.dynamicBranches << " branches)");
     ++counters.generated;
-    it = traces.emplace(spec.name, generateWorkloadTrace(spec)).first;
+    it = traces
+             .emplace(spec.name, std::make_shared<const MemoryTrace>(
+                                     generateWorkloadTrace(spec)))
+             .first;
     dynamicCounts[spec.name] = spec.dynamicBranches;
 
     if (store != nullptr) {
         std::string why;
         if (!store->storeTrace(spec.name, fingerprintFor(spec),
-                               it->second, why))
+                               *it->second, why))
             BPSIM_WARN("cannot persist trace for " << spec.name << ": "
                        << why);
         rememberSpec(spec);
     }
-    return it->second;
+    return *it->second;
 }
 
 const PackedTrace &
@@ -126,7 +133,7 @@ TraceCache::packedFor(const WorkloadSpec &spec)
 {
     auto it = packed.find(spec.name);
     if (it != packed.end())
-        return it->second;
+        return *it->second;
 
     if (store != nullptr) {
         PackedTrace loaded;
@@ -147,8 +154,12 @@ TraceCache::packedFor(const WorkloadSpec &spec)
                              << (loaded.isView() ? "zero-copy" : "owned")
                              << ")");
                 ++counters.packedLoads;
-                it = packed.emplace(spec.name, std::move(loaded)).first;
-                return it->second;
+                it = packed
+                         .emplace(spec.name,
+                                  std::make_shared<const PackedTrace>(
+                                      std::move(loaded)))
+                         .first;
+                return *it->second;
             }
             ++counters.invalidFiles;
             BPSIM_WARN("cached packed trace for " << spec.name
@@ -163,16 +174,33 @@ TraceCache::packedFor(const WorkloadSpec &spec)
     }
 
     ++counters.packedBuilt;
-    it = packed.emplace(spec.name, PackedTrace(traceFor(spec))).first;
+    it = packed
+             .emplace(spec.name, std::make_shared<const PackedTrace>(
+                                     traceFor(spec)))
+             .first;
 
     if (store != nullptr) {
         std::string why;
         if (!store->storePacked(spec.name, fingerprintFor(spec),
-                                it->second, why))
+                                *it->second, why))
             BPSIM_WARN("cannot persist packed trace for " << spec.name
                        << ": " << why);
     }
-    return it->second;
+    return *it->second;
+}
+
+TraceHandle
+TraceCache::handleFor(const WorkloadSpec &spec)
+{
+    traceFor(spec);
+    return TraceHandle(traces.at(spec.name));
+}
+
+PackedTraceHandle
+TraceCache::packedHandleFor(const WorkloadSpec &spec)
+{
+    packedFor(spec);
+    return PackedTraceHandle(packed.at(spec.name));
 }
 
 } // namespace bpsim

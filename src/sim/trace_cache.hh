@@ -25,6 +25,7 @@
 
 #include "trace/memory_trace.hh"
 #include "trace/packed_trace.hh"
+#include "trace/trace_handle.hh"
 #include "trace/trace_store.hh"
 #include "workload/workload_spec.hh"
 
@@ -74,6 +75,16 @@ class TraceCache
      */
     const PackedTrace &packedFor(const WorkloadSpec &spec);
 
+    /**
+     * Shared-ownership handle to the trace of @p spec (generating it
+     * like traceFor()). Jobs built on handles stay valid even if
+     * they outlive the cache — the service daemon's submission path.
+     */
+    TraceHandle handleFor(const WorkloadSpec &spec);
+
+    /** Shared-ownership handle to the packed trace of @p spec. */
+    PackedTraceHandle packedHandleFor(const WorkloadSpec &spec);
+
     /** Number of traces resident in memory. */
     std::size_t generatedCount() const { return traces.size(); }
 
@@ -100,8 +111,11 @@ class TraceCache
     std::uint64_t fingerprintFor(const WorkloadSpec &spec);
     void rememberSpec(const WorkloadSpec &spec);
 
-    std::map<std::string, MemoryTrace> traces;
-    std::map<std::string, PackedTrace> packed;
+    /** shared_ptr-valued so handleFor()/packedHandleFor() can share
+     *  ownership with callers; references handed out by
+     *  traceFor()/packedFor() stay stable either way. */
+    std::map<std::string, std::shared_ptr<const MemoryTrace>> traces;
+    std::map<std::string, std::shared_ptr<const PackedTrace>> packed;
     std::map<std::string, std::uint64_t> dynamicCounts;
     std::map<std::string, std::uint64_t> fingerprints;
     std::unique_ptr<TraceStore> store;

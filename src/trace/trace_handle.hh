@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Shared-ownership handles for traces flowing through campaign jobs.
+ *
+ * Campaign jobs historically borrowed `const MemoryTrace *` /
+ * `const PackedTrace *` from the caller, with a "must outlive the
+ * run" contract that is easy to honour in a run-to-completion driver
+ * and impossible to audit in a long-running service where jobs from
+ * many clients overlap arbitrary trace-cache lifetimes. SharedHandle
+ * closes that hole: a job that carries an *owning* handle keeps its
+ * trace alive for exactly as long as the job (and its queued result)
+ * exists, by construction.
+ *
+ * The handle is deliberately pointer-shaped — implicit construction
+ * from a raw pointer (non-owning, the legacy borrow), `->`/`*`
+ * dereference, and nullptr comparisons — so every existing driver
+ * and aggregate initializer (`{"gcc", &trace}`) compiles unchanged.
+ * New code (TraceCache::handleFor(), resolveTraces(), the campaign
+ * service) hands out owning handles backed by shared_ptr.
+ */
+
+#ifndef BPSIM_TRACE_TRACE_HANDLE_HH
+#define BPSIM_TRACE_TRACE_HANDLE_HH
+
+#include <cstddef>
+#include <memory>
+
+namespace bpsim
+{
+
+class MemoryTrace;
+class PackedTrace;
+
+/** Pointer-compatible handle that may share ownership of a T. */
+template <typename T>
+class SharedHandle
+{
+  public:
+    SharedHandle() = default;
+    SharedHandle(std::nullptr_t) {}
+
+    /** Non-owning borrow; @p borrowed must outlive every use of the
+     *  handle (the legacy raw-pointer contract). */
+    SharedHandle(const T *borrowed)
+        : ptr(std::shared_ptr<const T>(), borrowed)
+    {
+    }
+
+    /** Shared ownership: the handle keeps the object alive. */
+    SharedHandle(std::shared_ptr<const T> owned) : ptr(std::move(owned)) {}
+
+    const T *get() const { return ptr.get(); }
+    const T &operator*() const { return *ptr; }
+    const T *operator->() const { return ptr.get(); }
+    explicit operator bool() const { return ptr != nullptr; }
+
+    /** True when the handle actually owns (shares) its target; false
+     *  for borrows and empty handles. */
+    bool owning() const { return ptr.use_count() != 0; }
+
+    /** Handles compare by target identity, like the raw pointers
+     *  they replaced. */
+    friend bool operator==(const SharedHandle &a, const SharedHandle &b)
+    {
+        return a.ptr.get() == b.ptr.get();
+    }
+    friend bool operator!=(const SharedHandle &a, const SharedHandle &b)
+    {
+        return a.ptr.get() != b.ptr.get();
+    }
+    friend bool operator==(const SharedHandle &h, std::nullptr_t)
+    {
+        return h.ptr == nullptr;
+    }
+    friend bool operator==(std::nullptr_t, const SharedHandle &h)
+    {
+        return h.ptr == nullptr;
+    }
+    friend bool operator!=(const SharedHandle &h, std::nullptr_t)
+    {
+        return h.ptr != nullptr;
+    }
+    friend bool operator!=(std::nullptr_t, const SharedHandle &h)
+    {
+        return h.ptr != nullptr;
+    }
+
+  private:
+    /** The borrow constructor uses the aliasing shared_ptr form (no
+     *  control block), so borrows cost nothing and owning() can tell
+     *  the two apart via use_count(). */
+    std::shared_ptr<const T> ptr;
+};
+
+/** A (possibly shared-owning) handle to a full in-memory trace. */
+using TraceHandle = SharedHandle<MemoryTrace>;
+
+/** A (possibly shared-owning) handle to a packed SoA trace. */
+using PackedTraceHandle = SharedHandle<PackedTrace>;
+
+} // namespace bpsim
+
+#endif // BPSIM_TRACE_TRACE_HANDLE_HH

@@ -168,4 +168,56 @@ ArgParser::usage() const
     return os.str();
 }
 
+bool
+ArgParser::declared(const std::string &name) const
+{
+    return options.find(name) != options.end();
+}
+
+void
+CommonOptions::declare(ArgParser &args)
+{
+    args.addFlag("quick", "scale dynamic branch counts down 5x");
+    args.addFlag("csv", "also emit tables as CSV");
+    args.addFlag("json", "also dump per-job campaign results as JSON");
+    args.addOption("jobs", "0",
+                   "campaign worker threads (0 = one per hardware "
+                   "thread)");
+    args.addFlag("timing",
+                 "include machine-dependent wall time / throughput in "
+                 "JSON output");
+    declareTraceCache(args);
+}
+
+void
+CommonOptions::declareTraceCache(ArgParser &args)
+{
+    args.addOption("trace-cache", "",
+                   "persistent trace store directory "
+                   "(default: $BPSIM_TRACE_CACHE, then .bpsim-cache; "
+                   "'none' disables)");
+    args.addFlag("verbose", "progress logging to stderr");
+}
+
+CommonOptions
+CommonOptions::fromArgs(const ArgParser &args)
+{
+    CommonOptions opts;
+    if (args.declared("quick"))
+        opts.quick = args.flag("quick");
+    if (args.declared("csv"))
+        opts.csv = args.flag("csv");
+    if (args.declared("json"))
+        opts.json = args.flag("json");
+    if (args.declared("timing"))
+        opts.timing = args.flag("timing");
+    if (args.declared("verbose"))
+        opts.verbose = args.flag("verbose");
+    if (args.declared("jobs"))
+        opts.jobs = static_cast<unsigned>(args.getUint("jobs"));
+    if (args.declared("trace-cache"))
+        opts.traceCache = args.get("trace-cache");
+    return opts;
+}
+
 } // namespace bpsim

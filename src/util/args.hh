@@ -42,6 +42,9 @@ class ArgParser
      */
     bool parse(int argc, const char *const *argv);
 
+    /** True when an option or flag of this name was declared. */
+    bool declared(const std::string &name) const;
+
     /** True when a declared flag was present. */
     bool flag(const std::string &name) const;
 
@@ -76,6 +79,56 @@ class ArgParser
     std::map<std::string, Option> options;
     std::vector<std::string> declarationOrder;
     std::vector<std::string> positionals;
+};
+
+/**
+ * The flag set shared by every campaign-running binary (bench
+ * drivers, examples, the service daemon and client), declared and
+ * parsed in one place instead of copy-pasted per driver:
+ *
+ *   --quick            scale dynamic branch counts down 5x
+ *   --csv              also emit tables as CSV
+ *   --json             also dump per-job campaign results as JSON
+ *   --jobs N           worker threads (0 = one per hardware thread)
+ *   --timing           machine-dependent timing fields in JSON
+ *   --trace-cache DIR  persistent trace store directory
+ *   --verbose          progress logging to stderr
+ *
+ * declare()/declareTraceCache() register (a subset of) the options
+ * on an ArgParser; fromArgs() reads back whichever of them were
+ * declared, leaving the rest at their defaults — so a driver that
+ * only wants --trace-cache still parses through the same code.
+ *
+ * This is deliberately a value bag, not an applier: the worker count
+ * is carried in @ref jobs for the caller to pass explicitly
+ * (CampaignScheduler::Options::workers or Campaign::run(workers));
+ * the trace-store resolution ladder lives in the trace layer
+ * (resolveTraceStoreDir()), which util must not depend on.
+ */
+struct CommonOptions
+{
+    bool quick = false;
+    bool csv = false;
+    bool json = false;
+    bool timing = false;
+    bool verbose = false;
+    /** Campaign worker threads; 0 = one per hardware thread. */
+    unsigned jobs = 0;
+    /** Raw --trace-cache value; resolve with resolveTraceStoreDir(). */
+    std::string traceCache;
+
+    /** The --quick dynamic-count divisor (1 when off). */
+    std::uint64_t quickDivisor() const { return quick ? 5 : 1; }
+
+    /** Declares the full shared flag set on @p args. */
+    static void declare(ArgParser &args);
+
+    /** Declares only --trace-cache (+ --verbose) for simple example
+     *  drivers that run no campaign. */
+    static void declareTraceCache(ArgParser &args);
+
+    /** Reads back every shared option @p args declared. */
+    static CommonOptions fromArgs(const ArgParser &args);
 };
 
 } // namespace bpsim

@@ -1,7 +1,9 @@
 #include "util/json.hh"
 
+#include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <limits>
 #include <sstream>
 
@@ -61,6 +63,334 @@ jsonNumber(double value)
     os.precision(std::numeric_limits<double>::max_digits10);
     os << value;
     return os.str();
+}
+
+/**
+ * Recursive-descent parser over the JSON grammar. Depth is bounded
+ * so pathological input ("[[[[...") from a network peer cannot
+ * overflow the stack.
+ */
+class JsonParser
+{
+  public:
+    JsonParser(const std::string &text, std::string &error)
+        : text(text), error(error)
+    {
+    }
+
+    std::optional<JsonValue> document()
+    {
+        JsonValue value;
+        if (!parseValue(value, 0))
+            return std::nullopt;
+        skipSpace();
+        if (pos != text.size()) {
+            fail("trailing characters after JSON value");
+            return std::nullopt;
+        }
+        return value;
+    }
+
+  private:
+    static constexpr std::size_t kMaxDepth = 64;
+
+    bool fail(const std::string &message)
+    {
+        if (error.empty()) {
+            error = message + " at offset " + std::to_string(pos);
+        }
+        return false;
+    }
+
+    void skipSpace()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' ||
+                text[pos] == '\n' || text[pos] == '\r')) {
+            ++pos;
+        }
+    }
+
+    bool consume(char expected, const char *what)
+    {
+        skipSpace();
+        if (pos >= text.size() || text[pos] != expected)
+            return fail(std::string("expected ") + what);
+        ++pos;
+        return true;
+    }
+
+    bool literal(const char *word, std::size_t length)
+    {
+        if (text.compare(pos, length, word) != 0)
+            return fail(std::string("invalid literal"));
+        pos += length;
+        return true;
+    }
+
+    bool parseValue(JsonValue &out, std::size_t depth)
+    {
+        if (depth > kMaxDepth)
+            return fail("nesting too deep");
+        skipSpace();
+        if (pos >= text.size())
+            return fail("unexpected end of input");
+        switch (text[pos]) {
+          case '{':
+            return parseObject(out, depth);
+          case '[':
+            return parseArray(out, depth);
+          case '"':
+            out.valueKind = JsonValue::Kind::String;
+            return parseString(out.stringValue);
+          case 't':
+            out.valueKind = JsonValue::Kind::Bool;
+            out.boolValue = true;
+            return literal("true", 4);
+          case 'f':
+            out.valueKind = JsonValue::Kind::Bool;
+            out.boolValue = false;
+            return literal("false", 5);
+          case 'n':
+            out.valueKind = JsonValue::Kind::Null;
+            return literal("null", 4);
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    bool parseObject(JsonValue &out, std::size_t depth)
+    {
+        out.valueKind = JsonValue::Kind::Object;
+        ++pos; // '{'
+        skipSpace();
+        if (pos < text.size() && text[pos] == '}') {
+            ++pos;
+            return true;
+        }
+        for (;;) {
+            skipSpace();
+            if (pos >= text.size() || text[pos] != '"')
+                return fail("expected object key string");
+            std::string key;
+            if (!parseString(key))
+                return false;
+            if (!consume(':', "':'"))
+                return false;
+            JsonValue value;
+            if (!parseValue(value, depth + 1))
+                return false;
+            const auto existing = out.memberIndex.find(key);
+            if (existing != out.memberIndex.end()) {
+                out.items[existing->second] = std::move(value);
+            } else {
+                out.memberIndex.emplace(key, out.items.size());
+                out.memberKeys.push_back(key);
+                out.items.push_back(std::move(value));
+            }
+            skipSpace();
+            if (pos < text.size() && text[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            return consume('}', "'}' or ','");
+        }
+    }
+
+    bool parseArray(JsonValue &out, std::size_t depth)
+    {
+        out.valueKind = JsonValue::Kind::Array;
+        ++pos; // '['
+        skipSpace();
+        if (pos < text.size() && text[pos] == ']') {
+            ++pos;
+            return true;
+        }
+        for (;;) {
+            JsonValue value;
+            if (!parseValue(value, depth + 1))
+                return false;
+            out.items.push_back(std::move(value));
+            skipSpace();
+            if (pos < text.size() && text[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            return consume(']', "']' or ','");
+        }
+    }
+
+    bool parseString(std::string &out)
+    {
+        ++pos; // opening quote
+        for (;;) {
+            if (pos >= text.size())
+                return fail("unterminated string");
+            const char c = text[pos];
+            if (c == '"') {
+                ++pos;
+                return true;
+            }
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("unescaped control character in string");
+            if (c != '\\') {
+                out += c;
+                ++pos;
+                continue;
+            }
+            ++pos;
+            if (pos >= text.size())
+                return fail("unterminated escape");
+            switch (text[pos]) {
+              case '"':
+                out += '"';
+                break;
+              case '\\':
+                out += '\\';
+                break;
+              case '/':
+                out += '/';
+                break;
+              case 'b':
+                out += '\b';
+                break;
+              case 'f':
+                out += '\f';
+                break;
+              case 'n':
+                out += '\n';
+                break;
+              case 'r':
+                out += '\r';
+                break;
+              case 't':
+                out += '\t';
+                break;
+              case 'u': {
+                if (pos + 4 >= text.size())
+                    return fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 1; i <= 4; ++i) {
+                    const char h = text[pos + i];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return fail("invalid \\u escape digit");
+                }
+                pos += 4;
+                // UTF-8 encode the BMP code point (surrogate pairs
+                // land as two 3-byte sequences; the protocol never
+                // emits them, so exact pairing is not required).
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xC0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                } else {
+                    out += static_cast<char>(0xE0 | (code >> 12));
+                    out += static_cast<char>(0x80 |
+                                             ((code >> 6) & 0x3F));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                }
+                break;
+              }
+              default:
+                return fail("unknown escape character");
+            }
+            ++pos;
+        }
+    }
+
+    bool parseNumber(JsonValue &out)
+    {
+        const std::size_t start = pos;
+        if (pos < text.size() && text[pos] == '-')
+            ++pos;
+        while (pos < text.size() &&
+               (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+                text[pos] == '.' || text[pos] == 'e' ||
+                text[pos] == 'E' || text[pos] == '+' ||
+                text[pos] == '-')) {
+            ++pos;
+        }
+        if (pos == start)
+            return fail("expected a JSON value");
+        const std::string token = text.substr(start, pos - start);
+        // Strict JSON forbids leading zeros ("01"); strtod accepts
+        // them, so check before handing the token over.
+        const std::size_t first = token[0] == '-' ? 1 : 0;
+        if (token.size() > first + 1 && token[first] == '0' &&
+            std::isdigit(static_cast<unsigned char>(token[first + 1])))
+            return fail("malformed number '" + token + "'");
+        char *end = nullptr;
+        const double value = std::strtod(token.c_str(), &end);
+        if (end != token.c_str() + token.size())
+            return fail("malformed number '" + token + "'");
+        out.valueKind = JsonValue::Kind::Number;
+        out.numberValue = value;
+        return true;
+    }
+
+    const std::string &text;
+    std::string &error;
+    std::size_t pos = 0;
+};
+
+std::optional<JsonValue>
+JsonValue::parse(const std::string &text, std::string &error)
+{
+    error.clear();
+    return JsonParser(text, error).document();
+}
+
+const JsonValue *
+JsonValue::get(const std::string &key) const
+{
+    if (valueKind != Kind::Object)
+        return nullptr;
+    const auto it = memberIndex.find(key);
+    return it == memberIndex.end() ? nullptr : &items[it->second];
+}
+
+std::string
+JsonValue::getString(const std::string &key,
+                     const std::string &fallback) const
+{
+    const JsonValue *value = get(key);
+    return value != nullptr && value->isString() ? value->asString()
+                                                 : fallback;
+}
+
+double
+JsonValue::getNumber(const std::string &key, double fallback) const
+{
+    const JsonValue *value = get(key);
+    return value != nullptr && value->isNumber() ? value->asNumber()
+                                                 : fallback;
+}
+
+std::uint64_t
+JsonValue::getUint(const std::string &key, std::uint64_t fallback) const
+{
+    const JsonValue *value = get(key);
+    if (value == nullptr || !value->isNumber() ||
+        value->asNumber() < 0) {
+        return fallback;
+    }
+    return static_cast<std::uint64_t>(value->asNumber());
+}
+
+bool
+JsonValue::getBool(const std::string &key, bool fallback) const
+{
+    const JsonValue *value = get(key);
+    return value != nullptr && value->isBool() ? value->asBool()
+                                               : fallback;
 }
 
 } // namespace bpsim

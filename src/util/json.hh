@@ -1,18 +1,30 @@
 /**
  * @file
- * Minimal JSON emission helpers.
+ * Minimal JSON emission and parsing helpers.
  *
  * The project's machine-readable outputs (campaign results,
- * SimResult::toJson()) are flat JSON objects and arrays; these
- * helpers cover exactly what those writers need — string escaping
- * and round-trippable double formatting — without pulling in a JSON
- * library dependency.
+ * SimResult::toJson()) are flat JSON objects and arrays; the
+ * emission helpers cover exactly what those writers need — string
+ * escaping and round-trippable double formatting — without pulling
+ * in a JSON library dependency.
+ *
+ * JsonValue adds the other direction for the campaign service's
+ * JSON-lines wire protocol (serve/protocol.hh): a small
+ * recursive-descent parser over the full JSON grammar (objects,
+ * arrays, strings with escapes, numbers, booleans, null). Parse
+ * failures are reported as error strings, never terminations —
+ * malformed network input must not kill a daemon.
  */
 
 #ifndef BPSIM_UTIL_JSON_HH
 #define BPSIM_UTIL_JSON_HH
 
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
 #include <string>
+#include <vector>
 
 namespace bpsim
 {
@@ -25,6 +37,71 @@ std::string jsonString(const std::string &text);
 
 /** Formats a double with enough digits to round-trip exactly. */
 std::string jsonNumber(double value);
+
+/** One parsed JSON value (a tree; children owned by the parent). */
+class JsonValue
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    /**
+     * Parses one complete JSON document from @p text (leading and
+     * trailing whitespace allowed, trailing garbage rejected).
+     * Returns std::nullopt and fills @p error on malformed input.
+     */
+    static std::optional<JsonValue> parse(const std::string &text,
+                                          std::string &error);
+
+    Kind kind() const { return valueKind; }
+    bool isNull() const { return valueKind == Kind::Null; }
+    bool isBool() const { return valueKind == Kind::Bool; }
+    bool isNumber() const { return valueKind == Kind::Number; }
+    bool isString() const { return valueKind == Kind::String; }
+    bool isArray() const { return valueKind == Kind::Array; }
+    bool isObject() const { return valueKind == Kind::Object; }
+
+    /** Value accessors; calling the wrong one for the kind returns
+     *  the type's default (false / 0.0 / "" / empty). */
+    bool asBool() const { return boolValue; }
+    double asNumber() const { return numberValue; }
+    const std::string &asString() const { return stringValue; }
+    const std::vector<JsonValue> &elements() const { return items; }
+
+    /** Object member by key, or null when absent / not an object. */
+    const JsonValue *get(const std::string &key) const;
+
+    /** Object member keys in document order (empty otherwise). */
+    const std::vector<std::string> &keys() const { return memberKeys; }
+
+    /** Convenience typed object lookups with defaults. */
+    std::string getString(const std::string &key,
+                          const std::string &fallback = "") const;
+    double getNumber(const std::string &key, double fallback = 0) const;
+    std::uint64_t getUint(const std::string &key,
+                          std::uint64_t fallback = 0) const;
+    bool getBool(const std::string &key, bool fallback = false) const;
+
+  private:
+    friend class JsonParser;
+
+    Kind valueKind = Kind::Null;
+    bool boolValue = false;
+    double numberValue = 0.0;
+    std::string stringValue;
+    std::vector<JsonValue> items;
+    /** Parallel to @ref memberKeys for objects (duplicate keys keep
+     *  the last occurrence, like most JSON libraries). */
+    std::vector<std::string> memberKeys;
+    std::map<std::string, std::size_t> memberIndex;
+};
 
 } // namespace bpsim
 

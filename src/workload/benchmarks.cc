@@ -417,4 +417,14 @@ paperStaticCount(const std::string &name)
     return it->second.staticBranches;
 }
 
+WorkloadSpec
+scaledBenchmark(WorkloadSpec spec, std::uint64_t divisor)
+{
+    if (divisor > 1) {
+        spec.dynamicBranches = std::max<std::uint64_t>(
+            spec.dynamicBranches / divisor, 50'000);
+    }
+    return spec;
+}
+
 } // namespace bpsim

@@ -42,6 +42,15 @@ std::uint64_t paperDynamicCount(const std::string &name);
 /** The paper's Table 2 static branch counts. */
 std::uint64_t paperStaticCount(const std::string &name);
 
+/**
+ * Scales a spec's dynamic branch count down by @p divisor (floored
+ * at 50k so even --quick runs exercise real behaviour). The single
+ * definition of the quick-run scaling, shared by the bench drivers'
+ * --quick flag and the campaign service's "divisor" request field —
+ * the two must agree for streamed results to match offline runs.
+ */
+WorkloadSpec scaledBenchmark(WorkloadSpec spec, std::uint64_t divisor);
+
 } // namespace bpsim
 
 #endif // BPSIM_WORKLOAD_BENCHMARKS_HH

@@ -263,8 +263,9 @@ expectFusedMatchesUnfused(const std::vector<std::string> &configs,
     EXPECT_EQ(fused_json.str(), unfused_json.str());
 
     for (const JobResult &result : unfused_results) {
-        if (result.ok())
+        if (result.ok()) {
             EXPECT_EQ(result.result.fusedLanes, 0u);
+        }
     }
 }
 

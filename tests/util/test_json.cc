@@ -1,0 +1,141 @@
+/** @file Tests for JSON emission helpers and the JsonValue parser. */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/json.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+JsonValue
+parseOk(const std::string &text)
+{
+    std::string error;
+    const auto value = JsonValue::parse(text, error);
+    EXPECT_TRUE(value.has_value()) << "'" << text << "': " << error;
+    return value.value_or(JsonValue{});
+}
+
+std::string
+parseError(const std::string &text)
+{
+    std::string error;
+    const auto value = JsonValue::parse(text, error);
+    EXPECT_FALSE(value.has_value()) << "'" << text << "' parsed";
+    EXPECT_FALSE(error.empty());
+    return error;
+}
+
+TEST(JsonValue, ParsesScalars)
+{
+    EXPECT_TRUE(parseOk("null").isNull());
+    EXPECT_TRUE(parseOk("true").asBool());
+    EXPECT_FALSE(parseOk("false").asBool());
+    EXPECT_DOUBLE_EQ(parseOk("42").asNumber(), 42.0);
+    EXPECT_DOUBLE_EQ(parseOk("-3.5e2").asNumber(), -350.0);
+    EXPECT_EQ(parseOk("\"hi\"").asString(), "hi");
+    EXPECT_TRUE(parseOk("  true  ").isBool());
+}
+
+TEST(JsonValue, ParsesStringEscapes)
+{
+    EXPECT_EQ(parseOk("\"a\\\"b\\\\c\\n\\t\"").asString(),
+              "a\"b\\c\n\t");
+    // \u0041 = 'A'; \u00e9 = e-acute in two UTF-8 bytes.
+    EXPECT_EQ(parseOk("\"\\u0041\"").asString(), "A");
+    EXPECT_EQ(parseOk("\"\\u00e9\"").asString(), "\xc3\xa9");
+}
+
+TEST(JsonValue, ParsesArraysAndObjects)
+{
+    const JsonValue array = parseOk("[1, \"two\", [3], {}]");
+    ASSERT_TRUE(array.isArray());
+    ASSERT_EQ(array.elements().size(), 4u);
+    EXPECT_DOUBLE_EQ(array.elements()[0].asNumber(), 1.0);
+    EXPECT_EQ(array.elements()[1].asString(), "two");
+    EXPECT_TRUE(array.elements()[2].isArray());
+    EXPECT_TRUE(array.elements()[3].isObject());
+
+    const JsonValue object =
+        parseOk("{\"a\": 1, \"b\": {\"c\": [true]}}");
+    ASSERT_TRUE(object.isObject());
+    EXPECT_DOUBLE_EQ(object.getNumber("a"), 1.0);
+    ASSERT_NE(object.get("b"), nullptr);
+    EXPECT_TRUE(object.get("b")->get("c")->elements()[0].asBool());
+    EXPECT_EQ(object.get("missing"), nullptr);
+}
+
+TEST(JsonValue, ObjectKeysKeepDocumentOrderAndLastDuplicate)
+{
+    const JsonValue object =
+        parseOk("{\"z\": 1, \"a\": 2, \"z\": 3}");
+    // Duplicate keys collapse to one entry holding the last value.
+    ASSERT_EQ(object.keys().size(), 2u);
+    EXPECT_EQ(object.keys()[0], "z");
+    EXPECT_EQ(object.keys()[1], "a");
+    EXPECT_DOUBLE_EQ(object.getNumber("z"), 3.0);
+}
+
+TEST(JsonValue, TypedLookupsFallBackOnMismatch)
+{
+    const JsonValue object = parseOk(
+        "{\"s\":\"x\",\"n\":7,\"b\":true,\"neg\":-2}");
+    EXPECT_EQ(object.getString("s"), "x");
+    EXPECT_EQ(object.getString("n", "fb"), "fb");
+    EXPECT_EQ(object.getUint("n"), 7u);
+    EXPECT_EQ(object.getUint("s", 9), 9u);
+    EXPECT_EQ(object.getUint("neg", 9), 9u); // negative is not uint
+    EXPECT_TRUE(object.getBool("b"));
+    EXPECT_TRUE(object.getBool("s", true));
+}
+
+TEST(JsonValue, RejectsMalformedInput)
+{
+    parseError("");
+    parseError("{");
+    parseError("[1,");
+    parseError("{\"a\" 1}");
+    parseError("{\"a\":1,}");
+    parseError("[1 2]");
+    parseError("\"unterminated");
+    parseError("tru");
+    parseError("01");
+    parseError("1 trailing");
+    parseError("{\"a\":1}}");
+    parseError("\"bad\\escape\"");
+    parseError("\"\\u12\"");
+}
+
+TEST(JsonValue, RejectsPathologicalNesting)
+{
+    // 1000 open brackets: must error out, not blow the stack.
+    std::string deep(1000, '[');
+    parseError(deep);
+    std::string deepClosed = deep + std::string(1000, ']');
+    parseError(deepClosed);
+}
+
+TEST(JsonValue, RoundTripsEmitterOutput)
+{
+    // The result payloads the campaign service streams are emitter
+    // output; the parser must read them back exactly.
+    const std::string payload =
+        "{\"ok\":true,\"result\":{\"benchmark\":\"go\","
+        "\"mispredictionRate\":21.102196384345014,"
+        "\"branches\":202287}}";
+    const JsonValue value = parseOk(payload);
+    EXPECT_TRUE(value.getBool("ok"));
+    const JsonValue *result = value.get("result");
+    ASSERT_NE(result, nullptr);
+    EXPECT_EQ(result->getString("benchmark"), "go");
+    EXPECT_DOUBLE_EQ(result->getNumber("mispredictionRate"),
+                     21.102196384345014);
+    EXPECT_EQ(result->getUint("branches"), 202287u);
+}
+
+} // namespace
+} // namespace bpsim
