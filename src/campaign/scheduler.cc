@@ -173,6 +173,10 @@ CampaignScheduler::drain()
 void
 CampaignScheduler::shutdown()
 {
+    // Exactly one caller performs the joins; concurrent callers
+    // block here until it is done (joining an already-joined
+    // std::thread throws), then see the empty pool and return.
+    const std::lock_guard<std::mutex> shutdownLock(shutdownMu);
     {
         const std::lock_guard<std::mutex> lock(mu);
         if (stopping && pool.empty())
@@ -215,18 +219,23 @@ CampaignScheduler::takeBatch(std::unique_lock<std::mutex> &lock)
     std::vector<Pending> batch;
     batch.push_back(std::move(queue.front()));
     queue.pop_front();
-    const Pending &head = batch.front();
-    if (!head.fuseKind.empty()) {
+    // The bank key is copied out rather than referenced through
+    // batch.front(): the push_backs below may reallocate the batch,
+    // which would dangle any reference into it.
+    const std::string headKind = batch.front().fuseKind;
+    const auto *headPacked = batch.front().job.packed.get();
+    const auto headWarmup =
+        batch.front().job.simConfig.warmupBranches;
+    if (!headKind.empty()) {
         // Dispatch-time fusion: sweep the pending queue, in order,
         // for jobs sharing the head's bank key. Submitter identity
         // is irrelevant — this is where jobs from different clients
         // merge into one trace pass.
         for (auto it = queue.begin();
              it != queue.end() && batch.size() < kMaxBankLanes;) {
-            if (it->fuseKind == head.fuseKind &&
-                it->job.packed.get() == head.job.packed.get() &&
-                it->job.simConfig.warmupBranches ==
-                    head.job.simConfig.warmupBranches) {
+            if (it->fuseKind == headKind &&
+                it->job.packed.get() == headPacked &&
+                it->job.simConfig.warmupBranches == headWarmup) {
                 batch.push_back(std::move(*it));
                 it = queue.erase(it);
             } else {

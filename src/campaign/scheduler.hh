@@ -219,6 +219,11 @@ class CampaignScheduler
     /** Serializes completion callbacks; never held with @ref mu. */
     std::mutex callbackMu;
 
+    /** Serializes shutdown(): only one caller joins the pool;
+     *  concurrent callers wait for that join to finish. Acquired
+     *  before @ref mu, never the other way round. */
+    std::mutex shutdownMu;
+
     std::vector<std::thread> pool;
 };
 

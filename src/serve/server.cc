@@ -110,6 +110,10 @@ CampaignServer::acceptLoop(int fd)
         const int n = ::poll(&pfd, 1, 200);
         if (n < 0 && errno != EINTR)
             break;
+        // Reap on every wakeup, including poll timeouts: an idle
+        // daemon must not accumulate the threads and fds of
+        // disconnected clients until the next connection arrives.
+        reapFinishedSessions();
         if (n <= 0 || (pfd.revents & POLLIN) == 0)
             continue;
         const int clientFd = ::accept(fd, nullptr, nullptr);
@@ -119,6 +123,10 @@ CampaignServer::acceptLoop(int fd)
             closeFd(clientFd);
             break;
         }
+        // Bound sends so a non-reading client fails its own stream
+        // instead of blocking the shared completion-callback path.
+        if (opts.sendTimeoutMs > 0)
+            setSendTimeout(clientFd, opts.sendTimeoutMs);
         auto session = std::make_shared<Session>();
         session->fd = clientFd;
         {
@@ -128,7 +136,6 @@ CampaignServer::acceptLoop(int fd)
         }
         session->reader =
             std::thread([this, session] { sessionLoop(session); });
-        reapFinishedSessions();
     }
 }
 

@@ -29,7 +29,10 @@
  *   - a client that disconnects mid-campaign has its undispatched
  *     jobs cancelled and its in-flight results dropped (the session
  *     is referenced weakly from callbacks); nobody else notices;
- *   - a write failure marks only that session dead;
+ *   - a write failure marks only that session dead — including a
+ *     send timeout (Options::sendTimeoutMs) against a client that
+ *     stopped reading, so one full socket buffer cannot stall the
+ *     serialized result-delivery path everyone shares;
  *   - stop() drains gracefully: new campaigns are rejected, accepted
  *     ones finish and stream out, then sessions are closed.
  */
@@ -78,6 +81,13 @@ class CampaignServer
         /** Hard per-request grid cap (reject absurd requests before
          *  they touch the scheduler). */
         std::size_t maxJobsPerRequest = 4096;
+        /** Per-send timeout on client sockets (SO_SNDTIMEO), in
+         *  milliseconds. Result delivery runs under the scheduler's
+         *  serialized callback section, so a client that stops
+         *  reading must fail its write (and be marked dead) rather
+         *  than block everyone else's results behind its full socket
+         *  buffer. 0 = blocking sends (tests only). */
+        int sendTimeoutMs = 10000;
         /** Trace store directory for the shared cache ("" = memory
          *  only; pass through resolveTraceStoreDir() first). */
         std::string traceCacheDir;

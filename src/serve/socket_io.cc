@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -97,11 +98,23 @@ sendAll(int fd, const std::string &data)
         if (n < 0) {
             if (errno == EINTR)
                 continue;
+            // EAGAIN/EWOULDBLOCK here is the SO_SNDTIMEO timeout
+            // firing: the peer stopped reading. Fail the write.
             return false;
         }
         sent += static_cast<std::size_t>(n);
     }
     return true;
+}
+
+bool
+setSendTimeout(int fd, int millis)
+{
+    timeval tv{};
+    tv.tv_sec = millis / 1000;
+    tv.tv_usec = (millis % 1000) * 1000;
+    return ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv,
+                        sizeof(tv)) == 0;
 }
 
 void

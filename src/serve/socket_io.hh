@@ -31,9 +31,20 @@ int connectUnix(const std::string &path, std::string &error);
 
 /**
  * Writes all of @p data to @p fd, retrying short writes, with
- * SIGPIPE suppressed. Returns false once the peer is gone.
+ * SIGPIPE suppressed. Returns false once the peer is gone — or, on
+ * an fd with a send timeout (setSendTimeout()), once the peer has
+ * stopped reading for that long.
  */
 bool sendAll(int fd, const std::string &data);
+
+/**
+ * Bounds every send() on @p fd to @p millis (SO_SNDTIMEO). A peer
+ * whose socket buffer stays full that long makes sendAll() fail
+ * instead of blocking forever — the daemon applies this to every
+ * accepted connection so one non-reading client cannot stall result
+ * delivery for the rest. 0 restores blocking sends.
+ */
+bool setSendTimeout(int fd, int millis);
 
 /** Closes @p fd if valid (idempotent helper for RAII-less paths). */
 void closeFd(int fd);

@@ -378,11 +378,18 @@ std::uint64_t
 JsonValue::getUint(const std::string &key, std::uint64_t fallback) const
 {
     const JsonValue *value = get(key);
-    if (value == nullptr || !value->isNumber() ||
-        value->asNumber() < 0) {
+    if (value == nullptr || !value->isNumber())
+        return fallback;
+    // Casting a double outside uint64_t's range (or NaN) is
+    // undefined behavior, and the number here can come straight off
+    // the wire — fall back instead. 2^64 itself is exactly
+    // representable, so < is the right exclusive bound.
+    const double number = value->asNumber();
+    if (std::isnan(number) || number < 0 ||
+        number >= 18446744073709551616.0) {
         return fallback;
     }
-    return static_cast<std::uint64_t>(value->asNumber());
+    return static_cast<std::uint64_t>(number);
 }
 
 bool

@@ -8,6 +8,7 @@
 #include <set>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "campaign/campaign.hh"
@@ -316,6 +317,72 @@ TEST(CampaignScheduler, PauseHoldsWorkAndResumeReleasesIt)
     scheduler.drain();
     EXPECT_EQ(sink.results.size(), 4u);
     EXPECT_EQ(scheduler.pendingJobs(), 0u);
+}
+
+TEST(CampaignScheduler, ConcurrentShutdownCallsAreSafe)
+{
+    // shutdown() is documented idempotent; racing callers must not
+    // double-join the pool (which throws std::system_error). Every
+    // caller returns only once the pool is fully joined.
+    const MemoryTrace trace = mixedTrace(2'000, 31);
+    for (int round = 0; round < 8; ++round) {
+        CampaignScheduler scheduler(
+            CampaignScheduler::Options{2, true, 0, false});
+        Sink sink;
+        for (int i = 0; i < 8; ++i) {
+            ASSERT_TRUE(scheduler
+                            .submit(makeJob(i, "gshare:n=6", "b",
+                                            trace),
+                                    sink.fn())
+                            .has_value());
+        }
+        std::vector<std::thread> callers;
+        for (int t = 0; t < 4; ++t) {
+            callers.emplace_back(
+                [&scheduler] { scheduler.shutdown(); });
+        }
+        for (std::thread &caller : callers)
+            caller.join();
+        EXPECT_EQ(sink.results.size(), 8u);
+    }
+}
+
+TEST(CampaignScheduler, WideFusionSweepSurvivesBatchGrowth)
+{
+    // Regression: the dispatch-time fusion sweep used to compare
+    // against a reference into the batch vector it was growing; the
+    // first reallocation dangled it. Enough fusable lanes to force
+    // several reallocations must still bank correctly and produce
+    // solo-identical results.
+    const MemoryTrace trace = mixedTrace(20'000, 37);
+    const PackedTrace packed(trace);
+    CampaignScheduler scheduler(
+        CampaignScheduler::Options{1, true, 0, true});
+    Sink sink;
+    std::map<CampaignScheduler::Ticket, std::string> configOf;
+    for (int n = 4; n <= 25; ++n) {
+        const std::string config = "gshare:n=" + std::to_string(n);
+        const auto ticket = scheduler.submit(
+            makeJob(configOf.size(), config, "bench", trace, &packed),
+            sink.fn());
+        ASSERT_TRUE(ticket.has_value());
+        configOf[*ticket] = config;
+    }
+    scheduler.resume();
+    scheduler.drain();
+    ASSERT_EQ(sink.results.size(), configOf.size());
+    EXPECT_GE(scheduler.stats().fusedBanks, 1u);
+    for (const auto &entry : configOf) {
+        const JobResult &fused = sink.results.at(entry.first);
+        ASSERT_TRUE(fused.ok()) << fused.error;
+        const JobResult solo = runJob(
+            makeJob(0, entry.second, "bench", trace, nullptr));
+        ASSERT_TRUE(solo.ok());
+        EXPECT_EQ(fused.result.mispredictions,
+                  solo.result.mispredictions)
+            << entry.second;
+        EXPECT_EQ(fused.result.branches, solo.result.branches);
+    }
 }
 
 TEST(CampaignScheduler, StatsCountersAreConsistent)

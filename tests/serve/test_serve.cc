@@ -461,6 +461,44 @@ TEST_F(ServeTest, GracefulStopDrainsAcceptedCampaigns)
     EXPECT_FALSE(late.connect(server->socketPath(), error));
 }
 
+TEST_F(ServeTest, NonReadingClientCannotStallOtherClients)
+{
+    // Result delivery runs inside the scheduler's serialized
+    // callback section. A client that submits a large campaign and
+    // then never reads lets its socket buffer fill; without a send
+    // timeout the blocked write would stall every other client's
+    // results and hang stop()'s drain forever. With the timeout the
+    // stalled session is marked dead and only its own stream dies.
+    auto opts = testOptions("stall");
+    opts.workers = 2;
+    opts.sendTimeoutMs = 200;
+    startServer(std::move(opts));
+
+    ServeClient stalled = connectClient();
+    CampaignRequest big;
+    big.id = "never-read";
+    big.benchmarks = {"tiny_a", "tiny_b", "tiny_c"};
+    big.divisor = 20; // tiny jobs; the *result bytes* are the load
+    for (unsigned n = 0; n < 700; ++n)
+        big.configs.push_back("gshare:n=" + std::to_string(4 + n % 8));
+    ASSERT_TRUE(stalled.sendLine(campaignRequestLine(big)));
+
+    // A well-behaved client served concurrently must still get
+    // complete, ordered, offline-identical results.
+    ServeClient good = connectClient();
+    CampaignRequest request;
+    request.id = "good";
+    request.configs = {"gshare:n=8", "bimodal:n=8"};
+    request.benchmarks = {"tiny_a", "tiny_b"};
+    EXPECT_EQ(runServed(good, request), offlineReference(request, 2));
+
+    // And the daemon must drain cleanly despite the stalled session.
+    server->stop();
+    const auto sched = server->schedulerStats();
+    EXPECT_EQ(sched.pending, 0u);
+    EXPECT_EQ(sched.inFlight, 0u);
+}
+
 TEST_F(ServeTest, StressManyConcurrentMixedCampaigns)
 {
     // The acceptance bar: hundreds of concurrent mixed campaigns

@@ -93,6 +93,18 @@ TEST(JsonValue, TypedLookupsFallBackOnMismatch)
     EXPECT_TRUE(object.getBool("s", true));
 }
 
+TEST(JsonValue, GetUintRejectsOutOfRangeNumbers)
+{
+    // The number can come straight off the wire; a double outside
+    // uint64_t's range must fall back, never hit an undefined cast.
+    const JsonValue object = parseOk(
+        "{\"huge\":1e300,\"edge\":18446744073709551616,"
+        "\"big\":1.8e19}");
+    EXPECT_EQ(object.getUint("huge", 9), 9u);
+    EXPECT_EQ(object.getUint("edge", 9), 9u); // 2^64 exactly
+    EXPECT_EQ(object.getUint("big", 9), 18000000000000000000u);
+}
+
 TEST(JsonValue, RejectsMalformedInput)
 {
     parseError("");
