@@ -23,6 +23,14 @@ applyCommonOptions(const ArgParser &args)
 {
     const CommonOptions opts = CommonOptions::fromArgs(args);
     setVerbose(opts.verbose);
+    KernelTier tier = KernelTier::Auto;
+    if (!parseKernelTier(opts.kernelTier, tier)) {
+        BPSIM_WARN("--kernel-tier '" << opts.kernelTier
+                   << "' is not a tier name (auto, scalar, neon, "
+                   << "avx2, avx512); using auto");
+        tier = KernelTier::Auto;
+    }
+    setKernelTierOverride(tier);
     // The blocking drivers call Campaign::run(0) all over; feed the
     // legacy process-wide default for them. Scheduler-based callers
     // pass opts.jobs explicitly instead.

@@ -15,11 +15,16 @@
  *   sweep   the gshare.best shape (paper §3.1): every history length
  *           at one table size, n = 12, h = 0..12
  *
- * Each shape is timed best-of-N with fusion on and off; the JSON
- * report (default BENCH_multiconfig.json) records both times and the
- * speedup. The binary re-checks that both paths emit byte-identical
- * campaign JSON and exits non-zero on any divergence, so a stale
- * baseline can never hide a fusion bug.
+ * Each shape is timed best-of-N with fusion off and then with fusion
+ * on once per available kernel tier (sim/simd/kernel_tier.hh), so
+ * the report separates the fusion win (one trace pass) from the
+ * vectorization win (SIMD lanes within the fused pass). The JSON
+ * report (default BENCH_multiconfig.json) records one row per
+ * scenario × tier. The binary re-checks that every fused run emits
+ * campaign JSON byte-identical to the per-job path and exits
+ * non-zero on any divergence, so a stale baseline can never hide a
+ * fusion or tier bug. A forced --kernel-tier restricts the fused
+ * runs to that tier alone.
  */
 
 #include <chrono>
@@ -28,6 +33,7 @@
 #include <sstream>
 
 #include "common/bench_common.hh"
+#include "sim/simd/kernel_tier.hh"
 #include "util/json.hh"
 #include "util/logging.hh"
 
@@ -106,6 +112,17 @@ main(int argc, char **argv)
     const unsigned reps = static_cast<unsigned>(
         std::max<std::uint64_t>(args.getUint("reps"), 1));
 
+    // Fused runs are timed once per tier; a forced --kernel-tier
+    // narrows the sweep to that tier alone (the override is already
+    // process-wide via applyCommonOptions).
+    std::vector<KernelTier> tiers;
+    KernelTier forced = KernelTier::Auto;
+    parseKernelTier(args.get("kernel-tier"), forced);
+    if (forced != KernelTier::Auto)
+        tiers.push_back(resolveKernelTier(forced));
+    else
+        tiers = availableKernelTiers();
+
     auto spec = findBenchmark("gcc");
     spec->dynamicBranches = std::max<std::uint64_t>(
         args.getUint("branches") / divisor, 50'000);
@@ -132,52 +149,64 @@ main(int argc, char **argv)
     }
 
     TextTable table;
-    table.setColumns({"scenario", "jobs", "per-job ms", "fused ms",
-                      "speedup"});
+    table.setColumns({"scenario", "tier", "jobs", "per-job ms",
+                      "fused ms", "speedup"});
 
     std::ostringstream json;
     json << "[";
     bool mismatch = false;
     bool first = true;
     for (const Scenario &scenario : scenarios) {
-        const Timed fused =
-            timeCampaign(scenario.configs, benchmarks, true, reps);
+        setKernelTierOverride(KernelTier::Scalar);
         const Timed unfused =
             timeCampaign(scenario.configs, benchmarks, false, reps);
+        const std::string unfused_json = resultsJson(unfused.results);
 
-        const bool identical =
-            resultsJson(fused.results) == resultsJson(unfused.results);
-        if (!identical) {
-            mismatch = true;
-            BPSIM_WARN("campaign paths DIVERGED for scenario "
-                       << scenario.name);
+        for (const KernelTier tier : tiers) {
+            setKernelTierOverride(tier);
+            const Timed fused =
+                timeCampaign(scenario.configs, benchmarks, true, reps);
+
+            const bool identical =
+                resultsJson(fused.results) == unfused_json;
+            if (!identical) {
+                mismatch = true;
+                BPSIM_WARN("campaign paths DIVERGED for scenario "
+                           << scenario.name << " tier "
+                           << kernelTierName(tier));
+            }
+
+            const double speedup =
+                fused.nanos == 0
+                    ? 0.0
+                    : static_cast<double>(unfused.nanos) /
+                          static_cast<double>(fused.nanos);
+
+            table.addRow({scenario.name, kernelTierName(tier),
+                          std::to_string(scenario.configs.size()),
+                          TextTable::fixed(unfused.nanos / 1e6, 2),
+                          TextTable::fixed(fused.nanos / 1e6, 2),
+                          TextTable::fixed(speedup, 2)});
+
+            if (!first)
+                json << ",";
+            first = false;
+            json << "\n  {\"scenario\":" << jsonString(scenario.name)
+                 << ",\"tier\":"
+                 << jsonString(kernelTierName(tier))
+                 << ",\"jobs\":" << scenario.configs.size()
+                 << ",\"branchesPerJob\":"
+                 << benchmarks[0].packed->size()
+                 << ",\"perJobNanos\":" << unfused.nanos
+                 << ",\"fusedNanos\":" << fused.nanos
+                 << ",\"speedup\":" << jsonNumber(speedup)
+                 << ",\"identical\":" << (identical ? "true" : "false")
+                 << "}";
         }
-
-        const double speedup =
-            fused.nanos == 0
-                ? 0.0
-                : static_cast<double>(unfused.nanos) /
-                      static_cast<double>(fused.nanos);
-
-        table.addRow({scenario.name,
-                      std::to_string(scenario.configs.size()),
-                      TextTable::fixed(unfused.nanos / 1e6, 2),
-                      TextTable::fixed(fused.nanos / 1e6, 2),
-                      TextTable::fixed(speedup, 2)});
-
-        if (!first)
-            json << ",";
-        first = false;
-        json << "\n  {\"scenario\":" << jsonString(scenario.name)
-             << ",\"jobs\":" << scenario.configs.size()
-             << ",\"branchesPerJob\":" << benchmarks[0].packed->size()
-             << ",\"perJobNanos\":" << unfused.nanos
-             << ",\"fusedNanos\":" << fused.nanos
-             << ",\"speedup\":" << jsonNumber(speedup)
-             << ",\"identical\":" << (identical ? "true" : "false")
-             << "}";
     }
     json << "\n]\n";
+    // Leave the process-wide selection as the user asked for it.
+    setKernelTierOverride(forced);
 
     emitTable(args, table, "Fused vs per-job campaign wall time "
                            "(best of " + std::to_string(reps) + ")");

@@ -12,8 +12,16 @@
  * speedup. The binary also re-checks the bit-identity contract on
  * every pair and exits non-zero on any mismatch, so a stale baseline
  * can never hide a divergence.
+ *
+ * A second section times the banked fused kernel
+ * (replayKernelBank()) per kernel tier: a 16-lane mixed-size bank of
+ * each vector-eligible kind runs once per tier this binary/CPU
+ * offers (sim/simd/kernel_tier.hh), reporting lane-throughput
+ * (branches x lanes / pass time) with the scalar bank as baseline.
+ * Counts must be bit-identical across tiers, enforced the same way.
  */
 
+#include <algorithm>
 #include <fstream>
 #include <functional>
 #include <iostream>
@@ -43,6 +51,81 @@ bestOf(unsigned reps, const std::function<SimResult()> &body)
             best = result;
     }
     return best;
+}
+
+/** One banked-throughput scenario: a bank of kMixedBankLanes lanes
+ *  cycling through a few realistic sizes of one kind (identical
+ *  lanes would share gather indices and flatter the vector path). */
+struct BankScenario
+{
+    std::string kind;
+    std::vector<std::string> variants;
+};
+
+constexpr std::size_t kMixedBankLanes = 16;
+
+const std::vector<BankScenario> kBankScenarios = {
+    {"bimodal",
+     {"bimodal:n=10", "bimodal:n=11", "bimodal:n=12", "bimodal:n=13"}},
+    {"gshare",
+     {"gshare:n=10,h=10", "gshare:n=11,h=8", "gshare:n=12,h=12",
+      "gshare:n=13,h=9"}},
+    {"gag", {"gag:h=10", "gag:h=11", "gag:h=12", "gag:h=13"}},
+    {"gas", {"gas:h=8,a=3", "gas:h=9,a=3", "gas:h=10,a=2"}},
+    {"pag", {"pag:h=8,l=10", "pag:h=10,l=10", "pag:h=12,l=8"}},
+    {"pas", {"pas:h=6,l=10,a=4", "pas:h=8,l=10,a=3", "pas:h=8,l=8,a=4"}},
+    // Scalar-bank kinds ride along as the fallback reference: their
+    // per-tier rows must all time the same scalar loop.
+    {"bimode", {"bimode:d=10", "bimode:d=11", "bimode:d=12"}},
+    {"yags",
+     {"yags:c=10,n=8", "yags:c=11,n=9", "yags:c=12,n=10"}},
+};
+
+/** Best-of-N banked pass of @p scenario on @p tier; returns the
+ *  per-lane results of the fastest pass (lane 0's branchesPerSec()
+ *  is the bank's lane-throughput, see SimResult::wallNanos). */
+std::vector<SimResult>
+bestBankRun(const BankScenario &scenario, const PackedTrace &packed,
+            KernelTier tier, unsigned reps)
+{
+    std::vector<SimResult> best;
+    for (unsigned rep = 0; rep < reps; ++rep) {
+        std::vector<PredictorPtr> owned;
+        std::vector<BranchPredictor *> bank;
+        for (std::size_t l = 0; l < kMixedBankLanes; ++l) {
+            owned.push_back(makePredictor(
+                scenario.variants[l % scenario.variants.size()]));
+            bank.push_back(owned.back().get());
+        }
+        SimConfig config;
+        config.kernelTier = tier;
+        std::vector<SimResult> results;
+        if (!replayKernelBankAny(scenario.kind, bank, packed, config,
+                                 results)) {
+            BPSIM_FATAL("bank kernel refused kind '" << scenario.kind
+                        << "'");
+        }
+        if (best.empty() || results[0].wallNanos < best[0].wallNanos)
+            best = std::move(results);
+    }
+    return best;
+}
+
+/** Counts-only equality across every lane of two bank runs. */
+bool
+bankCountsMatch(const std::vector<SimResult> &a,
+                const std::vector<SimResult> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t l = 0; l < a.size(); ++l) {
+        if (a[l].branches != b[l].branches ||
+            a[l].mispredictions != b[l].mispredictions ||
+            a[l].takenBranches != b[l].takenBranches) {
+            return false;
+        }
+    }
+    return true;
 }
 
 } // namespace
@@ -81,7 +164,9 @@ main(int argc, char **argv)
     const std::vector<std::string> configs = {
         "bimodal:n=12",  "gshare:n=12",      "bimode:d=11",
         "agree:n=12",    "gskew:n=11",       "yags:c=12,n=10",
-        "tournament:n=11"};
+        "tournament:n=11", "gag:h=12",       "gas:h=9,a=3",
+        "pag:h=10,l=10", "pas:h=8,l=10,a=3",
+        "filter:n=12,h=8,b=10,k=3"};
 
     TextTable table;
     table.setColumns({"config", "predictor", "virtual Mbr/s",
@@ -147,10 +232,77 @@ main(int argc, char **argv)
              << ",\"identical\":" << (identical ? "true" : "false")
              << "}";
     }
-    json << "\n]\n";
-
     emitTable(args, table, "Replay-path throughput (best of " +
                                std::to_string(reps) + ")");
+
+    // Banked fused kernel, one row per kind, one column per kernel
+    // tier. Tiers are best-first; the trailing Scalar entry is the
+    // baseline every speedup is against.
+    const std::vector<KernelTier> tiers = availableKernelTiers();
+    TextTable bankTable;
+    {
+        std::vector<std::string> columns = {"bank kind", "lanes"};
+        for (const KernelTier tier : tiers)
+            columns.push_back(std::string(kernelTierName(tier)) +
+                              " Mbr/s");
+        columns.push_back("best speedup");
+        bankTable.setColumns(columns);
+    }
+
+    for (const BankScenario &scenario : kBankScenarios) {
+        std::vector<SimResult> scalarRun = bestBankRun(
+            scenario, packed, KernelTier::Scalar, reps);
+        const double scalarRate = scalarRun[0].branchesPerSec();
+
+        std::vector<std::string> row = {
+            scenario.kind, std::to_string(kMixedBankLanes)};
+        json << ",\n  {\"bank\":" << jsonString(scenario.kind)
+             << ",\"lanes\":" << kMixedBankLanes << ",\"tiers\":[";
+        double bestSpeedup = 1.0;
+        bool bankIdentical = true;
+        bool firstTier = true;
+        for (const KernelTier tier : tiers) {
+            std::vector<SimResult> run =
+                tier == KernelTier::Scalar
+                    ? std::move(scalarRun)
+                    : bestBankRun(scenario, packed, tier, reps);
+            if (tier != KernelTier::Scalar &&
+                !bankCountsMatch(run, scalarRun)) {
+                bankIdentical = false;
+                mismatch = true;
+                BPSIM_WARN("bank tiers DIVERGED for "
+                           << scenario.kind << " on "
+                           << kernelTierName(tier));
+            }
+            const double rate = run[0].branchesPerSec();
+            const double speedup =
+                scalarRate == 0.0 ? 0.0 : rate / scalarRate;
+            bestSpeedup = std::max(bestSpeedup, speedup);
+            row.push_back(TextTable::fixed(rate / 1e6, 2));
+            if (!firstTier)
+                json << ",";
+            firstTier = false;
+            json << "{\"tier\":"
+                 << jsonString(kernelTierName(run[0].kernelTier))
+                 << ",\"requestedTier\":"
+                 << jsonString(kernelTierName(tier))
+                 << ",\"laneBranchesPerSec\":" << jsonNumber(rate)
+                 << ",\"speedupVsScalar\":" << jsonNumber(speedup)
+                 << "}";
+            if (tier == KernelTier::Scalar)
+                scalarRun = std::move(run);
+        }
+        row.push_back(TextTable::fixed(bestSpeedup, 2));
+        bankTable.addRow(row);
+        json << "],\"identical\":"
+             << (bankIdentical ? "true" : "false") << "}";
+    }
+    json << "\n]\n";
+
+    emitTable(args, bankTable,
+              "Banked kernel lane-throughput per tier (best of " +
+                  std::to_string(reps) + ", " +
+                  std::to_string(kMixedBankLanes) + " lanes)");
 
     const std::string out = args.get("out");
     std::ofstream file(out);

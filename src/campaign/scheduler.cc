@@ -226,6 +226,7 @@ CampaignScheduler::takeBatch(std::unique_lock<std::mutex> &lock)
     const auto *headPacked = batch.front().job.packed.get();
     const auto headWarmup =
         batch.front().job.simConfig.warmupBranches;
+    const auto headTier = batch.front().job.simConfig.kernelTier;
     if (!headKind.empty()) {
         // Dispatch-time fusion: sweep the pending queue, in order,
         // for jobs sharing the head's bank key. Submitter identity
@@ -233,9 +234,13 @@ CampaignScheduler::takeBatch(std::unique_lock<std::mutex> &lock)
         // merge into one trace pass.
         for (auto it = queue.begin();
              it != queue.end() && batch.size() < kMaxBankLanes;) {
+            // kernelTier is part of the bank key: a bank runs on one
+            // tier, so jobs forcing different tiers (the tier-matrix
+            // tests, A/B timing runs) must not fuse.
             if (it->fuseKind == headKind &&
                 it->job.packed.get() == headPacked &&
-                it->job.simConfig.warmupBranches == headWarmup) {
+                it->job.simConfig.warmupBranches == headWarmup &&
+                it->job.simConfig.kernelTier == headTier) {
                 batch.push_back(std::move(*it));
                 it = queue.erase(it);
             } else {

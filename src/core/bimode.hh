@@ -35,6 +35,7 @@
 #include "predictors/fast_base.hh"
 #include "predictors/history.hh"
 #include "predictors/predictor.hh"
+#include "util/bits.hh"
 
 namespace bpsim
 {
@@ -105,9 +106,11 @@ class BiModePredictor : public FastPredictorBase<BiModePredictor>
     bool
     predictFast(std::uint64_t pc) const
     {
-        const std::uint32_t bank = choice.predictTaken(choiceIndexFor(pc))
+        std::size_t choice_index, direction_index;
+        indicesFor(pc, choice_index, direction_index);
+        const std::uint32_t bank = choice.predictTaken(choice_index)
             ? kTakenBank : kNotTakenBank;
-        return banks[bank].predictTaken(directionIndexFor(pc));
+        return banks[bank].predictTaken(direction_index);
     }
 
     /**
@@ -119,11 +122,11 @@ class BiModePredictor : public FastPredictorBase<BiModePredictor>
     bool
     stepFast(std::uint64_t pc, bool taken)
     {
-        const std::size_t choice_index = choiceIndexFor(pc);
+        std::size_t choice_index, index;
+        indicesFor(pc, choice_index, index);
         const bool choice_taken = choice.predictTaken(choice_index);
         const std::uint32_t bank =
             choice_taken ? kTakenBank : kNotTakenBank;
-        const std::size_t index = directionIndexFor(pc);
         const bool prediction = banks[bank].predictTaken(index);
 
         // Direction banks: partial update — only the serving counter
@@ -163,6 +166,26 @@ class BiModePredictor : public FastPredictorBase<BiModePredictor>
     const CounterTable &notTakenBank() const { return banks[kNotTakenBank]; }
 
   private:
+    /**
+     * Both table indices at once, deriving the shared word address a
+     * single time instead of once per table as choiceIndexFor() and
+     * directionIndexFor() do — bit-identical results minus the
+     * re-derived subexpression. This is the hot-kernel entry: every
+     * stepFast() needs both indices, and the scalar bank loop pays
+     * this per lane per branch.
+     */
+    void
+    indicesFor(std::uint64_t pc, std::size_t &choiceIndex,
+               std::size_t &directionIndex) const
+    {
+        const std::uint64_t word = pc >> 2;
+        choiceIndex = static_cast<std::size_t>(
+            word & maskBits(cfg.choiceIndexBits));
+        directionIndex = static_cast<std::size_t>(
+            (word & maskBits(cfg.directionIndexBits)) ^
+            history.value());
+    }
+
     BiModeConfig cfg;
     HistoryRegister history;
     CounterTable choice;

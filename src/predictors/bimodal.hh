@@ -72,6 +72,12 @@ class BimodalPredictor : public FastPredictorBase<BimodalPredictor>
     /** Read-only access for tests and composite predictors. */
     const CounterTable &table() const { return counters; }
 
+    unsigned indexBitCount() const { return indexBits; }
+
+    /** Mutable SoA view for the SIMD bank (sim/simd/simd_bank.cc),
+     *  which copies the table into a gather arena and back. */
+    CounterTable &tableRef() { return counters; }
+
   private:
     unsigned indexBits;
     CounterTable counters;

@@ -166,6 +166,16 @@ class CounterTable
 
     std::size_t size() const { return values.size(); }
     unsigned bits() const { return widthBits; }
+    std::uint8_t max() const { return maxValue; }
+
+    /**
+     * Raw counter storage, an SoA view for the SIMD bank builders
+     * (sim/simd/simd_bank.cc), which copy whole tables into a shared
+     * gather arena and back. Writers must keep every element within
+     * 0..max(); predictTaken()/update() assume it.
+     */
+    const std::uint16_t *data() const { return values.data(); }
+    std::uint16_t *data() { return values.data(); }
 
     /** Storage footprint of the counters. */
     std::uint64_t

@@ -84,6 +84,12 @@ class GsharePredictor : public FastPredictorBase<GsharePredictor>
     unsigned indexBitCount() const { return indexBits; }
     unsigned historyBitCount() const { return history.bits(); }
 
+    /** Mutable SoA views for the SIMD bank (sim/simd/simd_bank.cc),
+     *  which copies counters and history into vector lane state and
+     *  back. */
+    CounterTable &tableRef() { return counters; }
+    HistoryRegister &historyRef() { return history; }
+
     /** Number of PHTs this configuration is equivalent to. */
     std::uint64_t
     phtCount() const

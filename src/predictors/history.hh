@@ -46,6 +46,11 @@ class HistoryRegister
 
     void clear() { contents = 0; }
 
+    /** Restores a pattern captured by value(); masked to the register
+     *  width. The SIMD bank (sim/simd/) uses this to store vector
+     *  lane state back after a replay. */
+    void setValue(std::uint64_t v) { contents = v & mask; }
+
     unsigned bits() const { return widthBits; }
 
     std::uint64_t storageBits() const { return widthBits; }
@@ -99,7 +104,16 @@ class LocalHistoryTable
     void clear() { std::fill(table.begin(), table.end(), 0); }
 
     std::size_t entries() const { return table.size(); }
+    unsigned entriesLog2() const { return indexBits; }
     unsigned bits() const { return widthBits; }
+
+    /**
+     * Raw register storage for the SIMD bank builders (sim/simd/),
+     * which copy the table into a uint32 gather arena and back.
+     * Writers must keep every element within the register mask.
+     */
+    const std::uint64_t *data() const { return table.data(); }
+    std::uint64_t *data() { return table.data(); }
 
     std::uint64_t
     storageBits() const

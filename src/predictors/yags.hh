@@ -21,6 +21,7 @@
 #include "predictors/fast_base.hh"
 #include "predictors/history.hh"
 #include "predictors/predictor.hh"
+#include "util/bits.hh"
 
 namespace bpsim
 {
@@ -135,35 +136,28 @@ class YagsPredictor : public FastPredictorBase<YagsPredictor>
         bool prediction;
     };
 
-    std::size_t
-    cacheIndexFor(std::uint64_t pc) const
-    {
-        const std::uint64_t address =
-            pcIndexBits(pc, cfg.cacheIndexBits);
-        return static_cast<std::size_t>(address ^ history.value());
-    }
-
-    std::uint16_t
-    tagFor(std::uint64_t pc) const
-    {
-        // Tag with the pc bits just above the cache index so aliasing
-        // pairs that share an index usually differ in tag.
-        return static_cast<std::uint16_t>(
-            bitField(pc, 2 + cfg.cacheIndexBits, cfg.tagBits));
-    }
-
     Lookup
     lookupFor(std::uint64_t pc) const
     {
+        // The word address feeds all three derivations below (choice
+        // index, cache index, tag), so it is extracted a single time
+        // rather than re-shifted per field. This is the hot-kernel
+        // entry: every stepFast() runs one lookupFor(), and the
+        // scalar bank loop pays it per lane per branch.
+        const std::uint64_t word = pc >> 2;
         Lookup look;
         look.choiceIndex = static_cast<std::size_t>(
-            pcIndexBits(pc, cfg.choiceIndexBits));
+            word & maskBits(cfg.choiceIndexBits));
         look.choiceTaken = choice.predictTaken(look.choiceIndex);
         // Exceptions to a taken bias live in the not-taken cache and
         // vice versa: consult the cache opposite to the choice.
         look.cache = look.choiceTaken ? kNotTakenCache : kTakenCache;
-        look.cacheIndex = cacheIndexFor(pc);
-        look.tag = tagFor(pc);
+        look.cacheIndex = static_cast<std::size_t>(
+            (word & maskBits(cfg.cacheIndexBits)) ^ history.value());
+        // Tag with the pc bits just above the cache index so aliasing
+        // pairs that share an index usually differ in tag.
+        look.tag = static_cast<std::uint16_t>(
+            (word >> cfg.cacheIndexBits) & maskBits(cfg.tagBits));
         const CacheEntry &entry = caches[look.cache][look.cacheIndex];
         look.hit = entry.valid && entry.tag == look.tag;
         if (look.hit) {

@@ -1,0 +1,298 @@
+#include "sim/simd/simd_bank.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+
+#include "predictors/bimodal.hh"
+#include "predictors/gshare.hh"
+#include "predictors/twolevel.hh"
+#include "util/bits.hh"
+
+namespace bpsim
+{
+
+namespace
+{
+
+/** Gather/scatter element offsets are consumed as *signed* 32-bit
+ *  lane values by vpgatherdd and friends, so the whole arena
+ *  (including the per-lane stagger gaps) must index below 2^31. */
+constexpr std::uint64_t kMaxArenaElements =
+    static_cast<std::uint64_t>(std::numeric_limits<std::int32_t>::max());
+
+/** Arena elements the stagger gaps add for a bank of @p lanes. */
+std::uint64_t
+staggerElements(std::size_t lanes)
+{
+    return static_cast<std::uint64_t>(lanes) * kSimdLaneStagger;
+}
+
+std::uint32_t
+mask32(unsigned bits)
+{
+    return static_cast<std::uint32_t>(maskBits(bits));
+}
+
+/**
+ * Sizes the shared per-lane arrays of @p state for @p lanes lanes
+ * (padded to the widest group, see SimdBankState) and zero-fills
+ * them. Lane constants are filled by the per-kind builders; the
+ * padding replication happens afterwards in padLanes().
+ */
+void
+initLaneArrays(SimdBankState &state, std::size_t lanes)
+{
+    state.lanes = lanes;
+    const std::size_t padded =
+        (lanes + kMaxSimdGroupLanes - 1) / kMaxSimdGroupLanes *
+        kMaxSimdGroupLanes;
+    for (auto *array :
+         {&state.laneBase, &state.addrMask, &state.histShift,
+          &state.histMask, &state.localBase, &state.localMask,
+          &state.maxValue, &state.threshold, &state.wordShift,
+          &state.slotIdxMask, &state.slotShift, &state.fieldMask,
+          &state.hist}) {
+        array->assign(padded, 0);
+    }
+    state.mispredictions.assign(lanes, 0);
+}
+
+/** Replicates lane 0's constants into the padding lanes so padded
+ *  vector slots execute a valid (discarded) lane. */
+void
+padLanes(SimdBankState &state)
+{
+    for (auto *array :
+         {&state.laneBase, &state.addrMask, &state.histShift,
+          &state.histMask, &state.localBase, &state.localMask,
+          &state.maxValue, &state.threshold, &state.wordShift,
+          &state.slotIdxMask, &state.slotShift, &state.fieldMask,
+          &state.hist}) {
+        std::fill(array->begin() + state.lanes, array->end(),
+                  array->front());
+    }
+}
+
+/** Appends @p table's counters to the shared arena after a
+ *  kSimdLaneStagger gap, recording the lane's base offset and
+ *  counter constants. Packs into bit slots or widens one counter
+ *  per word according to state.packed. */
+void
+appendCounters(SimdBankState &state, std::size_t lane,
+               const CounterTable &table)
+{
+    state.maxValue[lane] = table.max();
+    state.threshold[lane] = table.max() / 2;
+    state.counters.resize(state.counters.size() + kSimdLaneStagger, 0);
+    state.laneBase[lane] =
+        static_cast<std::uint32_t>(state.counters.size());
+    if (!state.packed) {
+        state.counters.insert(state.counters.end(), table.data(),
+                              table.data() + table.size());
+        return;
+    }
+    // Slot width is the power of two >= the counter width (1..8
+    // bits), so slot boundaries follow from plain shift/mask math and
+    // a word always holds 4, 8, 16 or 32 whole counters.
+    const unsigned slotLog2 = log2Ceil(table.bits());
+    const unsigned perWordLog2 = 5 - slotLog2;
+    state.wordShift[lane] = perWordLog2;
+    state.slotIdxMask[lane] = mask32(perWordLog2);
+    state.slotShift[lane] = slotLog2;
+    state.fieldMask[lane] = mask32(1u << slotLog2);
+    const std::size_t words =
+        (table.size() + (std::size_t{1} << perWordLog2) - 1) >>
+        perWordLog2;
+    state.counters.resize(state.counters.size() + words, 0);
+    std::uint32_t *dst = state.counters.data() + state.laneBase[lane];
+    for (std::size_t e = 0; e < table.size(); ++e) {
+        dst[e >> perWordLog2] |=
+            static_cast<std::uint32_t>(table.data()[e])
+            << ((e & state.slotIdxMask[lane]) << slotLog2);
+    }
+}
+
+void
+restoreCounters(const SimdBankState &state, std::size_t lane,
+                CounterTable &table)
+{
+    const std::uint32_t *src = state.counters.data() +
+                               state.laneBase[lane];
+    if (!state.packed) {
+        // Counter values fit their (<= 8-bit) saturation value, so
+        // the narrowing is lossless.
+        for (std::size_t e = 0; e < table.size(); ++e)
+            table.data()[e] = static_cast<std::uint16_t>(src[e]);
+        return;
+    }
+    const unsigned perWordLog2 = state.wordShift[lane];
+    const unsigned slotLog2 = state.slotShift[lane];
+    for (std::size_t e = 0; e < table.size(); ++e) {
+        table.data()[e] = static_cast<std::uint16_t>(
+            (src[e >> perWordLog2] >>
+             ((e & state.slotIdxMask[lane]) << slotLog2)) &
+            state.fieldMask[lane]);
+    }
+}
+
+} // namespace
+
+std::optional<SimdBankState>
+buildSimdBank(std::vector<BimodalPredictor> &bank)
+{
+    if (bank.empty())
+        return std::nullopt;
+    std::uint64_t totalCounters = staggerElements(bank.size());
+    for (BimodalPredictor &p : bank)
+        totalCounters += p.table().size();
+    if (totalCounters > kMaxArenaElements)
+        return std::nullopt;
+
+    SimdBankState state;
+    initLaneArrays(state, bank.size());
+    state.counters.reserve(totalCounters);
+    for (std::size_t l = 0; l < bank.size(); ++l) {
+        appendCounters(state, l, bank[l].table());
+        state.addrMask[l] = mask32(bank[l].indexBitCount());
+        // histShift/histMask/hist stay 0: the history term of the
+        // unified index formula degenerates away and the per-branch
+        // shift keeps hist at 0.
+    }
+    padLanes(state);
+    return state;
+}
+
+std::optional<SimdBankState>
+buildSimdBank(std::vector<GsharePredictor> &bank)
+{
+    if (bank.empty())
+        return std::nullopt;
+    std::uint64_t totalCounters = staggerElements(bank.size());
+    for (GsharePredictor &p : bank) {
+        totalCounters += p.tableRef().size();
+        // The constructor caps history at the (<= 28 bit) index
+        // width, but the 32-bit lane math is a hard requirement:
+        // refuse rather than truncate if that ever loosens.
+        if (p.historyBitCount() > 31)
+            return std::nullopt;
+    }
+    if (totalCounters > kMaxArenaElements)
+        return std::nullopt;
+
+    SimdBankState state;
+    state.packed = true;
+    initLaneArrays(state, bank.size());
+    for (std::size_t l = 0; l < bank.size(); ++l) {
+        appendCounters(state, l, bank[l].tableRef());
+        state.addrMask[l] = mask32(bank[l].indexBitCount());
+        state.histMask[l] = mask32(bank[l].historyBitCount());
+        state.hist[l] = static_cast<std::uint32_t>(
+            bank[l].historyRef().value());
+    }
+    padLanes(state);
+    return state;
+}
+
+std::optional<SimdBankState>
+buildSimdBank(std::vector<TwoLevelPredictor> &bank)
+{
+    if (bank.empty())
+        return std::nullopt;
+    const HistoryScope scope = bank.front().config().scope;
+    std::uint64_t totalCounters = staggerElements(bank.size());
+    std::uint64_t totalLocal = staggerElements(bank.size());
+    for (TwoLevelPredictor &p : bank) {
+        const TwoLevelConfig &cfg = p.config();
+        // The kernel instantiates one history flavor per bank; a
+        // mixed-scope bank (which fusion keys never produce) runs
+        // scalar.
+        if (cfg.scope != scope)
+            return std::nullopt;
+        // Constructors cap historyBits + pcBits at 28 via the table
+        // size; enforce the lane-math limits independently.
+        if (cfg.historyBits + cfg.pcBits > 31)
+            return std::nullopt;
+        totalCounters += p.tableRef().size();
+        if (scope == HistoryScope::PerAddress) {
+            if (cfg.localEntriesLog2 > 28)
+                return std::nullopt;
+            totalLocal += p.localHistoryRef()->entries();
+        }
+    }
+    if (totalCounters > kMaxArenaElements ||
+        totalLocal > kMaxArenaElements) {
+        return std::nullopt;
+    }
+
+    SimdBankState state;
+    state.localHistory = scope == HistoryScope::PerAddress;
+    state.packed = true;
+    initLaneArrays(state, bank.size());
+    state.localHist.reserve(totalLocal);
+    for (std::size_t l = 0; l < bank.size(); ++l) {
+        const TwoLevelConfig &cfg = bank[l].config();
+        appendCounters(state, l, bank[l].tableRef());
+        state.addrMask[l] = mask32(cfg.pcBits);
+        state.histShift[l] = cfg.historyBits;
+        state.histMask[l] = mask32(cfg.historyBits);
+        if (scope == HistoryScope::Global) {
+            state.hist[l] = static_cast<std::uint32_t>(
+                bank[l].globalHistoryRef().value());
+        } else {
+            const LocalHistoryTable &local =
+                *bank[l].localHistoryRef();
+            state.localHist.resize(
+                state.localHist.size() + kSimdLaneStagger, 0);
+            state.localBase[l] =
+                static_cast<std::uint32_t>(state.localHist.size());
+            state.localMask[l] = mask32(local.entriesLog2());
+            for (std::size_t e = 0; e < local.entries(); ++e) {
+                // historyBits <= 28, so the uint64 registers narrow
+                // to uint32 losslessly.
+                state.localHist.push_back(
+                    static_cast<std::uint32_t>(local.data()[e]));
+            }
+        }
+    }
+    padLanes(state);
+    return state;
+}
+
+void
+storeSimdBank(const SimdBankState &state,
+              std::vector<BimodalPredictor> &bank)
+{
+    for (std::size_t l = 0; l < bank.size(); ++l)
+        restoreCounters(state, l, bank[l].tableRef());
+}
+
+void
+storeSimdBank(const SimdBankState &state,
+              std::vector<GsharePredictor> &bank)
+{
+    for (std::size_t l = 0; l < bank.size(); ++l) {
+        restoreCounters(state, l, bank[l].tableRef());
+        bank[l].historyRef().setValue(state.hist[l]);
+    }
+}
+
+void
+storeSimdBank(const SimdBankState &state,
+              std::vector<TwoLevelPredictor> &bank)
+{
+    for (std::size_t l = 0; l < bank.size(); ++l) {
+        restoreCounters(state, l, bank[l].tableRef());
+        if (!state.localHistory) {
+            bank[l].globalHistoryRef().setValue(state.hist[l]);
+            continue;
+        }
+        LocalHistoryTable &local = *bank[l].localHistoryRef();
+        const std::uint32_t *src =
+            state.localHist.data() + state.localBase[l];
+        for (std::size_t e = 0; e < local.entries(); ++e)
+            local.data()[e] = src[e];
+    }
+}
+
+} // namespace bpsim

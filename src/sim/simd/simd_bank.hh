@@ -1,0 +1,226 @@
+/**
+ * @file
+ * SoA lane state for the vectorized banked replay kernel.
+ *
+ * The scalar bank (sim/replay_kernel.hh) steps each lane's predictor
+ * object in place. The SIMD tiers instead flatten a bank of
+ * structurally uniform predictors into one gather-friendly arena —
+ * every lane's counter table bit-packed back to back into a shared
+ * uint32 word array — plus per-lane constant vectors describing each
+ * lane's index function. One unified index formula covers the whole
+ * eligible family:
+ *
+ *     idx = ((addr & addrMask) << histShift) ^ (hist & histMask)
+ *
+ *   bimodal          addrMask = 2^n-1, histShift = 0, histMask = 0
+ *   gshare           addrMask = 2^n-1, histShift = 0, histMask = 2^m-1
+ *   GAg/GAs          addrMask = 2^a-1, histShift = h, histMask = 2^h-1
+ *   PAg/PAs          as GAs, with hist gathered from a per-address
+ *                    uint32 history arena (localHistory = true)
+ *
+ * (For the two-level family the scalar code computes (pht << h) |
+ * hist; the history occupies exactly the low h bits, so or and xor
+ * agree bit for bit.)
+ *
+ * Lanes are vectorized, branches stay serial: for each trace branch
+ * the kernel gathers every lane's counter, predicts, saturates and
+ * writes back before consuming the next branch. That preserves the
+ * exact serial state dependency of the scalar oracle, which is what
+ * makes bit-identity hold by construction rather than by accident.
+ *
+ * buildSimdBank() returns std::nullopt whenever the bank shape is
+ * outside what 32-bit gather indices (or the formula above) can
+ * express; the caller then falls back to the scalar bank. The
+ * catch-all template makes ineligible predictor kinds compile to
+ * that same fallback.
+ */
+
+#ifndef BPSIM_SIM_SIMD_SIMD_BANK_HH
+#define BPSIM_SIM_SIMD_SIMD_BANK_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/simd/kernel_tier.hh"
+
+namespace bpsim
+{
+
+class BimodalPredictor;
+class GsharePredictor;
+class TwoLevelPredictor;
+
+/** Widest group any backend steps at once (AVX-512, 16 lanes).
+ *  Per-lane arrays are padded to a multiple of this so every backend
+ *  can issue full-width loads of lane constants. */
+constexpr std::size_t kMaxSimdGroupLanes = 16;
+
+/**
+ * Zero elements inserted before every lane's region in the shared
+ * arenas.
+ *
+ * Predictor tables are power-of-two sized, so back-to-back lane
+ * regions put every lane's copy of one index at power-of-two byte
+ * strides — all sixteen stores and the next branch's gather then
+ * collide in the low 12 address bits and the store-to-load
+ * disambiguation stalls serialize the kernel (4K aliasing). A
+ * 64-byte gap per lane skews the strides off the page-offset
+ * pattern; on AVX-512 hardware this alone roughly doubles bank
+ * throughput.
+ */
+constexpr std::size_t kSimdLaneStagger = 16;
+
+/**
+ * Flattened bank state for one SIMD replay.
+ *
+ * Per-lane arrays have paddedLanes() elements; entries past lanes
+ * replicate lane 0, so padded vector lanes execute lane 0's index
+ * function against lane 0's tables (all loads stay in valid memory)
+ * while their results are simply never written back.
+ */
+struct SimdBankState
+{
+    /** Active lanes (the bank size); padding lanes beyond this are
+     *  never stored back. */
+    std::size_t lanes = 0;
+    /** True for the per-address-history family (PAg/PAs): hist is
+     *  gathered from localHist instead of carried in a register. */
+    bool localHistory = false;
+    /**
+     * True when counters is bit-packed (see below). History-indexed
+     * banks pack: their index streams are spread by the history
+     * bits, so the footprint cut dominates. Bimodal banks do not:
+     * the pc-only index stream re-touches the same packed word on
+     * nearby branches, and the resulting scatter-to-gather
+     * forwarding stalls cost more than the smaller arena saves.
+     */
+    bool packed = false;
+
+    /**
+     * All lanes' counter tables as uint32 words, each lane's run
+     * preceded by a kSimdLaneStagger gap (see above).
+     *
+     * Unpacked (packed == false): one counter per word at
+     * laneBase[l] + idx.
+     *
+     * Packed: counter idx of lane l lives in word
+     * laneBase[l] + (idx >> wordShift[l]), in the field of
+     * fieldMask[l] starting at bit
+     * (idx & slotIdxMask[l]) << slotShift[l]. Slots are the power of
+     * two >= the counter width, so 2-bit counters pack 16 per word —
+     * a 16-fold footprint cut that keeps realistic history-indexed
+     * banks L1-resident (gathers were the dominant cost on
+     * out-of-L1 banks).
+     */
+    std::vector<std::uint32_t> counters;
+    /** All lanes' per-address history registers (localHistory only),
+     *  lane l at [localBase[l], localBase[l] + 2^l entries),
+     *  staggered like the counter arena. */
+    std::vector<std::uint32_t> localHist;
+
+    /** @name Per-lane constants (paddedLanes() elements) */
+    /**@{*/
+    std::vector<std::uint32_t> laneBase;   ///< lane's word offset in counters
+    std::vector<std::uint32_t> addrMask;   ///< address bits kept
+    std::vector<std::uint32_t> histShift;  ///< address shift (two-level)
+    std::vector<std::uint32_t> histMask;   ///< history register mask
+    std::vector<std::uint32_t> localBase;  ///< lane's offset in localHist
+    std::vector<std::uint32_t> localMask;  ///< per-address index mask
+    std::vector<std::uint32_t> maxValue;   ///< counter saturation value
+    std::vector<std::uint32_t> threshold;  ///< predict taken when >
+    std::vector<std::uint32_t> wordShift;  ///< log2 counters per word (packed)
+    std::vector<std::uint32_t> slotIdxMask; ///< counters per word - 1 (packed)
+    std::vector<std::uint32_t> slotShift;  ///< log2 slot width in bits (packed)
+    std::vector<std::uint32_t> fieldMask;  ///< slot-wide value mask (packed)
+    /**@}*/
+
+    /** Global-history registers, live kernel state (updated per
+     *  branch, stored back to the predictors afterwards). Unused
+     *  when localHistory. */
+    std::vector<std::uint32_t> hist;
+
+    /** Per-lane misprediction counts over the measured region
+     *  (lanes elements, not padded). */
+    std::vector<std::uint64_t> mispredictions;
+
+    std::size_t
+    paddedLanes() const
+    {
+        return laneBase.size();
+    }
+};
+
+/**
+ * Flattens @p bank into SIMD lane state, copying counters/history
+ * out of the predictors. The predictors themselves are not modified
+ * until storeSimdBank(). Returns std::nullopt when the bank cannot
+ * be expressed (arena over 2^31 elements, history wider than the
+ * 32-bit lane math, mixed history scopes).
+ */
+std::optional<SimdBankState> buildSimdBank(
+    std::vector<BimodalPredictor> &bank);
+std::optional<SimdBankState> buildSimdBank(
+    std::vector<GsharePredictor> &bank);
+std::optional<SimdBankState> buildSimdBank(
+    std::vector<TwoLevelPredictor> &bank);
+
+/** Catch-all: predictor kinds without a SIMD flattening run the
+ *  scalar bank. */
+template <typename Pred>
+std::optional<SimdBankState>
+buildSimdBank(std::vector<Pred> &)
+{
+    return std::nullopt;
+}
+
+/** Stores arena state back into the predictors a buildSimdBank()
+ *  overload flattened; @p bank must be the same bank. */
+void storeSimdBank(const SimdBankState &state,
+                   std::vector<BimodalPredictor> &bank);
+void storeSimdBank(const SimdBankState &state,
+                   std::vector<GsharePredictor> &bank);
+void storeSimdBank(const SimdBankState &state,
+                   std::vector<TwoLevelPredictor> &bank);
+
+template <typename Pred>
+void
+storeSimdBank(const SimdBankState &, std::vector<Pred> &)
+{
+}
+
+/**
+ * Replays @p total branches (of which the first @p warmup train
+ * without being scored) through @p state on the backend for
+ * @p tier.
+ *
+ * @param pcs the packed branch addresses
+ * @param words the packed taken bitmap
+ * @return false when @p tier has no backend in this binary (the
+ *         caller falls back to the scalar bank); Scalar and Auto
+ *         always return false — resolve the tier first.
+ */
+bool runSimdBank(SimdBankState &state, KernelTier tier,
+                 const std::uint64_t *pcs, const std::uint64_t *words,
+                 std::size_t total, std::size_t warmup);
+
+namespace detail
+{
+
+/** Per-ISA kernel entry points; each is defined in its own TU
+ *  compiled with that ISA's flags (see src/sim/CMakeLists.txt). */
+void simdBankReplayAvx2(SimdBankState &state, const std::uint64_t *pcs,
+                        const std::uint64_t *words, std::size_t total,
+                        std::size_t warmup);
+void simdBankReplayAvx512(SimdBankState &state, const std::uint64_t *pcs,
+                          const std::uint64_t *words, std::size_t total,
+                          std::size_t warmup);
+void simdBankReplayNeon(SimdBankState &state, const std::uint64_t *pcs,
+                        const std::uint64_t *words, std::size_t total,
+                        std::size_t warmup);
+
+} // namespace detail
+
+} // namespace bpsim
+
+#endif // BPSIM_SIM_SIMD_SIMD_BANK_HH

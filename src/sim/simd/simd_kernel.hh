@@ -1,0 +1,257 @@
+/**
+ * @file
+ * The ISA-generic vectorized bank kernel.
+ *
+ * This header is included ONLY by the per-ISA backend TUs
+ * (simd_avx2.cc, simd_avx512.cc, simd_neon.cc), each compiled with
+ * its own target flags (src/sim/CMakeLists.txt); including it from
+ * generically-compiled code would let target-specific instructions
+ * leak into the generic binary.
+ *
+ * Vectorization axis: lanes, not branches. Each trace branch is
+ * consumed serially — gather every lane's counter, predict, saturate,
+ * write back, shift every lane's history — before the next branch is
+ * touched. A lane therefore performs the exact scalar sequence of
+ * loads and stores it would perform alone, in the same order, which
+ * is what makes every tier bit-identical to the scalar oracle *by
+ * construction*: there is no reconvergence step to get wrong. The
+ * speedup comes from the lane axis alone (one gather serves 4/8/16
+ * configurations) — the serial chain through each lane's history
+ * register and tables is preserved untouched.
+ *
+ * A Backend provides a 32-bit-lane vector type plus the dozen ops
+ * the kernel body needs:
+ *
+ *   using V; kLanes;
+ *   load/store (uint32 array <-> V), bcast, zero
+ *   and_/or_/xor_/andnot (~a & b), add/sub
+ *   sll1 (<<1), sllv/srlv (per-lane shifts)
+ *   cmpgt (signed, all-ones mask result), blend(a, b, m) = m ? b : a
+ *   gather32 (uint32 base, element offsets)
+ *   scatter32 (uint32 base, offsets, values, active lane count —
+ *              lanes >= active must not be written: they are padding
+ *              replicas of lane 0 and would corrupt its region)
+ *
+ * All index math is unsigned 32-bit: tables are capped at 2^28
+ * entries (checkedTableEntries) and buildSimdBank() rejects arenas
+ * of 2^31+ elements, so offsets stay positive in the signed-index
+ * gathers/scatters and lane-local shifts cannot overflow.
+ */
+
+#ifndef BPSIM_SIM_SIMD_SIMD_KERNEL_HH
+#define BPSIM_SIM_SIMD_SIMD_KERNEL_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/simd/simd_bank.hh"
+#include "trace/packed_trace.hh"
+
+namespace bpsim
+{
+
+namespace detail
+{
+
+/**
+ * Steps every lane of @p state through branches [0, total), scoring
+ * mispredictions from @p warmup on.
+ *
+ * @tparam B           the ISA backend
+ * @tparam LocalHistory per-address first level (PAg/PAs): history is
+ *                     gathered/scattered per branch instead of
+ *                     carried in a register
+ * @tparam Packed      counters are bit-packed into arena words (see
+ *                     SimdBankState::packed); false runs the
+ *                     one-counter-per-word layout without the slot
+ *                     math
+ */
+template <typename B, bool LocalHistory, bool Packed>
+void
+runSimdBankKernel(SimdBankState &state, const std::uint64_t *pcs,
+                  const std::uint64_t *words, std::size_t total,
+                  std::size_t warmup)
+{
+    using V = typename B::V;
+
+    const std::size_t lanes = state.lanes;
+    std::uint32_t *arena = state.counters.data();
+    std::uint32_t *localHist =
+        state.localHist.empty() ? nullptr : state.localHist.data();
+
+    // Same block geometry as the scalar bank: lane groups run
+    // lane-major within 8-word blocks, so each block's pcs and
+    // bitmap words stay L1-hot while every group consumes them.
+    constexpr std::size_t kBlockBranches =
+        8 * PackedTrace::kWordBits;
+
+    alignas(64) std::uint32_t valBuf[B::kLanes];
+
+    for (std::size_t blockFrom = 0; blockFrom < total;
+         blockFrom += kBlockBranches) {
+        const std::size_t blockTo =
+            std::min(total, blockFrom + kBlockBranches);
+        const std::size_t scoreFrom =
+            std::clamp(warmup, blockFrom, blockTo);
+
+        for (std::size_t g0 = 0; g0 < lanes; g0 += B::kLanes) {
+            const std::size_t active =
+                std::min<std::size_t>(B::kLanes, lanes - g0);
+
+            const V laneBase = B::load(&state.laneBase[g0]);
+            const V addrMask = B::load(&state.addrMask[g0]);
+            const V histShift = B::load(&state.histShift[g0]);
+            const V histMask = B::load(&state.histMask[g0]);
+            [[maybe_unused]] const V localBase =
+                B::load(&state.localBase[g0]);
+            [[maybe_unused]] const V localMask =
+                B::load(&state.localMask[g0]);
+            const V maxValue = B::load(&state.maxValue[g0]);
+            const V threshold = B::load(&state.threshold[g0]);
+            [[maybe_unused]] const V wordShift =
+                B::load(&state.wordShift[g0]);
+            [[maybe_unused]] const V slotIdxMask =
+                B::load(&state.slotIdxMask[g0]);
+            [[maybe_unused]] const V slotShift =
+                B::load(&state.slotShift[g0]);
+            [[maybe_unused]] const V fieldMask =
+                B::load(&state.fieldMask[g0]);
+            const V one = B::bcast(1);
+            const V zero = B::zero();
+
+            V hist = B::load(&state.hist[g0]);
+            // Block-local 32-bit misprediction accumulator: a block
+            // holds at most 512 branches, far below overflow; it is
+            // widened into the per-lane uint64 totals below.
+            V misses = zero;
+
+            // The warmup/measured split is at most one boundary per
+            // block; the score test is a perfectly-predicted branch.
+            for (std::size_t j = blockFrom; j < blockTo; ++j) {
+                const auto addr =
+                    static_cast<std::uint32_t>(pcs[j] >> 2);
+                const bool taken =
+                    (words[j / PackedTrace::kWordBits] >>
+                     (j % PackedTrace::kWordBits)) & 1;
+                const V addrV = B::bcast(addr);
+                const V takenM =
+                    B::bcast(taken ? 0xFFFFFFFFu : 0u);
+
+                V h;
+                if constexpr (LocalHistory) {
+                    h = B::gather32(
+                        localHist,
+                        B::add(localBase, B::and_(addrV, localMask)));
+                } else {
+                    h = hist;
+                }
+
+                // idx = ((addr & addrMask) << histShift) ^ hist —
+                // the unified formula of simd_bank.hh. hist is kept
+                // masked at every update, so no mask is needed here.
+                const V index = B::xor_(
+                    B::sllv(B::and_(addrV, addrMask), histShift), h);
+                V offset, counter;
+                [[maybe_unused]] V slot{}, word{};
+                if constexpr (Packed) {
+                    // The counter lives in a bit slot of a packed
+                    // word (simd_bank.hh): locate word and slot,
+                    // then extract.
+                    offset = B::add(
+                        laneBase, B::srlv(index, wordShift));
+                    slot = B::sllv(
+                        B::and_(index, slotIdxMask), slotShift);
+                    word = B::gather32(arena, offset);
+                    counter = B::and_(
+                        B::srlv(word, slot), fieldMask);
+                } else {
+                    offset = B::add(laneBase, index);
+                    counter = B::gather32(arena, offset);
+                }
+
+                const V predicted = B::cmpgt(counter, threshold);
+                if (j >= scoreFrom) {
+                    // predicted ^ takenM is all-ones (-1) exactly on
+                    // a mispredicting lane; subtracting adds 1.
+                    misses = B::sub(
+                        misses, B::xor_(predicted, takenM));
+                }
+
+                // Branchless saturate toward the outcome: both
+                // candidates, then select by the outcome mask
+                // (cmpgt masks are -1, so subtracting/adding them
+                // steps by one).
+                const V up = B::sub(counter, B::cmpgt(maxValue, counter));
+                const V down = B::add(counter, B::cmpgt(counter, zero));
+                const V updated = B::blend(down, up, takenM);
+
+                // Store back (packed: re-insert the stepped counter
+                // into its slot first). Active lanes hit disjoint
+                // regions of the arena, so order within a branch is
+                // immaterial; padding lanes (>= active) are never
+                // written.
+                V rewritten;
+                if constexpr (Packed) {
+                    rewritten = B::or_(
+                        B::andnot(B::sllv(fieldMask, slot), word),
+                        B::sllv(updated, slot));
+                } else {
+                    rewritten = updated;
+                }
+                B::scatter32(arena, offset, rewritten, active);
+
+                const V takenBit = B::and_(takenM, one);
+                if constexpr (LocalHistory) {
+                    // The index recomputation is CSE'd against the
+                    // gather above.
+                    const V localIdx = B::add(
+                        localBase, B::and_(addrV, localMask));
+                    const V shifted = B::and_(
+                        B::or_(B::sll1(h), takenBit), histMask);
+                    B::scatter32(localHist, localIdx, shifted, active);
+                } else {
+                    hist = B::and_(
+                        B::or_(B::sll1(hist), takenBit), histMask);
+                }
+            }
+
+            B::store(&state.hist[g0], hist);
+            B::store(valBuf, misses);
+            for (std::size_t k = 0; k < active; ++k)
+                state.mispredictions[g0 + k] += valBuf[k];
+        }
+    }
+}
+
+/** Instantiates the kernel matching @p state's history and packing
+ *  flavors for backend @p B — the shared dispatch of every per-ISA
+ *  entry point. */
+template <typename B>
+void
+dispatchSimdBankKernel(SimdBankState &state, const std::uint64_t *pcs,
+                       const std::uint64_t *words, std::size_t total,
+                       std::size_t warmup)
+{
+    if (state.localHistory) {
+        if (state.packed) {
+            runSimdBankKernel<B, true, true>(state, pcs, words, total,
+                                             warmup);
+        } else {
+            runSimdBankKernel<B, true, false>(state, pcs, words, total,
+                                              warmup);
+        }
+    } else if (state.packed) {
+        runSimdBankKernel<B, false, true>(state, pcs, words, total,
+                                          warmup);
+    } else {
+        runSimdBankKernel<B, false, false>(state, pcs, words, total,
+                                           warmup);
+    }
+}
+
+} // namespace detail
+
+} // namespace bpsim
+
+#endif // BPSIM_SIM_SIMD_SIMD_KERNEL_HH

@@ -49,7 +49,8 @@ SimResult::toJson(std::ostream &os, bool withTiming) const
     if (withTiming) {
         os << ",\"wallNanos\":" << wallNanos
            << ",\"branchesPerSec\":" << jsonNumber(branchesPerSec())
-           << ",\"fusedLanes\":" << fusedLanes;
+           << ",\"fusedLanes\":" << fusedLanes
+           << ",\"kernelTier\":" << jsonString(kernelTierName(kernelTier));
     }
     os << "}";
 }

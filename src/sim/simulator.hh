@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "predictors/predictor.hh"
+#include "sim/simd/kernel_tier.hh"
 #include "trace/trace_source.hh"
 
 namespace bpsim
@@ -27,6 +28,11 @@ struct SimConfig
     std::uint64_t warmupBranches = 0;
     /** Collect per-static-branch execution/misprediction counts. */
     bool trackPerBranch = false;
+    /** Replay-kernel backend for banked passes; Auto defers to the
+     *  process-wide selection (--kernel-tier, BPSIM_KERNEL_TIER, CPU
+     *  detection — see sim/simd/kernel_tier.hh). Counts never depend
+     *  on it: every tier is bit-identical to the scalar oracle. */
+    KernelTier kernelTier = KernelTier::Auto;
 };
 
 /** Per-static-branch outcome of a simulation. */
@@ -76,6 +82,11 @@ struct SimResult
     /** Lane count of the banked replay pass this result shared, or 0
      *  when the run was timed alone (see wallNanos). */
     std::uint32_t fusedLanes = 0;
+    /** Kernel backend that produced the counts (Scalar for the
+     *  virtual loop, the solo kernel and the scalar bank). Purely
+     *  informational — counts are tier-invariant — and serialized
+     *  only with the timing fields, which are what it explains. */
+    KernelTier kernelTier = KernelTier::Scalar;
     /** Per-branch details when SimConfig::trackPerBranch is set,
      *  sorted by descending execution count. */
     std::vector<PerBranchResult> perBranch;

@@ -31,8 +31,7 @@ PackedTrace::PackedTrace(const MemoryTrace &trace)
     wordPtr = ownedWords.data();
 }
 
-PackedTrace::PackedTrace(std::vector<std::uint64_t> pcs,
-                         std::vector<std::uint64_t> words,
+PackedTrace::PackedTrace(TraceWordVector pcs, TraceWordVector words,
                          std::size_t count)
     : ownedPcs(std::move(pcs)), ownedWords(std::move(words))
 {

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "trace/memory_trace.hh"
+#include "util/aligned.hh"
 
 namespace bpsim
 {
@@ -38,6 +39,23 @@ namespace bpsim
  * word arithmetic in taken()/takenWord(). */
 static_assert(sizeof(std::uint64_t) == 8 && alignof(std::uint64_t) == 8,
               "PackedTrace words must be 8-byte units");
+
+/** Alignment of the pc array and taken bitmap — one cache line, so
+ *  the replay kernels' streaming loads never straddle lines and the
+ *  arrays are eligible for aligned vector loads. Owned storage gets
+ *  it from TraceWordVector's allocator; PBT1 files place both arrays
+ *  at multiple-of-64 offsets (trace/trace_store.cc), which mmap's
+ *  page-aligned base turns into the same guarantee for views. */
+constexpr std::size_t kTraceArrayAlign = 64;
+
+/** Heap storage of PackedTrace's arrays: a uint64 vector whose
+ *  allocation is cache-line aligned. */
+using TraceWordVector =
+    std::vector<std::uint64_t,
+                AlignedAllocator<std::uint64_t, kTraceArrayAlign>>;
+
+static_assert(kTraceArrayAlign % alignof(std::uint64_t) == 0,
+              "array alignment must preserve word alignment");
 
 /** Read-only SoA view of the conditional records of a trace. */
 class PackedTrace
@@ -57,8 +75,8 @@ class PackedTrace
      * ceil(count / 64) entries with all padding bits past @p count
      * zero (takenCount() popcounts whole words).
      */
-    PackedTrace(std::vector<std::uint64_t> pcs,
-                std::vector<std::uint64_t> words, std::size_t count);
+    PackedTrace(TraceWordVector pcs, TraceWordVector words,
+                std::size_t count);
 
     /**
      * Zero-copy view: @p pcs (@p count entries) and @p words
@@ -112,10 +130,10 @@ class PackedTrace
     bool isView() const { return storage != nullptr; }
 
   private:
-    /** Owned storage; empty in view mode. */
-    std::vector<std::uint64_t> ownedPcs;
+    /** Owned storage (kTraceArrayAlign-aligned); empty in view mode. */
+    TraceWordVector ownedPcs;
     /** One bit per record, LSB-first within each word. */
-    std::vector<std::uint64_t> ownedWords;
+    TraceWordVector ownedWords;
     /** Keeps external storage alive in view mode; null when owned. */
     std::shared_ptr<const void> storage;
 

@@ -21,8 +21,27 @@ namespace
 {
 
 constexpr char kPackedMagic[4] = {'P', 'B', 'T', '1'};
-constexpr std::uint32_t kPackedVersion = 1;
+/** Version 2 pads the taken bitmap to a kTraceArrayAlign file offset
+ *  (see bitmapOffsetFor) so mmap'd views hand the replay kernels
+ *  cache-line-aligned arrays; version-1 files are rejected and
+ *  simply regenerated on the next store. */
+constexpr std::uint32_t kPackedVersion = 2;
 constexpr std::size_t kPackedHeaderSize = 64;
+
+/* The pc array starts right after the header; its mmap'd alignment
+ * is the header size. */
+static_assert(kPackedHeaderSize % kTraceArrayAlign == 0,
+              "PBT1 pc array must start cache-line aligned");
+
+/** File offset of the taken bitmap for a @p count record trace: the
+ *  pc array end, rounded up to the next kTraceArrayAlign boundary
+ *  (the gap is zero bytes, excluded from the checksum). */
+std::uint64_t
+bitmapOffsetFor(std::uint64_t count)
+{
+    return (kPackedHeaderSize + 8 * count + kTraceArrayAlign - 1) /
+           kTraceArrayAlign * kTraceArrayAlign;
+}
 
 constexpr bool kLittleEndian =
     std::endian::native == std::endian::little;
@@ -222,8 +241,8 @@ TraceStore::loadPacked(const std::string &name, std::uint64_t fingerprint,
     }
     const std::uint64_t words =
         (count + PackedTrace::kWordBits - 1) / PackedTrace::kWordBits;
-    const std::uint64_t expected_size =
-        kPackedHeaderSize + 8 * (count + words);
+    const std::uint64_t bitmap_offset = bitmapOffsetFor(count);
+    const std::uint64_t expected_size = bitmap_offset + 8 * words;
     if (file->size() != expected_size) {
         why = "'" + path + "' is " + std::to_string(file->size()) +
               " bytes; " + std::to_string(count) + " records need " +
@@ -231,9 +250,11 @@ TraceStore::loadPacked(const std::string &name, std::uint64_t fingerprint,
         return StoreStatus::Invalid;
     }
 
-    const std::uint8_t *payload = base + kPackedHeaderSize;
+    const std::uint8_t *pc_bytes = base + kPackedHeaderSize;
+    const std::uint8_t *bitmap_bytes = base + bitmap_offset;
     Fnv1a checksum;
-    checksum.update(payload, static_cast<std::size_t>(8 * (count + words)));
+    checksum.update(pc_bytes, static_cast<std::size_t>(8 * count));
+    checksum.update(bitmap_bytes, static_cast<std::size_t>(8 * words));
     if (checksum.digest() != getLe64(base + 24)) {
         why = "'" + path + "': checksum mismatch, file corrupt";
         return StoreStatus::Invalid;
@@ -241,8 +262,9 @@ TraceStore::loadPacked(const std::string &name, std::uint64_t fingerprint,
 
     if constexpr (kLittleEndian) {
         const auto *pcs =
-            reinterpret_cast<const std::uint64_t *>(payload);
-        const std::uint64_t *bitmap = pcs + count;
+            reinterpret_cast<const std::uint64_t *>(pc_bytes);
+        const auto *bitmap =
+            reinterpret_cast<const std::uint64_t *>(bitmap_bytes);
         // Padding bits past the last record must be zero or the
         // popcount-based takenCount() would drift.
         if (count % PackedTrace::kWordBits != 0 && words > 0) {
@@ -257,14 +279,12 @@ TraceStore::loadPacked(const std::string &name, std::uint64_t fingerprint,
         out = PackedTrace(pcs, bitmap,
                           static_cast<std::size_t>(count), file);
     } else {
-        std::vector<std::uint64_t> pcs(
-            static_cast<std::size_t>(count));
-        std::vector<std::uint64_t> bitmap(
-            static_cast<std::size_t>(words));
+        TraceWordVector pcs(static_cast<std::size_t>(count));
+        TraceWordVector bitmap(static_cast<std::size_t>(words));
         for (std::uint64_t i = 0; i < count; ++i)
-            pcs[i] = getLe64(payload + 8 * i);
+            pcs[i] = getLe64(pc_bytes + 8 * i);
         for (std::uint64_t w = 0; w < words; ++w)
-            bitmap[w] = getLe64(payload + 8 * (count + w));
+            bitmap[w] = getLe64(bitmap_bytes + 8 * w);
         if (count % PackedTrace::kWordBits != 0 && words > 0 &&
             (bitmap[words - 1] >> (count % PackedTrace::kWordBits)) !=
                 0) {
@@ -302,7 +322,15 @@ TraceStore::storePacked(const std::string &name,
     putLe64(header + 24, checksum.digest());
     out.write(reinterpret_cast<const char *>(header), kPackedHeaderSize);
 
+    // Zero gap up to the bitmap's aligned offset (not checksummed —
+    // the digest covers exactly the two arrays).
+    const char pad[kTraceArrayAlign] = {};
+    const std::uint64_t pad_bytes =
+        bitmapOffsetFor(trace.size()) -
+        (kPackedHeaderSize + 8 * trace.size());
+
     if (!writeWordsLe(out, trace.pcData(), trace.size()) ||
+        !out.write(pad, static_cast<std::streamsize>(pad_bytes)) ||
         !writeWordsLe(out, trace.wordData(), trace.wordCount())) {
         why = "I/O error writing '" + tmp + "'";
         out.close();

@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <map>
 #include <sstream>
 #include <string>
@@ -21,6 +22,7 @@
 #include "campaign/emitters.hh"
 #include "core/factory.hh"
 #include "sim/replay.hh"
+#include "sim/simd/kernel_tier.hh"
 #include "sim/trace_cache.hh"
 #include "trace/packed_trace.hh"
 #include "workload/generator.hh"
@@ -187,6 +189,119 @@ bankTestName(
 }
 
 INSTANTIATE_TEST_SUITE_P(AllFastKinds, BankEquivalence,
+                         ::testing::ValuesIn(kBankSpecs.begin(),
+                                             kBankSpecs.end()),
+                         bankTestName);
+
+/** Kinds with a vectorized bank flattening (buildSimdBank overloads)
+ *  — the only ones where a forced SIMD tier actually changes the
+ *  executed code path and must be attributed in SimResult. */
+bool
+kindHasSimdBank(const std::string &kind)
+{
+    return kind == "bimodal" || kind == "gshare" || kind == "gag" ||
+           kind == "gas" || kind == "pag" || kind == "pas";
+}
+
+/**
+ * Two no-reset banked passes at a forced kernel tier — the
+ * comparison unit of the tier matrix. Pass 2 only reproduces the
+ * oracle if pass 1 left every lane's counters and histories
+ * bit-identical, so final-state divergence surfaces as a pass-2
+ * count mismatch without needing a state walker per kind.
+ */
+std::array<std::vector<SimResult>, 2>
+runTierPasses(const std::string &kind,
+              const std::vector<std::string> &configs,
+              std::size_t lanes, KernelTier tier)
+{
+    std::vector<PredictorPtr> owned;
+    std::vector<BranchPredictor *> bank;
+    for (std::size_t l = 0; l < lanes; ++l) {
+        owned.push_back(makePredictor(configs[l % configs.size()]));
+        bank.push_back(owned.back().get());
+    }
+
+    SimConfig config;
+    // 500 splits a 64-bit taken-bitmap word: the warmup/measured
+    // boundary lands mid-word in both the scalar and vector loops.
+    config.warmupBranches = 500;
+    config.kernelTier = tier;
+
+    std::array<std::vector<SimResult>, 2> passes;
+    for (auto &results : passes) {
+        EXPECT_TRUE(replayKernelBankAny(kind, bank, sharedPacked(),
+                                        config, results))
+            << kind << " lanes=" << lanes << " tier="
+            << kernelTierName(tier);
+    }
+    return passes;
+}
+
+class TierMatrix
+    : public ::testing::TestWithParam<
+          std::pair<const std::string, std::vector<std::string>>>
+{
+};
+
+/**
+ * The tier matrix: every tier this binary can run here × every
+ * fast-replay kind × lane counts around the vector widths (1 solo,
+ * 7/9 straddling the 8-wide groups, 8 exact, 32 = the campaign
+ * maximum spanning two 16-wide groups) must match the forced-scalar
+ * oracle in every count, on both of the no-reset passes.
+ */
+TEST_P(TierMatrix, MatchesScalarOracleAtEveryLaneCount)
+{
+    const std::string &kind = GetParam().first;
+    const std::vector<std::string> &configs = GetParam().second;
+
+    for (const std::size_t lanes :
+         {std::size_t{1}, std::size_t{7}, std::size_t{8},
+          std::size_t{9}, std::size_t{32}}) {
+        const auto oracle =
+            runTierPasses(kind, configs, lanes, KernelTier::Scalar);
+
+        for (const KernelTier tier : availableKernelTiers()) {
+            if (tier == KernelTier::Scalar)
+                continue;
+            const auto vec = runTierPasses(kind, configs, lanes, tier);
+
+            for (int pass = 0; pass < 2; ++pass) {
+                ASSERT_EQ(vec[pass].size(), lanes);
+                for (std::size_t l = 0; l < lanes; ++l) {
+                    const std::string where =
+                        kind + " tier=" + kernelTierName(tier) +
+                        " lanes=" + std::to_string(lanes) +
+                        " lane=" + std::to_string(l) + " pass=" +
+                        std::to_string(pass + 1);
+                    EXPECT_EQ(vec[pass][l].mispredictions,
+                              oracle[pass][l].mispredictions)
+                        << where;
+                    EXPECT_EQ(vec[pass][l].branches,
+                              oracle[pass][l].branches)
+                        << where;
+                    EXPECT_EQ(vec[pass][l].takenBranches,
+                              oracle[pass][l].takenBranches)
+                        << where;
+                    // A multi-lane bank of a SIMD-capable kind must
+                    // actually have run (and report) the forced
+                    // tier; other kinds ride the scalar fallback.
+                    if (kindHasSimdBank(kind) && lanes > 1) {
+                        EXPECT_EQ(vec[pass][l].kernelTier, tier)
+                            << where;
+                    } else {
+                        EXPECT_EQ(vec[pass][l].kernelTier,
+                                  KernelTier::Scalar)
+                            << where;
+                    }
+                }
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFastKinds, TierMatrix,
                          ::testing::ValuesIn(kBankSpecs.begin(),
                                              kBankSpecs.end()),
                          bankTestName);

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -120,10 +121,35 @@ TEST(PackedTrace, AllNonConditionalPacksEmpty)
     EXPECT_EQ(packed.wordCount(), 0u);
 }
 
+TEST(PackedTrace, OwnedArraysAreCacheLineAligned)
+{
+    // The vectorized replay kernels stream both arrays; the aligned
+    // allocator must hand them out on kTraceArrayAlign boundaries.
+    MemoryTrace trace;
+    for (std::size_t i = 0; i < 150; ++i)
+        trace.append(makeRecord(0x1000 + 4 * i, i % 2 == 0));
+    const PackedTrace packed(trace);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(packed.pcData()) %
+                  kTraceArrayAlign,
+              0u);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(packed.wordData()) %
+                  kTraceArrayAlign,
+              0u);
+
+    const PackedTrace adopted(TraceWordVector{0x10, 0x20, 0x30},
+                              TraceWordVector{0b101}, 3);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(adopted.pcData()) %
+                  kTraceArrayAlign,
+              0u);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(adopted.wordData()) %
+                  kTraceArrayAlign,
+              0u);
+}
+
 TEST(PackedTrace, AdoptedVectorsBehaveLikePacked)
 {
-    std::vector<std::uint64_t> pcs = {0x10, 0x20, 0x30};
-    std::vector<std::uint64_t> words = {0b101};
+    TraceWordVector pcs = {0x10, 0x20, 0x30};
+    TraceWordVector words = {0b101};
     const PackedTrace packed(std::move(pcs), std::move(words), 3);
     ASSERT_EQ(packed.size(), 3u);
     EXPECT_FALSE(packed.isView());
@@ -175,8 +201,8 @@ TEST(PackedTrace, MoveKeepsSpansValid)
 
 TEST(PackedTraceDeath, AdoptedSizeMismatchPanics)
 {
-    std::vector<std::uint64_t> pcs = {0x10, 0x20};
-    std::vector<std::uint64_t> words = {};
+    TraceWordVector pcs = {0x10, 0x20};
+    TraceWordVector words = {};
     EXPECT_DEATH(PackedTrace(std::move(pcs), std::move(words), 2),
                  "do not fit");
 }

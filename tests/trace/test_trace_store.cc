@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -202,6 +203,41 @@ TEST(TraceStore, PackedRoundTripBitIdentical)
     expectSamePacked(packed, loaded);
 }
 
+TEST(TraceStore, LoadedViewArraysAreCacheLineAligned)
+{
+    // 150 records is not a multiple of 8, so without the v2 bitmap
+    // padding the mmap'd bitmap would land on a 64+8*150 = 1264 byte
+    // offset — misaligned. The loaded trace must be a zero-copy view
+    // with both arrays on kTraceArrayAlign boundaries.
+    TempStoreDir dir("store_pbt_align");
+    TraceStore store(dir.path());
+    MemoryTrace trace;
+    for (std::size_t i = 0; i < 150; ++i) {
+        BranchRecord record;
+        record.pc = 0x2000 + 4 * i;
+        record.target = record.pc + 16;
+        record.type = BranchType::Conditional;
+        record.taken = (i * 7) % 3 == 0;
+        trace.append(record);
+    }
+    const PackedTrace packed(trace);
+    std::string why;
+    ASSERT_TRUE(store.storePacked("gcc", kFp, packed, why)) << why;
+
+    PackedTrace loaded;
+    ASSERT_EQ(store.loadPacked("gcc", kFp, loaded, why),
+              StoreStatus::Loaded)
+        << why;
+    EXPECT_TRUE(loaded.isView());
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(loaded.pcData()) %
+                  kTraceArrayAlign,
+              0u);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(loaded.wordData()) %
+                  kTraceArrayAlign,
+              0u);
+    expectSamePacked(packed, loaded);
+}
+
 TEST(TraceStore, EmptyPackedRoundTrips)
 {
     TempStoreDir dir("store_pbt_empty");
@@ -288,10 +324,13 @@ TEST(TraceStore, PatchedPackedCountIsInvalid)
 {
     // A count field that disagrees with the file size must be caught
     // before the payload is trusted (the checksum can't help: it is
-    // computed over whatever range the count implies).
+    // computed over whatever range the count implies). 0x80 moves the
+    // count far enough that the bitmap's aligned offset shifts too —
+    // a one-off patch could land inside the same alignment slack and
+    // only fail the checksum instead.
     expectPackedInvalid(
         "store_pbt_count",
-        [](const std::string &path) { xorByteAt(path, 8, 0x01); },
+        [](const std::string &path) { xorByteAt(path, 8, 0x80); },
         "records need");
 }
 
@@ -314,25 +353,34 @@ TEST(TraceStore, NonzeroPaddingBitsAreInvalid)
     TraceStore store(dir.path());
     const std::string path = store.pathFor("gcc", kFp, ".pbt1");
 
-    std::uint8_t payload[16];
-    putLe64(payload, 0x4000);    // pc
-    putLe64(payload + 8, 0b110); // bit 0 clear, padding bits 1..2 set
+    std::uint8_t pc_bytes[8];
+    std::uint8_t bitmap_bytes[8];
+    putLe64(pc_bytes, 0x4000);
+    putLe64(bitmap_bytes, 0b110); // bit 0 clear, padding bits 1..2 set
     Fnv1a checksum;
-    checksum.update(payload, sizeof(payload));
+    checksum.update(pc_bytes, sizeof(pc_bytes));
+    checksum.update(bitmap_bytes, sizeof(bitmap_bytes));
 
     std::uint8_t header[64] = {};
     header[0] = 'P';
     header[1] = 'B';
     header[2] = 'T';
     header[3] = '1';
-    putLe32(header + 4, 1);
+    putLe32(header + 4, 2);
     putLe64(header + 8, 1);
     putLe64(header + 16, kFp);
     putLe64(header + 24, checksum.digest());
 
+    // Layout per PBT1 v2: one pc word after the header, then a zero
+    // gap up to the bitmap's 64-byte-aligned offset (128).
+    const char gap[64 - sizeof(pc_bytes)] = {};
     std::ofstream out(path, std::ios::binary);
     out.write(reinterpret_cast<const char *>(header), sizeof(header));
-    out.write(reinterpret_cast<const char *>(payload), sizeof(payload));
+    out.write(reinterpret_cast<const char *>(pc_bytes),
+              sizeof(pc_bytes));
+    out.write(gap, sizeof(gap));
+    out.write(reinterpret_cast<const char *>(bitmap_bytes),
+              sizeof(bitmap_bytes));
     out.close();
 
     PackedTrace loaded;
