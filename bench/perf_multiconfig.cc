@@ -6,14 +6,17 @@
  * records the single-pass speedup that makes full figure sweeps
  * affordable.
  *
- * Two representative campaign shapes run on one worker, so the
- * numbers isolate fusion (one trace pass for the whole group) from
+ * Representative campaign shapes run on one worker, so the numbers
+ * isolate fusion (one trace pass for the whole group) from
  * thread-level parallelism:
  *
- *   ladder  the fig2 shape: one gshare rung per table size,
- *           n = 10..17, over one gcc-like trace
- *   sweep   the gshare.best shape (paper §3.1): every history length
- *           at one table size, n = 12, h = 0..12
+ *   ladder         the fig2 shape: one gshare rung per table size,
+ *                  n = 10..17, over one gcc-like trace
+ *   sweep          the gshare.best shape (paper §3.1): every history
+ *                  length at one table size, n = 12, h = 0..12
+ *   bimode-ladder  the fig3 shape: one bi-mode rung per
+ *                  direction-bank size, d = 10..15, on the
+ *                  two-gather vector path
  *
  * Each shape is timed best-of-N with fusion off and then with fusion
  * on once per available kernel tier (sim/simd/kernel_tier.hh), so
@@ -146,6 +149,14 @@ main(int argc, char **argv)
             sweep.configs.push_back("gshare:n=12,h=" +
                                     std::to_string(h));
         scenarios.push_back(std::move(sweep));
+
+        // The fig3 shape: one bi-mode rung per direction-bank size —
+        // the paper's own predictor on the two-gather vector path.
+        Scenario bimode;
+        bimode.name = "bimode-ladder";
+        for (unsigned d = 10; d <= 15; ++d)
+            bimode.configs.push_back("bimode:d=" + std::to_string(d));
+        scenarios.push_back(std::move(bimode));
     }
 
     TextTable table;

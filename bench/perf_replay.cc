@@ -74,9 +74,15 @@ const std::vector<BankScenario> kBankScenarios = {
     {"gas", {"gas:h=8,a=3", "gas:h=9,a=3", "gas:h=10,a=2"}},
     {"pag", {"pag:h=8,l=10", "pag:h=10,l=10", "pag:h=12,l=8"}},
     {"pas", {"pas:h=6,l=10,a=4", "pas:h=8,l=10,a=3", "pas:h=8,l=8,a=4"}},
+    // Two-gather kinds (choice arena + direction bank, simd_bank.hh):
+    // the paper's own predictor and agree, at the Figure 2/3 sweep
+    // sizes the campaigns actually fuse.
+    {"bimode", {"bimode:d=10", "bimode:d=11", "bimode:d=12",
+                "bimode:d=13"}},
+    {"agree", {"agree:n=10,h=10,b=10", "agree:n=11,h=8,b=11",
+               "agree:n=12,h=12,b=12"}},
     // Scalar-bank kinds ride along as the fallback reference: their
     // per-tier rows must all time the same scalar loop.
-    {"bimode", {"bimode:d=10", "bimode:d=11", "bimode:d=12"}},
     {"yags",
      {"yags:c=10,n=8", "yags:c=11,n=9", "yags:c=12,n=10"}},
 };

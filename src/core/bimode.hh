@@ -165,6 +165,13 @@ class BiModePredictor : public FastPredictorBase<BiModePredictor>
     const CounterTable &takenBank() const { return banks[kTakenBank]; }
     const CounterTable &notTakenBank() const { return banks[kNotTakenBank]; }
 
+    /** Mutable SoA views for the SIMD bank (sim/simd/simd_bank.cc),
+     *  which copies the tables and history into vector lane state
+     *  and back. */
+    CounterTable &choiceTableRef() { return choice; }
+    CounterTable &bankRef(std::uint32_t bank) { return banks[bank]; }
+    HistoryRegister &historyRef() { return history; }
+
   private:
     /**
      * Both table indices at once, deriving the shared word address a

@@ -225,6 +225,9 @@ replayKernelBank(std::vector<Pred> &bank, const PackedTrace &packed,
             // The resolved tier has no backend in this binary
             // (shouldn't happen — resolution checks availability);
             // the scalar loop below is always a correct answer.
+            detail::logSimdBankFallback(
+                bank.front().name(),
+                "resolved tier has no backend in this binary");
         }
     }
 

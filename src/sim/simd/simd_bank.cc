@@ -3,11 +3,16 @@
 #include <algorithm>
 #include <cstdint>
 #include <limits>
+#include <mutex>
+#include <set>
 
+#include "core/bimode.hh"
+#include "predictors/agree.hh"
 #include "predictors/bimodal.hh"
 #include "predictors/gshare.hh"
 #include "predictors/twolevel.hh"
 #include "util/bits.hh"
+#include "util/logging.hh"
 
 namespace bpsim
 {
@@ -52,7 +57,10 @@ initLaneArrays(SimdBankState &state, std::size_t lanes)
           &state.histMask, &state.localBase, &state.localMask,
           &state.maxValue, &state.threshold, &state.wordShift,
           &state.slotIdxMask, &state.slotShift, &state.fieldMask,
-          &state.hist}) {
+          &state.choiceBase, &state.choiceAddrMask,
+          &state.choiceMaxValue, &state.choiceThreshold,
+          &state.bankStride, &state.alwaysChoiceMask,
+          &state.bothBanksMask, &state.hist}) {
         array->assign(padded, 0);
     }
     state.mispredictions.assign(lanes, 0);
@@ -68,7 +76,10 @@ padLanes(SimdBankState &state)
           &state.histMask, &state.localBase, &state.localMask,
           &state.maxValue, &state.threshold, &state.wordShift,
           &state.slotIdxMask, &state.slotShift, &state.fieldMask,
-          &state.hist}) {
+          &state.choiceBase, &state.choiceAddrMask,
+          &state.choiceMaxValue, &state.choiceThreshold,
+          &state.bankStride, &state.alwaysChoiceMask,
+          &state.bothBanksMask, &state.hist}) {
         std::fill(array->begin() + state.lanes, array->end(),
                   array->front());
     }
@@ -113,12 +124,69 @@ appendCounters(SimdBankState &state, std::size_t lane,
     }
 }
 
+/**
+ * Appends a second direction bank directly after @p lane's first
+ * (appendCounters() must have run for the lane), recording the word
+ * stride between the two banks. Requires state.packed and a table of
+ * the same geometry as the first bank, so the lane's slot constants
+ * cover both.
+ */
+void
+appendSecondBank(SimdBankState &state, std::size_t lane,
+                 const CounterTable &table)
+{
+    const unsigned perWordLog2 = state.wordShift[lane];
+    const unsigned slotLog2 = state.slotShift[lane];
+    const std::size_t words =
+        (table.size() + (std::size_t{1} << perWordLog2) - 1) >>
+        perWordLog2;
+    const std::size_t base = state.counters.size();
+    state.bankStride[lane] =
+        static_cast<std::uint32_t>(base - state.laneBase[lane]);
+    state.counters.resize(base + words, 0);
+    std::uint32_t *dst = state.counters.data() + base;
+    for (std::size_t e = 0; e < table.size(); ++e) {
+        dst[e >> perWordLog2] |=
+            static_cast<std::uint32_t>(table.data()[e])
+            << ((e & state.slotIdxMask[lane]) << slotLog2);
+    }
+}
+
+/** Appends @p table to the choice arena (one counter per word, see
+ *  SimdBankState::choiceArena) after a stagger gap, recording the
+ *  lane's choice base and counter constants. */
+void
+appendChoiceCounters(SimdBankState &state, std::size_t lane,
+                     const CounterTable &table)
+{
+    state.choiceMaxValue[lane] = table.max();
+    state.choiceThreshold[lane] = table.max() / 2;
+    state.choiceArena.resize(
+        state.choiceArena.size() + kSimdLaneStagger, 0);
+    state.choiceBase[lane] =
+        static_cast<std::uint32_t>(state.choiceArena.size());
+    state.choiceArena.insert(state.choiceArena.end(), table.data(),
+                             table.data() + table.size());
+}
+
+void
+restoreChoiceCounters(const SimdBankState &state, std::size_t lane,
+                      CounterTable &table)
+{
+    const std::uint32_t *src =
+        state.choiceArena.data() + state.choiceBase[lane];
+    for (std::size_t e = 0; e < table.size(); ++e)
+        table.data()[e] = static_cast<std::uint16_t>(src[e]);
+}
+
+/** Restores a packed table whose lane region starts @p wordOffset
+ *  words past laneBase (the bi-mode taken bank at bankStride). */
 void
 restoreCounters(const SimdBankState &state, std::size_t lane,
-                CounterTable &table)
+                CounterTable &table, std::size_t wordOffset = 0)
 {
     const std::uint32_t *src = state.counters.data() +
-                               state.laneBase[lane];
+                               state.laneBase[lane] + wordOffset;
     if (!state.packed) {
         // Counter values fit their (<= 8-bit) saturation value, so
         // the narrowing is lossless.
@@ -138,6 +206,23 @@ restoreCounters(const SimdBankState &state, std::size_t lane,
 
 } // namespace
 
+namespace detail
+{
+
+void
+logSimdBankFallback(const std::string &what, const char *reason)
+{
+    static std::mutex mutex;
+    static std::set<std::string> seen;
+    std::lock_guard<std::mutex> lock(mutex);
+    if (!seen.insert(what + '|' + reason).second)
+        return;
+    BPSIM_INFORM("SIMD bank fallback: " << what
+                 << " runs the scalar bank (" << reason << ")");
+}
+
+} // namespace detail
+
 std::optional<SimdBankState>
 buildSimdBank(std::vector<BimodalPredictor> &bank)
 {
@@ -146,8 +231,11 @@ buildSimdBank(std::vector<BimodalPredictor> &bank)
     std::uint64_t totalCounters = staggerElements(bank.size());
     for (BimodalPredictor &p : bank)
         totalCounters += p.table().size();
-    if (totalCounters > kMaxArenaElements)
+    if (totalCounters > kMaxArenaElements) {
+        detail::logSimdBankFallback(bank.front().name(),
+                                    "arena over 2^31 elements");
         return std::nullopt;
+    }
 
     SimdBankState state;
     initLaneArrays(state, bank.size());
@@ -174,11 +262,17 @@ buildSimdBank(std::vector<GsharePredictor> &bank)
         // The constructor caps history at the (<= 28 bit) index
         // width, but the 32-bit lane math is a hard requirement:
         // refuse rather than truncate if that ever loosens.
-        if (p.historyBitCount() > 31)
+        if (p.historyBitCount() > 31) {
+            detail::logSimdBankFallback(
+                p.name(), "history wider than the 32-bit lane math");
             return std::nullopt;
+        }
     }
-    if (totalCounters > kMaxArenaElements)
+    if (totalCounters > kMaxArenaElements) {
+        detail::logSimdBankFallback(bank.front().name(),
+                                    "arena over 2^31 elements");
         return std::nullopt;
+    }
 
     SimdBankState state;
     state.packed = true;
@@ -207,21 +301,33 @@ buildSimdBank(std::vector<TwoLevelPredictor> &bank)
         // The kernel instantiates one history flavor per bank; a
         // mixed-scope bank (which fusion keys never produce) runs
         // scalar.
-        if (cfg.scope != scope)
+        if (cfg.scope != scope) {
+            detail::logSimdBankFallback(p.name(),
+                                        "mixed history scopes");
             return std::nullopt;
+        }
         // Constructors cap historyBits + pcBits at 28 via the table
         // size; enforce the lane-math limits independently.
-        if (cfg.historyBits + cfg.pcBits > 31)
+        if (cfg.historyBits + cfg.pcBits > 31) {
+            detail::logSimdBankFallback(
+                p.name(), "index wider than the 32-bit lane math");
             return std::nullopt;
+        }
         totalCounters += p.tableRef().size();
         if (scope == HistoryScope::PerAddress) {
-            if (cfg.localEntriesLog2 > 28)
+            if (cfg.localEntriesLog2 > 28) {
+                detail::logSimdBankFallback(
+                    p.name(),
+                    "local-history table wider than the lane math");
                 return std::nullopt;
+            }
             totalLocal += p.localHistoryRef()->entries();
         }
     }
     if (totalCounters > kMaxArenaElements ||
         totalLocal > kMaxArenaElements) {
+        detail::logSimdBankFallback(bank.front().name(),
+                                    "arena over 2^31 elements");
         return std::nullopt;
     }
 
@@ -254,6 +360,119 @@ buildSimdBank(std::vector<TwoLevelPredictor> &bank)
                     static_cast<std::uint32_t>(local.data()[e]));
             }
         }
+    }
+    padLanes(state);
+    return state;
+}
+
+std::optional<SimdBankState>
+buildSimdBank(std::vector<BiModePredictor> &bank)
+{
+    if (bank.empty())
+        return std::nullopt;
+    std::uint64_t totalCounters = staggerElements(bank.size());
+    std::uint64_t totalChoice = staggerElements(bank.size());
+    for (BiModePredictor &p : bank) {
+        const BiModeConfig &cfg = p.config();
+        // The constructor caps history at the (<= 28 bit) direction
+        // index width; enforce the 32-bit lane math independently.
+        if (cfg.historyBits > 31) {
+            detail::logSimdBankFallback(
+                p.name(), "history wider than the 32-bit lane math");
+            return std::nullopt;
+        }
+        // Unpacked upper bound on the packed direction words, like
+        // the other packed builders.
+        totalCounters += p.takenBank().size() + p.notTakenBank().size();
+        totalChoice += p.choiceTable().size();
+    }
+    if (totalCounters > kMaxArenaElements ||
+        totalChoice > kMaxArenaElements) {
+        detail::logSimdBankFallback(bank.front().name(),
+                                    "arena over 2^31 elements");
+        return std::nullopt;
+    }
+
+    SimdBankState state;
+    state.packed = true;
+    state.choiceKind = SimdChoiceKind::BiMode;
+    initLaneArrays(state, bank.size());
+    for (std::size_t l = 0; l < bank.size(); ++l) {
+        BiModePredictor &p = bank[l];
+        const BiModeConfig &cfg = p.config();
+        // Not-taken bank at laneBase, taken bank bankStride words
+        // after it, matching the kernel's choice-sign blend.
+        appendCounters(state, l,
+                       p.bankRef(BiModePredictor::kNotTakenBank));
+        appendSecondBank(state, l,
+                         p.bankRef(BiModePredictor::kTakenBank));
+        appendChoiceCounters(state, l, p.choiceTableRef());
+        state.addrMask[l] = mask32(cfg.directionIndexBits);
+        state.histMask[l] = mask32(cfg.historyBits);
+        state.choiceAddrMask[l] = mask32(cfg.choiceIndexBits);
+        state.hist[l] =
+            static_cast<std::uint32_t>(p.historyRef().value());
+        if (cfg.alwaysUpdateChoice)
+            state.alwaysChoiceMask[l] = ~std::uint32_t{0};
+        if (!cfg.partialUpdate) {
+            state.bothBanksMask[l] = ~std::uint32_t{0};
+            state.updateBothBanks = true;
+        }
+    }
+    padLanes(state);
+    return state;
+}
+
+std::optional<SimdBankState>
+buildSimdBank(std::vector<AgreePredictor> &bank)
+{
+    if (bank.empty())
+        return std::nullopt;
+    std::uint64_t totalCounters = staggerElements(bank.size());
+    std::uint64_t totalChoice = staggerElements(bank.size());
+    for (AgreePredictor &p : bank) {
+        // Constructor-capped at the (<= 28 bit) index width; enforce
+        // the lane math independently.
+        if (p.config().historyBits > 31) {
+            detail::logSimdBankFallback(
+                p.name(), "history wider than the 32-bit lane math");
+            return std::nullopt;
+        }
+        totalCounters += p.tableRef().size();
+        totalChoice += p.biasBitRef().size();
+    }
+    if (totalCounters > kMaxArenaElements ||
+        totalChoice > kMaxArenaElements) {
+        detail::logSimdBankFallback(bank.front().name(),
+                                    "arena over 2^31 elements");
+        return std::nullopt;
+    }
+
+    SimdBankState state;
+    state.packed = true;
+    state.choiceKind = SimdChoiceKind::Agree;
+    initLaneArrays(state, bank.size());
+    for (std::size_t l = 0; l < bank.size(); ++l) {
+        AgreePredictor &p = bank[l];
+        const AgreeConfig &cfg = p.config();
+        appendCounters(state, l, p.tableRef());
+        // The biasing state packs into one choice word per entry:
+        // bit 0 = valid, bit 1 = the biasing bit (simd_bank.hh).
+        state.choiceArena.resize(
+            state.choiceArena.size() + kSimdLaneStagger, 0);
+        state.choiceBase[l] =
+            static_cast<std::uint32_t>(state.choiceArena.size());
+        const std::vector<std::uint16_t> &bias = p.biasBitRef();
+        const std::vector<std::uint16_t> &valid = p.biasValidRef();
+        for (std::size_t e = 0; e < bias.size(); ++e) {
+            state.choiceArena.push_back(
+                valid[e] ? (1u | (bias[e] ? 2u : 0u)) : 0u);
+        }
+        state.addrMask[l] = mask32(cfg.indexBits);
+        state.histMask[l] = mask32(cfg.historyBits);
+        state.choiceAddrMask[l] = mask32(cfg.biasIndexBits);
+        state.hist[l] =
+            static_cast<std::uint32_t>(p.historyRef().value());
     }
     padLanes(state);
     return state;
@@ -292,6 +511,41 @@ storeSimdBank(const SimdBankState &state,
             state.localHist.data() + state.localBase[l];
         for (std::size_t e = 0; e < local.entries(); ++e)
             local.data()[e] = src[e];
+    }
+}
+
+void
+storeSimdBank(const SimdBankState &state,
+              std::vector<BiModePredictor> &bank)
+{
+    for (std::size_t l = 0; l < bank.size(); ++l) {
+        BiModePredictor &p = bank[l];
+        restoreCounters(state, l,
+                        p.bankRef(BiModePredictor::kNotTakenBank));
+        restoreCounters(state, l,
+                        p.bankRef(BiModePredictor::kTakenBank),
+                        state.bankStride[l]);
+        restoreChoiceCounters(state, l, p.choiceTableRef());
+        p.historyRef().setValue(state.hist[l]);
+    }
+}
+
+void
+storeSimdBank(const SimdBankState &state,
+              std::vector<AgreePredictor> &bank)
+{
+    for (std::size_t l = 0; l < bank.size(); ++l) {
+        AgreePredictor &p = bank[l];
+        restoreCounters(state, l, p.tableRef());
+        const std::uint32_t *src =
+            state.choiceArena.data() + state.choiceBase[l];
+        std::vector<std::uint16_t> &bias = p.biasBitRef();
+        std::vector<std::uint16_t> &valid = p.biasValidRef();
+        for (std::size_t e = 0; e < bias.size(); ++e) {
+            valid[e] = static_cast<std::uint16_t>(src[e] & 1u);
+            bias[e] = static_cast<std::uint16_t>((src[e] >> 1) & 1u);
+        }
+        p.historyRef().setValue(state.hist[l]);
     }
 }
 

@@ -22,6 +22,22 @@
  * hist; the history occupies exactly the low h bits, so or and xor
  * agree bit for bit.)
  *
+ * The choice-based (two-gather) kinds add a second, pc-indexed arena
+ * read in front of the direction read (choiceKind selects the
+ * flavor, see SimdChoiceKind):
+ *
+ *   bimode           a choice-counter read at addr & choiceAddrMask
+ *                    whose sign blends bankStride into the direction
+ *                    base — the taken/not-taken banks sit back to
+ *                    back in the lane's counter region — with the
+ *                    paper's partial-update and choice-exception
+ *                    policies expressed as branchless write-back
+ *                    masks (bothBanksMask, alwaysChoiceMask)
+ *   agree            a biasing-bit read (valid + bias packed into
+ *                    one choice word) that xnor-flips the direction
+ *                    counter's agree prediction, with the first-use
+ *                    bias capture as a masked choice write-back
+ *
  * Lanes are vectorized, branches stay serial: for each trace branch
  * the kernel gathers every lane's counter, predicts, saturates and
  * writes back before consuming the next branch. That preserves the
@@ -40,6 +56,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "sim/simd/kernel_tier.hh"
@@ -47,9 +64,27 @@
 namespace bpsim
 {
 
+class AgreePredictor;
+class BiModePredictor;
 class BimodalPredictor;
 class GsharePredictor;
 class TwoLevelPredictor;
+
+/**
+ * Two-gather kernel flavor of a flattened bank: which choice-arena
+ * semantics the kernel applies in front of the direction-bank read.
+ */
+enum class SimdChoiceKind : std::uint8_t
+{
+    /** No choice stage — the single-gather family. */
+    None,
+    /** Bi-mode: a pc-indexed choice counter selects between two
+     *  direction banks sharing one gshare index. */
+    BiMode,
+    /** Agree: a pc-indexed biasing bit (with first-use capture)
+     *  flips the direction counter's agree prediction. */
+    Agree,
+};
 
 /** Widest group any backend steps at once (AVX-512, 16 lanes).
  *  Per-lane arrays are padded to a multiple of this so every backend
@@ -87,6 +122,13 @@ struct SimdBankState
     /** True for the per-address-history family (PAg/PAs): hist is
      *  gathered from localHist instead of carried in a register. */
     bool localHistory = false;
+    /** Which choice-arena stage the kernel runs before the direction
+     *  read (None for the single-gather family). */
+    SimdChoiceKind choiceKind = SimdChoiceKind::None;
+    /** Bi-mode only: true when any lane runs the partialUpdate=false
+     *  ablation, selecting the kernel variant that also steps the
+     *  unselected bank (gated per lane by bothBanksMask). */
+    bool updateBothBanks = false;
     /**
      * True when counters is bit-packed (see below). History-indexed
      * banks pack: their index streams are spread by the history
@@ -115,9 +157,22 @@ struct SimdBankState
      */
     std::vector<std::uint32_t> counters;
     /** All lanes' per-address history registers (localHistory only),
-     *  lane l at [localBase[l], localBase[l] + 2^l entries),
+     *  lane l at [localBase[l], localBase[l] + localMask[l] + 1),
      *  staggered like the counter arena. */
     std::vector<std::uint32_t> localHist;
+    /**
+     * Choice-stage arena (choiceKind != None), staggered like the
+     * counter arena but always one entry per word: the choice/bias
+     * tables are pc-indexed, so nearby branches re-touch the same
+     * entry and a packed layout would trade its footprint cut for
+     * scatter-to-gather forwarding stalls (the same trade that keeps
+     * bimodal unpacked).
+     *
+     * BiMode: the lane's choice counters at choiceBase[l] + idx.
+     * Agree: bit 0 = bias valid, bit 1 = biasing bit (0 = branch not
+     * yet seen).
+     */
+    std::vector<std::uint32_t> choiceArena;
 
     /** @name Per-lane constants (paddedLanes() elements) */
     /**@{*/
@@ -133,6 +188,21 @@ struct SimdBankState
     std::vector<std::uint32_t> slotIdxMask; ///< counters per word - 1 (packed)
     std::vector<std::uint32_t> slotShift;  ///< log2 slot width in bits (packed)
     std::vector<std::uint32_t> fieldMask;  ///< slot-wide value mask (packed)
+    /** @name Choice-stage constants (choiceKind != None) */
+    std::vector<std::uint32_t> choiceBase; ///< lane's offset in choiceArena
+    std::vector<std::uint32_t> choiceAddrMask; ///< choice-index pc mask
+    std::vector<std::uint32_t> choiceMaxValue; ///< choice saturation (bimode)
+    std::vector<std::uint32_t> choiceThreshold; ///< bank select when > (bimode)
+    /** Direction-arena words between the lane's not-taken and taken
+     *  banks (bimode): the selected bank's base is laneBase plus
+     *  bankStride under the choice mask. */
+    std::vector<std::uint32_t> bankStride;
+    /** All-ones on lanes running the alwaysUpdateChoice ablation
+     *  (bimode): disables the choice-exception write-back mask. */
+    std::vector<std::uint32_t> alwaysChoiceMask;
+    /** All-ones on lanes running the partialUpdate=false ablation
+     *  (bimode): enables the unselected-bank write-back. */
+    std::vector<std::uint32_t> bothBanksMask;
     /**@}*/
 
     /** Global-history registers, live kernel state (updated per
@@ -164,13 +234,36 @@ std::optional<SimdBankState> buildSimdBank(
     std::vector<GsharePredictor> &bank);
 std::optional<SimdBankState> buildSimdBank(
     std::vector<TwoLevelPredictor> &bank);
+std::optional<SimdBankState> buildSimdBank(
+    std::vector<BiModePredictor> &bank);
+std::optional<SimdBankState> buildSimdBank(
+    std::vector<AgreePredictor> &bank);
+
+namespace detail
+{
+
+/**
+ * Records (once per process per distinct what/reason pair, at
+ * verbose/debug level) that a bank fell back to the scalar loop, so
+ * perf regressions from ineligible shapes are diagnosable instead of
+ * invisible.
+ *
+ * @param what the bank's kind/shape, e.g. a predictor name()
+ * @param reason why the SIMD flattening refused it
+ */
+void logSimdBankFallback(const std::string &what, const char *reason);
+
+} // namespace detail
 
 /** Catch-all: predictor kinds without a SIMD flattening run the
  *  scalar bank. */
 template <typename Pred>
 std::optional<SimdBankState>
-buildSimdBank(std::vector<Pred> &)
+buildSimdBank(std::vector<Pred> &bank)
 {
+    detail::logSimdBankFallback(
+        bank.empty() ? "<empty bank>" : bank.front().name(),
+        "kind has no SIMD flattening");
     return std::nullopt;
 }
 
@@ -182,6 +275,10 @@ void storeSimdBank(const SimdBankState &state,
                    std::vector<GsharePredictor> &bank);
 void storeSimdBank(const SimdBankState &state,
                    std::vector<TwoLevelPredictor> &bank);
+void storeSimdBank(const SimdBankState &state,
+                   std::vector<BiModePredictor> &bank);
+void storeSimdBank(const SimdBankState &state,
+                   std::vector<AgreePredictor> &bank);
 
 template <typename Pred>
 void

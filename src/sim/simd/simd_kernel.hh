@@ -19,6 +19,12 @@
  * configurations) — the serial chain through each lane's history
  * register and tables is preserved untouched.
  *
+ * Two-gather kinds (bi-mode, agree) prepend a per-branch choice
+ * gather from a second, unpacked arena; its value steers the
+ * direction gather (bank-select blend) or flips the prediction
+ * (agreement XNOR), and the update policies become branchless
+ * write-back masks. See SimdChoiceKind in simd_bank.hh.
+ *
  * A Backend provides a 32-bit-lane vector type plus the dozen ops
  * the kernel body needs:
  *
@@ -59,6 +65,14 @@ namespace detail
  * mispredictions from @p warmup on.
  *
  * @tparam B           the ISA backend
+ * @tparam Choice      two-gather kinds (simd_bank.hh): BiMode reads a
+ *                     choice counter whose sign blend-selects between
+ *                     two direction banks; Agree reads a biasing word
+ *                     that flips the counter's meaning to agreement
+ * @tparam BothBanks   bi-mode ablation: some lane disables partial
+ *                     update, so the unselected bank is also stepped
+ *                     (per-lane bothBanksMask keeps canonical lanes
+ *                     partial). Off, the second bank is never touched.
  * @tparam LocalHistory per-address first level (PAg/PAs): history is
  *                     gathered/scattered per branch instead of
  *                     carried in a register
@@ -67,7 +81,8 @@ namespace detail
  *                     one-counter-per-word layout without the slot
  *                     math
  */
-template <typename B, bool LocalHistory, bool Packed>
+template <typename B, SimdChoiceKind Choice, bool BothBanks,
+          bool LocalHistory, bool Packed>
 void
 runSimdBankKernel(SimdBankState &state, const std::uint64_t *pcs,
                   const std::uint64_t *words, std::size_t total,
@@ -79,6 +94,8 @@ runSimdBankKernel(SimdBankState &state, const std::uint64_t *pcs,
     std::uint32_t *arena = state.counters.data();
     std::uint32_t *localHist =
         state.localHist.empty() ? nullptr : state.localHist.data();
+    std::uint32_t *choiceArena =
+        state.choiceArena.empty() ? nullptr : state.choiceArena.data();
 
     // Same block geometry as the scalar bank: lane groups run
     // lane-major within 8-word blocks, so each block's pcs and
@@ -117,8 +134,24 @@ runSimdBankKernel(SimdBankState &state, const std::uint64_t *pcs,
                 B::load(&state.slotShift[g0]);
             [[maybe_unused]] const V fieldMask =
                 B::load(&state.fieldMask[g0]);
+            [[maybe_unused]] const V choiceBase =
+                B::load(&state.choiceBase[g0]);
+            [[maybe_unused]] const V choiceAddrMask =
+                B::load(&state.choiceAddrMask[g0]);
+            [[maybe_unused]] const V choiceMaxValue =
+                B::load(&state.choiceMaxValue[g0]);
+            [[maybe_unused]] const V choiceThreshold =
+                B::load(&state.choiceThreshold[g0]);
+            [[maybe_unused]] const V bankStride =
+                B::load(&state.bankStride[g0]);
+            [[maybe_unused]] const V alwaysChoiceMask =
+                B::load(&state.alwaysChoiceMask[g0]);
+            [[maybe_unused]] const V bothBanksMask =
+                B::load(&state.bothBanksMask[g0]);
             const V one = B::bcast(1);
             const V zero = B::zero();
+            [[maybe_unused]] const V two = B::bcast(2);
+            [[maybe_unused]] const V ones = B::bcast(0xFFFFFFFFu);
 
             V hist = B::load(&state.hist[g0]);
             // Block-local 32-bit misprediction accumulator: a block
@@ -138,6 +171,17 @@ runSimdBankKernel(SimdBankState &state, const std::uint64_t *pcs,
                 const V takenM =
                     B::bcast(taken ? 0xFFFFFFFFu : 0u);
 
+                // Stage one of the two-gather kinds: the pc-indexed
+                // choice word (bi-mode choice counter / agree biasing
+                // bits), read before the direction bank so its value
+                // can steer the second gather.
+                [[maybe_unused]] V choiceOff{}, choiceVal{};
+                if constexpr (Choice != SimdChoiceKind::None) {
+                    choiceOff = B::add(
+                        choiceBase, B::and_(addrV, choiceAddrMask));
+                    choiceVal = B::gather32(choiceArena, choiceOff);
+                }
+
                 V h;
                 if constexpr (LocalHistory) {
                     h = B::gather32(
@@ -153,8 +197,24 @@ runSimdBankKernel(SimdBankState &state, const std::uint64_t *pcs,
                 const V index = B::xor_(
                     B::sllv(B::and_(addrV, addrMask), histShift), h);
                 V offset, counter;
-                [[maybe_unused]] V slot{}, word{};
-                if constexpr (Packed) {
+                [[maybe_unused]] V slot{}, word{}, wordIdx{},
+                    choiceM{};
+                if constexpr (Choice == SimdChoiceKind::BiMode) {
+                    // The choice sign picks the direction bank: the
+                    // taken bank sits bankStride words past the
+                    // not-taken bank, so the select is a masked add.
+                    choiceM = B::cmpgt(choiceVal, choiceThreshold);
+                    wordIdx = B::srlv(index, wordShift);
+                    offset = B::add(
+                        B::add(laneBase,
+                               B::and_(choiceM, bankStride)),
+                        wordIdx);
+                    slot = B::sllv(
+                        B::and_(index, slotIdxMask), slotShift);
+                    word = B::gather32(arena, offset);
+                    counter = B::and_(
+                        B::srlv(word, slot), fieldMask);
+                } else if constexpr (Packed) {
                     // The counter lives in a bit slot of a packed
                     // word (simd_bank.hh): locate word and slot,
                     // then extract.
@@ -170,7 +230,23 @@ runSimdBankKernel(SimdBankState &state, const std::uint64_t *pcs,
                     counter = B::gather32(arena, offset);
                 }
 
-                const V predicted = B::cmpgt(counter, threshold);
+                V predicted;
+                [[maybe_unused]] V validM{}, biasM{};
+                if constexpr (Choice == SimdChoiceKind::Agree) {
+                    // Choice word: bit 0 = valid, bit 1 = biasing
+                    // bit; an unseen branch defaults to a taken bias
+                    // (agree.hh). The counter predicts agreement, so
+                    // the direction is counter-sign XNOR bias.
+                    validM = B::cmpgt(B::and_(choiceVal, one), zero);
+                    biasM = B::cmpgt(B::and_(choiceVal, two), zero);
+                    const V oldBiasM = B::blend(ones, biasM, validM);
+                    predicted = B::andnot(
+                        B::xor_(B::cmpgt(counter, threshold),
+                                oldBiasM),
+                        ones);
+                } else {
+                    predicted = B::cmpgt(counter, threshold);
+                }
                 if (j >= scoreFrom) {
                     // predicted ^ takenM is all-ones (-1) exactly on
                     // a mispredicting lane; subtracting adds 1.
@@ -178,13 +254,27 @@ runSimdBankKernel(SimdBankState &state, const std::uint64_t *pcs,
                         misses, B::xor_(predicted, takenM));
                 }
 
-                // Branchless saturate toward the outcome: both
-                // candidates, then select by the outcome mask
-                // (cmpgt masks are -1, so subtracting/adding them
-                // steps by one).
+                // The counter trains toward the outcome — except for
+                // agree, where it trains toward agreement with the
+                // post-capture bias (taken XNOR newBias).
+                [[maybe_unused]] V newBiasM{};
+                V trainM;
+                if constexpr (Choice == SimdChoiceKind::Agree) {
+                    // First encounter captures the outcome as bias.
+                    newBiasM = B::blend(takenM, biasM, validM);
+                    trainM = B::andnot(
+                        B::xor_(takenM, newBiasM), ones);
+                } else {
+                    trainM = takenM;
+                }
+
+                // Branchless saturate toward the training direction:
+                // both candidates, then select by the mask (cmpgt
+                // masks are -1, so subtracting/adding them steps by
+                // one).
                 const V up = B::sub(counter, B::cmpgt(maxValue, counter));
                 const V down = B::add(counter, B::cmpgt(counter, zero));
-                const V updated = B::blend(down, up, takenM);
+                const V updated = B::blend(down, up, trainM);
 
                 // Store back (packed: re-insert the stepped counter
                 // into its slot first). Active lanes hit disjoint
@@ -200,6 +290,66 @@ runSimdBankKernel(SimdBankState &state, const std::uint64_t *pcs,
                     rewritten = updated;
                 }
                 B::scatter32(arena, offset, rewritten, active);
+
+                if constexpr (Choice == SimdChoiceKind::BiMode &&
+                              BothBanks) {
+                    // Partial-update ablation: step the UNselected
+                    // bank's counter too. The two banks are disjoint
+                    // word ranges, so this RMW cannot collide with
+                    // the selected-bank scatter above. Lanes still on
+                    // the paper policy blend back the old value
+                    // (bothBanksMask is per-lane: fused banks may mix
+                    // policies).
+                    const V otherOff = B::add(
+                        B::add(laneBase,
+                               B::andnot(choiceM, bankStride)),
+                        wordIdx);
+                    const V otherWord = B::gather32(arena, otherOff);
+                    const V otherCnt = B::and_(
+                        B::srlv(otherWord, slot), fieldMask);
+                    const V oUp = B::sub(
+                        otherCnt, B::cmpgt(maxValue, otherCnt));
+                    const V oDown = B::add(
+                        otherCnt, B::cmpgt(otherCnt, zero));
+                    const V oNew = B::blend(
+                        otherCnt, B::blend(oDown, oUp, takenM),
+                        bothBanksMask);
+                    B::scatter32(
+                        arena, otherOff,
+                        B::or_(B::andnot(B::sllv(fieldMask, slot),
+                                         otherWord),
+                               B::sllv(oNew, slot)),
+                        active);
+                }
+
+                if constexpr (Choice == SimdChoiceKind::BiMode) {
+                    // Choice table trains toward the outcome, EXCEPT
+                    // when it picked the "wrong" bank but that bank
+                    // still predicted correctly (the paper's choice
+                    // exception; alwaysChoiceMask lanes run the
+                    // always-update ablation instead).
+                    const V cUp = B::sub(
+                        choiceVal,
+                        B::cmpgt(choiceMaxValue, choiceVal));
+                    const V cDown = B::add(
+                        choiceVal, B::cmpgt(choiceVal, zero));
+                    const V cStepped = B::blend(cDown, cUp, takenM);
+                    // keep = ~always & (choice != taken) &
+                    //        ~(predicted != taken)
+                    const V keepM = B::andnot(
+                        alwaysChoiceMask,
+                        B::andnot(B::xor_(predicted, takenM),
+                                  B::xor_(choiceM, takenM)));
+                    B::scatter32(choiceArena, choiceOff,
+                                 B::blend(cStepped, choiceVal, keepM),
+                                 active);
+                } else if constexpr (Choice == SimdChoiceKind::Agree) {
+                    // Re-pack valid=1 plus the (possibly captured)
+                    // biasing bit.
+                    B::scatter32(choiceArena, choiceOff,
+                                 B::or_(one, B::and_(newBiasM, two)),
+                                 active);
+                }
 
                 const V takenBit = B::and_(takenM, one);
                 if constexpr (LocalHistory) {
@@ -224,29 +374,49 @@ runSimdBankKernel(SimdBankState &state, const std::uint64_t *pcs,
     }
 }
 
-/** Instantiates the kernel matching @p state's history and packing
- *  flavors for backend @p B — the shared dispatch of every per-ISA
- *  entry point. */
+/** Instantiates the kernel matching @p state's choice, history and
+ *  packing flavors for backend @p B — the shared dispatch of every
+ *  per-ISA entry point. Only the combinations a builder can produce
+ *  are instantiated: two-gather kinds are always packed with a global
+ *  (or no) history register, and only bi-mode has a second bank. */
 template <typename B>
 void
 dispatchSimdBankKernel(SimdBankState &state, const std::uint64_t *pcs,
                        const std::uint64_t *words, std::size_t total,
                        std::size_t warmup)
 {
+    constexpr auto kNone = SimdChoiceKind::None;
+    switch (state.choiceKind) {
+      case SimdChoiceKind::BiMode:
+        if (state.updateBothBanks) {
+            runSimdBankKernel<B, SimdChoiceKind::BiMode, true, false,
+                              true>(state, pcs, words, total, warmup);
+        } else {
+            runSimdBankKernel<B, SimdChoiceKind::BiMode, false, false,
+                              true>(state, pcs, words, total, warmup);
+        }
+        return;
+      case SimdChoiceKind::Agree:
+        runSimdBankKernel<B, SimdChoiceKind::Agree, false, false,
+                          true>(state, pcs, words, total, warmup);
+        return;
+      case SimdChoiceKind::None:
+        break;
+    }
     if (state.localHistory) {
         if (state.packed) {
-            runSimdBankKernel<B, true, true>(state, pcs, words, total,
-                                             warmup);
+            runSimdBankKernel<B, kNone, false, true, true>(
+                state, pcs, words, total, warmup);
         } else {
-            runSimdBankKernel<B, true, false>(state, pcs, words, total,
-                                              warmup);
+            runSimdBankKernel<B, kNone, false, true, false>(
+                state, pcs, words, total, warmup);
         }
     } else if (state.packed) {
-        runSimdBankKernel<B, false, true>(state, pcs, words, total,
-                                          warmup);
+        runSimdBankKernel<B, kNone, false, false, true>(
+            state, pcs, words, total, warmup);
     } else {
-        runSimdBankKernel<B, false, false>(state, pcs, words, total,
-                                           warmup);
+        runSimdBankKernel<B, kNone, false, false, false>(
+            state, pcs, words, total, warmup);
     }
 }
 

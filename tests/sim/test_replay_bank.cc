@@ -74,8 +74,15 @@ const std::map<std::string, std::vector<std::string>> kBankSpecs = {
     {"pag", {"pag:h=5,l=5", "pag:h=6,l=6", "pag:h=8,l=4"}},
     {"pas", {"pas:h=4,l=5,a=2", "pas:h=5,l=6,a=3"}},
     {"gshare", {"gshare:n=6,h=3", "gshare:n=8,h=8", "gshare:n=10,h=5"}},
-    {"bimode", {"bimode:d=6", "bimode:d=7,c=6,h=5", "bimode:d=8"}},
-    {"agree", {"agree:n=6,h=4,b=6", "agree:n=8,h=8,b=8"}},
+    // The ablation configs ride in the same bank as canonical lanes,
+    // so the per-lane policy masks (bothBanksMask, alwaysChoiceMask)
+    // of the vectorized choice kernel are exercised mixed, the way
+    // the ablation_bimode campaign fuses them.
+    {"bimode", {"bimode:d=6", "bimode:d=7,c=6,h=5", "bimode:d=8",
+                "bimode:d=7,partial=0", "bimode:d=7,alwayschoice=1",
+                "bimode:d=6,partial=0,alwayschoice=1"}},
+    {"agree", {"agree:n=6,h=4,b=6", "agree:n=8,h=8,b=8",
+               "agree:n=7,h=3,b=9"}},
     {"gskew", {"gskew:n=6,h=5", "gskew:n=7,h=7", "gskew:n=8,h=4"}},
     {"yags", {"yags:c=7,n=5,t=5,h=5", "yags:c=8,n=6,t=6,h=6"}},
     {"tournament", {"tournament:n=6", "tournament:n=7",
@@ -200,7 +207,8 @@ bool
 kindHasSimdBank(const std::string &kind)
 {
     return kind == "bimodal" || kind == "gshare" || kind == "gag" ||
-           kind == "gas" || kind == "pag" || kind == "pas";
+           kind == "gas" || kind == "pag" || kind == "pas" ||
+           kind == "bimode" || kind == "agree";
 }
 
 /**
