@@ -17,6 +17,10 @@
  *   bimode-ladder  the fig3 shape: one bi-mode rung per
  *                  direction-bank size, d = 10..15, on the
  *                  two-gather vector path
+ *   scheme-comparison  the §3 cross-scheme shape: two sizes of every
+ *                  de-aliasing scheme (bimode, agree, gskew, yags,
+ *                  filter, tournament) in one grid, so every
+ *                  multi-read kernel fuses and runs in one campaign
  *
  * Each shape is timed best-of-N with fusion off and then with fusion
  * on once per available kernel tier (sim/simd/kernel_tier.hh), so
@@ -157,6 +161,22 @@ main(int argc, char **argv)
         for (unsigned d = 10; d <= 15; ++d)
             bimode.configs.push_back("bimode:d=" + std::to_string(d));
         scenarios.push_back(std::move(bimode));
+
+        // The §3 cross-scheme shape: two sizes of every de-aliasing
+        // scheme in one grid. The campaign fuses each kind into its
+        // own bank, so one scenario covers every multi-read vector
+        // kernel (two-gather and three-gather alike) back to back.
+        Scenario schemes;
+        schemes.name = "scheme-comparison";
+        schemes.configs = {
+            "bimode:d=11",            "bimode:d=12",
+            "agree:n=11,h=11,b=11",   "agree:n=12,h=12,b=12",
+            "gskew:n=10,h=10",        "gskew:n=11,h=11",
+            "yags:c=11,n=9",          "yags:c=12,n=10",
+            "filter:n=11,h=9,b=11,k=3", "filter:n=12,h=10,b=12,k=3",
+            "tournament:n=11",        "tournament:n=12",
+        };
+        scenarios.push_back(std::move(schemes));
     }
 
     TextTable table;

@@ -81,10 +81,19 @@ const std::vector<BankScenario> kBankScenarios = {
                 "bimode:d=13"}},
     {"agree", {"agree:n=10,h=10,b=10", "agree:n=11,h=8,b=11",
                "agree:n=12,h=12,b=12"}},
-    // Scalar-bank kinds ride along as the fallback reference: their
-    // per-tier rows must all time the same scalar loop.
+    // Multi-read kinds (simd_kernel.hh): tournament's meta-selected
+    // component pair, gskew's three skew-hashed gathers plus majority
+    // vote, yags' tagged exception-cache probe, and filter's
+    // run-length PHT bypass — the heaviest per-branch kernels, where
+    // the lane axis pays the most.
+    {"tournament", {"tournament:n=10", "tournament:n=11",
+                    "tournament:n=12"}},
+    {"gskew", {"gskew:n=10,h=10", "gskew:n=11,h=8",
+               "gskew:n=12,h=12"}},
     {"yags",
      {"yags:c=10,n=8", "yags:c=11,n=9", "yags:c=12,n=10"}},
+    {"filter", {"filter:n=10,h=8,b=10,k=3", "filter:n=12,h=12,b=12,k=4",
+                "filter:n=11,h=9,b=11,k=6"}},
 };
 
 /** Best-of-N banked pass of @p scenario on @p tier; returns the

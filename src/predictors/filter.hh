@@ -105,7 +105,13 @@ class FilterPredictor : public FastPredictorBase<FilterPredictor>
     bool
     stepFast(std::uint64_t pc, bool taken)
     {
-        FilterEntry &entry = filter[filterIndexFor(pc)];
+        // One shared word-address extraction feeds both table
+        // indices: each is a mask (plus the PHT history xor) away,
+        // instead of filterIndexFor/phtIndexFor re-deriving pc >> 2
+        // for themselves.
+        const std::uint64_t word = pc >> 2;
+        FilterEntry &entry = filter[static_cast<std::size_t>(
+            word & maskBits(cfg.filterIndexBits))];
         const bool was_filtered = entry.runLength == runSaturation;
         bool prediction;
         if (was_filtered) {
@@ -113,7 +119,8 @@ class FilterPredictor : public FastPredictorBase<FilterPredictor>
         } else {
             // Only unfiltered branches touch the PHT — that is the
             // whole interference-reduction mechanism.
-            const std::size_t index = phtIndexFor(pc);
+            const std::size_t index = static_cast<std::size_t>(
+                (word & maskBits(cfg.indexBits)) ^ history.value());
             prediction = pht.predictTaken(index);
             pht.update(index, taken);
         }
@@ -129,7 +136,6 @@ class FilterPredictor : public FastPredictorBase<FilterPredictor>
         return prediction;
     }
 
-  private:
     struct FilterEntry
     {
         /** Direction of the current run (1 = taken). uint16 rather
@@ -141,6 +147,19 @@ class FilterPredictor : public FastPredictorBase<FilterPredictor>
         std::uint16_t runLength = 0;
     };
 
+    const FilterConfig &config() const { return cfg; }
+    std::uint16_t runSaturationValue() const { return runSaturation; }
+
+    /** @name Mutable SoA views for the SIMD bank
+     *  (sim/simd/simd_bank.cc), which packs each filter entry into
+     *  one arena word (direction | runLength << 1) and back. */
+    /**@{*/
+    CounterTable &phtRef() { return pht; }
+    std::vector<FilterEntry> &filterRef() { return filter; }
+    HistoryRegister &historyRef() { return history; }
+    /**@}*/
+
+  private:
     FilterConfig cfg;
     std::uint16_t runSaturation;
     HistoryRegister history;

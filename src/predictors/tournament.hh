@@ -98,10 +98,29 @@ class TournamentPredictor : public FastPredictorBase<TournamentPredictor>
     stepFast(std::uint64_t pc, bool taken)
     {
         if (bimodalComponent && gshareComponent) {
-            const std::size_t meta_index = metaIndexFor(pc);
+            // One shared word-address extraction feeds the meta index
+            // and both component indices: each is a mask (plus the
+            // gshare history xor) away, instead of every component
+            // call re-deriving pc >> 2 for itself.
+            const std::uint64_t word = pc >> 2;
+            const std::size_t meta_index = static_cast<std::size_t>(
+                word & maskBits(metaIndexBits));
             const bool use_second = meta.predictTaken(meta_index);
-            const bool p0 = bimodalComponent->stepFast(pc, taken);
-            const bool p1 = gshareComponent->stepFast(pc, taken);
+            CounterTable &bimodal_table = bimodalComponent->tableRef();
+            const std::size_t bimodal_index =
+                static_cast<std::size_t>(
+                    word & maskBits(bimodalComponent->indexBitCount()));
+            const bool p0 = bimodal_table.predictTaken(bimodal_index);
+            bimodal_table.update(bimodal_index, taken);
+            CounterTable &gshare_table = gshareComponent->tableRef();
+            HistoryRegister &gshare_history =
+                gshareComponent->historyRef();
+            const std::size_t gshare_index = static_cast<std::size_t>(
+                (word & maskBits(gshareComponent->indexBitCount())) ^
+                gshare_history.value());
+            const bool p1 = gshare_table.predictTaken(gshare_index);
+            gshare_table.update(gshare_index, taken);
+            gshare_history.push(taken);
             if (p0 != p1)
                 meta.update(meta_index, p1 == taken);
             return use_second ? p1 : p0;
@@ -110,6 +129,18 @@ class TournamentPredictor : public FastPredictorBase<TournamentPredictor>
         updateFast(pc, taken);
         return prediction;
     }
+
+    /** @name Mutable SoA views for the SIMD bank
+     *  (sim/simd/simd_bank.cc), which copies tables and history into
+     *  vector lane state and back. */
+    /**@{*/
+    CounterTable &metaTableRef() { return meta; }
+    unsigned metaIndexBitCount() const { return metaIndexBits; }
+    /** Typed components of the standard bimodal+gshare pairing; null
+     *  for custom pairings (which then run the scalar bank). */
+    BimodalPredictor *bimodalComponentPtr() { return bimodalComponent; }
+    GsharePredictor *gshareComponentPtr() { return gshareComponent; }
+    /**@}*/
 
   private:
     std::size_t

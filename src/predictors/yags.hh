@@ -114,7 +114,6 @@ class YagsPredictor : public FastPredictorBase<YagsPredictor>
         (void)stepFast(pc, taken);
     }
 
-  private:
     struct CacheEntry
     {
         bool valid = false;
@@ -125,6 +124,21 @@ class YagsPredictor : public FastPredictorBase<YagsPredictor>
         std::uint16_t counter = 0;
     };
 
+    const YagsConfig &config() const { return cfg; }
+
+    /** @name Mutable SoA views for the SIMD bank
+     *  (sim/simd/simd_bank.cc), which packs each cache entry into
+     *  one arena word (counter | tag << 8 | valid << 24) and back. */
+    /**@{*/
+    CounterTable &choiceTableRef() { return choice; }
+    std::vector<CacheEntry> &cacheRef(std::uint32_t cache)
+    {
+        return caches[cache];
+    }
+    HistoryRegister &historyRef() { return history; }
+    /**@}*/
+
+  private:
     struct Lookup
     {
         std::size_t choiceIndex;

@@ -9,8 +9,12 @@
 #include "core/bimode.hh"
 #include "predictors/agree.hh"
 #include "predictors/bimodal.hh"
+#include "predictors/filter.hh"
 #include "predictors/gshare.hh"
+#include "predictors/gskew.hh"
+#include "predictors/tournament.hh"
 #include "predictors/twolevel.hh"
+#include "predictors/yags.hh"
 #include "util/bits.hh"
 #include "util/logging.hh"
 
@@ -60,7 +64,10 @@ initLaneArrays(SimdBankState &state, std::size_t lanes)
           &state.choiceBase, &state.choiceAddrMask,
           &state.choiceMaxValue, &state.choiceThreshold,
           &state.bankStride, &state.alwaysChoiceMask,
-          &state.bothBanksMask, &state.hist}) {
+          &state.bothBanksMask, &state.auxBase, &state.auxAddrMask,
+          &state.auxMaxValue, &state.auxThreshold, &state.tagShift,
+          &state.tagMask, &state.hashFieldMask, &state.foldShift,
+          &state.hist}) {
         array->assign(padded, 0);
     }
     state.mispredictions.assign(lanes, 0);
@@ -79,7 +86,10 @@ padLanes(SimdBankState &state)
           &state.choiceBase, &state.choiceAddrMask,
           &state.choiceMaxValue, &state.choiceThreshold,
           &state.bankStride, &state.alwaysChoiceMask,
-          &state.bothBanksMask, &state.hist}) {
+          &state.bothBanksMask, &state.auxBase, &state.auxAddrMask,
+          &state.auxMaxValue, &state.auxThreshold, &state.tagShift,
+          &state.tagMask, &state.hashFieldMask, &state.foldShift,
+          &state.hist}) {
         std::fill(array->begin() + state.lanes, array->end(),
                   array->front());
     }
@@ -125,15 +135,16 @@ appendCounters(SimdBankState &state, std::size_t lane,
 }
 
 /**
- * Appends a second direction bank directly after @p lane's first
- * (appendCounters() must have run for the lane), recording the word
- * stride between the two banks. Requires state.packed and a table of
- * the same geometry as the first bank, so the lane's slot constants
- * cover both.
+ * Appends a further direction bank directly after @p lane's previous
+ * one (appendCounters() must have run for the lane), returning the
+ * appended bank's word distance from laneBase. Requires state.packed
+ * and a table of the same geometry as the first bank, so the lane's
+ * slot constants cover all banks — which also makes bank k land at
+ * exactly k times the first returned stride.
  */
-void
-appendSecondBank(SimdBankState &state, std::size_t lane,
-                 const CounterTable &table)
+std::uint32_t
+appendNextBank(SimdBankState &state, std::size_t lane,
+               const CounterTable &table)
 {
     const unsigned perWordLog2 = state.wordShift[lane];
     const unsigned slotLog2 = state.slotShift[lane];
@@ -141,7 +152,7 @@ appendSecondBank(SimdBankState &state, std::size_t lane,
         (table.size() + (std::size_t{1} << perWordLog2) - 1) >>
         perWordLog2;
     const std::size_t base = state.counters.size();
-    state.bankStride[lane] =
+    const std::uint32_t stride =
         static_cast<std::uint32_t>(base - state.laneBase[lane]);
     state.counters.resize(base + words, 0);
     std::uint32_t *dst = state.counters.data() + base;
@@ -150,6 +161,7 @@ appendSecondBank(SimdBankState &state, std::size_t lane,
             static_cast<std::uint32_t>(table.data()[e])
             << ((e & state.slotIdxMask[lane]) << slotLog2);
     }
+    return stride;
 }
 
 /** Appends @p table to the choice arena (one counter per word, see
@@ -177,6 +189,41 @@ restoreChoiceCounters(const SimdBankState &state, std::size_t lane,
         state.choiceArena.data() + state.choiceBase[lane];
     for (std::size_t e = 0; e < table.size(); ++e)
         table.data()[e] = static_cast<std::uint16_t>(src[e]);
+}
+
+/** Appends @p table as the lane's *second* pc-indexed stream in the
+ *  choice arena (tournament's bimodal component), recording the aux
+ *  base and counter constants. */
+void
+appendAuxCounters(SimdBankState &state, std::size_t lane,
+                  const CounterTable &table)
+{
+    state.auxMaxValue[lane] = table.max();
+    state.auxThreshold[lane] = table.max() / 2;
+    state.choiceArena.resize(
+        state.choiceArena.size() + kSimdLaneStagger, 0);
+    state.auxBase[lane] =
+        static_cast<std::uint32_t>(state.choiceArena.size());
+    state.choiceArena.insert(state.choiceArena.end(), table.data(),
+                             table.data() + table.size());
+}
+
+void
+restoreAuxCounters(const SimdBankState &state, std::size_t lane,
+                   CounterTable &table)
+{
+    const std::uint32_t *src =
+        state.choiceArena.data() + state.auxBase[lane];
+    for (std::size_t e = 0; e < table.size(); ++e)
+        table.data()[e] = static_cast<std::uint16_t>(src[e]);
+}
+
+std::uint32_t
+packYagsEntry(const YagsPredictor::CacheEntry &entry)
+{
+    return (entry.valid ? kYagsValidBit : 0u) |
+           (static_cast<std::uint32_t>(entry.tag) << kYagsTagShift) |
+           entry.counter;
 }
 
 /** Restores a packed table whose lane region starts @p wordOffset
@@ -404,8 +451,8 @@ buildSimdBank(std::vector<BiModePredictor> &bank)
         // after it, matching the kernel's choice-sign blend.
         appendCounters(state, l,
                        p.bankRef(BiModePredictor::kNotTakenBank));
-        appendSecondBank(state, l,
-                         p.bankRef(BiModePredictor::kTakenBank));
+        state.bankStride[l] = appendNextBank(
+            state, l, p.bankRef(BiModePredictor::kTakenBank));
         appendChoiceCounters(state, l, p.choiceTableRef());
         state.addrMask[l] = mask32(cfg.directionIndexBits);
         state.histMask[l] = mask32(cfg.historyBits);
@@ -478,6 +525,266 @@ buildSimdBank(std::vector<AgreePredictor> &bank)
     return state;
 }
 
+std::optional<SimdBankState>
+buildSimdBank(std::vector<TournamentPredictor> &bank)
+{
+    if (bank.empty())
+        return std::nullopt;
+    std::uint64_t totalCounters = staggerElements(bank.size());
+    // Two pc-indexed streams (meta + bimodal) share the choice
+    // arena, each behind its own stagger gap.
+    std::uint64_t totalChoice = 2 * staggerElements(bank.size());
+    for (TournamentPredictor &p : bank) {
+        BimodalPredictor *bimodal = p.bimodalComponentPtr();
+        GsharePredictor *gshare = p.gshareComponentPtr();
+        // Only the standard bimodal+gshare pairing has a flattening;
+        // custom component pairs step through virtual dispatch and
+        // stay on the scalar bank.
+        if (!bimodal || !gshare) {
+            detail::logSimdBankFallback(
+                p.name(), "non-standard component pairing");
+            return std::nullopt;
+        }
+        // Constructor-capped at the (<= 28 bit) index width; enforce
+        // the lane math independently.
+        if (gshare->historyBitCount() > 31) {
+            detail::logSimdBankFallback(
+                p.name(), "history wider than the 32-bit lane math");
+            return std::nullopt;
+        }
+        totalCounters += gshare->tableRef().size();
+        totalChoice += p.metaTableRef().size() +
+                       bimodal->tableRef().size();
+    }
+    if (totalCounters > kMaxArenaElements ||
+        totalChoice > kMaxArenaElements) {
+        detail::logSimdBankFallback(bank.front().name(),
+                                    "arena over 2^31 elements");
+        return std::nullopt;
+    }
+
+    SimdBankState state;
+    state.packed = true;
+    state.choiceKind = SimdChoiceKind::Tournament;
+    initLaneArrays(state, bank.size());
+    for (std::size_t l = 0; l < bank.size(); ++l) {
+        TournamentPredictor &p = bank[l];
+        GsharePredictor &gshare = *p.gshareComponentPtr();
+        BimodalPredictor &bimodal = *p.bimodalComponentPtr();
+        // gshare is the packed direction arena; the meta table rides
+        // the choice constants and the bimodal table the aux
+        // constants, both unpacked in the choice arena (pc-indexed
+        // streams re-touch words; packing would stall
+        // scatter-to-gather forwarding).
+        appendCounters(state, l, gshare.tableRef());
+        state.addrMask[l] = mask32(gshare.indexBitCount());
+        state.histMask[l] = mask32(gshare.historyBitCount());
+        state.hist[l] = static_cast<std::uint32_t>(
+            gshare.historyRef().value());
+        appendChoiceCounters(state, l, p.metaTableRef());
+        state.choiceAddrMask[l] = mask32(p.metaIndexBitCount());
+        appendAuxCounters(state, l, bimodal.tableRef());
+        state.auxAddrMask[l] = mask32(bimodal.indexBitCount());
+    }
+    padLanes(state);
+    return state;
+}
+
+std::optional<SimdBankState>
+buildSimdBank(std::vector<GskewPredictor> &bank)
+{
+    if (bank.empty())
+        return std::nullopt;
+    std::uint64_t totalCounters = staggerElements(bank.size());
+    for (GskewPredictor &p : bank) {
+        const GskewConfig &cfg = p.config();
+        // The skew hashes mix a (bankIndexBits + 8)-bit address field
+        // with up to (historyBits + 1) bits of shifted history in
+        // 32-bit lanes. Capping the field at 31 bits and the history
+        // at 29 keeps the bank-2 add (address + (history << 1))
+        // below 2^32, so the lane add matches the scalar 64-bit sum
+        // exactly; the fold shift also needs 0 < n < 32.
+        if (cfg.bankIndexBits == 0 || cfg.bankIndexBits > 23) {
+            detail::logSimdBankFallback(
+                p.name(),
+                "hash address field outside the 32-bit lane math");
+            return std::nullopt;
+        }
+        if (cfg.historyBits > 29) {
+            detail::logSimdBankFallback(
+                p.name(), "history wider than the 32-bit lane math");
+            return std::nullopt;
+        }
+        // Unpacked upper bound on the packed bank words, like the
+        // other packed builders.
+        totalCounters += 3 * p.bankRef(0).size();
+    }
+    if (totalCounters > kMaxArenaElements) {
+        detail::logSimdBankFallback(bank.front().name(),
+                                    "arena over 2^31 elements");
+        return std::nullopt;
+    }
+
+    SimdBankState state;
+    state.packed = true;
+    state.choiceKind = SimdChoiceKind::Gskew;
+    initLaneArrays(state, bank.size());
+    for (std::size_t l = 0; l < bank.size(); ++l) {
+        GskewPredictor &p = bank[l];
+        const GskewConfig &cfg = p.config();
+        // The three equal-geometry banks sit back to back: bank 1 at
+        // bankStride words past bank 0, bank 2 at twice that.
+        appendCounters(state, l, p.bankRef(0));
+        state.bankStride[l] = appendNextBank(state, l, p.bankRef(1));
+        appendNextBank(state, l, p.bankRef(2));
+        state.addrMask[l] = mask32(cfg.bankIndexBits);
+        state.hashFieldMask[l] = mask32(cfg.bankIndexBits + 8);
+        state.foldShift[l] = cfg.bankIndexBits;
+        state.histMask[l] = mask32(cfg.historyBits);
+        state.hist[l] =
+            static_cast<std::uint32_t>(p.historyRef().value());
+        if (!cfg.partialUpdate)
+            state.bothBanksMask[l] = ~std::uint32_t{0};
+        state.foldRounds = std::max<std::uint32_t>(
+            state.foldRounds,
+            (64 + cfg.bankIndexBits - 1) / cfg.bankIndexBits);
+    }
+    padLanes(state);
+    return state;
+}
+
+std::optional<SimdBankState>
+buildSimdBank(std::vector<YagsPredictor> &bank)
+{
+    if (bank.empty())
+        return std::nullopt;
+    std::uint64_t totalCounters = staggerElements(bank.size());
+    std::uint64_t totalChoice = staggerElements(bank.size());
+    for (YagsPredictor &p : bank) {
+        const YagsConfig &cfg = p.config();
+        // Constructor-capped at the (<= 28 bit) cache index width;
+        // enforce the lane math independently.
+        if (cfg.historyBits > 31) {
+            detail::logSimdBankFallback(
+                p.name(), "history wider than the 32-bit lane math");
+            return std::nullopt;
+        }
+        // The scalar tag comes from 64-bit word-address bits
+        // [cacheIndexBits, cacheIndexBits + tagBits); the kernel only
+        // carries the low 32 address bits per lane.
+        if (cfg.cacheIndexBits + cfg.tagBits > 32) {
+            detail::logSimdBankFallback(
+                p.name(), "tag field above the 32-bit lane math");
+            return std::nullopt;
+        }
+        totalCounters += 2 * p.cacheRef(0).size();
+        totalChoice += p.choiceTableRef().size();
+    }
+    if (totalCounters > kMaxArenaElements ||
+        totalChoice > kMaxArenaElements) {
+        detail::logSimdBankFallback(bank.front().name(),
+                                    "arena over 2^31 elements");
+        return std::nullopt;
+    }
+
+    SimdBankState state;
+    // One whole cache entry per arena word (kYagsCounterMask layout):
+    // the probe gathers valid+tag+counter in one load and allocation
+    // rewrites the word wholesale, so the packed slot math never
+    // applies.
+    state.choiceKind = SimdChoiceKind::Yags;
+    initLaneArrays(state, bank.size());
+    for (std::size_t l = 0; l < bank.size(); ++l) {
+        YagsPredictor &p = bank[l];
+        const YagsConfig &cfg = p.config();
+        state.maxValue[l] = mask32(cfg.counterWidth);
+        state.threshold[l] = state.maxValue[l] / 2;
+        state.counters.resize(
+            state.counters.size() + kSimdLaneStagger, 0);
+        state.laneBase[l] =
+            static_cast<std::uint32_t>(state.counters.size());
+        // Not-taken cache at laneBase, taken cache bankStride words
+        // after it; the kernel consults the cache *opposite* the
+        // choice direction (yags.hh), so the stride add is masked by
+        // ~choice.
+        for (std::uint32_t cache = 0; cache < 2; ++cache) {
+            if (cache == YagsPredictor::kTakenCache) {
+                state.bankStride[l] = static_cast<std::uint32_t>(
+                    state.counters.size() - state.laneBase[l]);
+            }
+            for (const YagsPredictor::CacheEntry &entry :
+                 p.cacheRef(cache))
+                state.counters.push_back(packYagsEntry(entry));
+        }
+        appendChoiceCounters(state, l, p.choiceTableRef());
+        state.choiceAddrMask[l] = mask32(cfg.choiceIndexBits);
+        state.addrMask[l] = mask32(cfg.cacheIndexBits);
+        state.tagShift[l] = cfg.cacheIndexBits;
+        state.tagMask[l] = mask32(cfg.tagBits);
+        state.histMask[l] = mask32(cfg.historyBits);
+        state.hist[l] =
+            static_cast<std::uint32_t>(p.historyRef().value());
+    }
+    padLanes(state);
+    return state;
+}
+
+std::optional<SimdBankState>
+buildSimdBank(std::vector<FilterPredictor> &bank)
+{
+    if (bank.empty())
+        return std::nullopt;
+    std::uint64_t totalCounters = staggerElements(bank.size());
+    std::uint64_t totalChoice = staggerElements(bank.size());
+    for (FilterPredictor &p : bank) {
+        // Constructor-capped at the (<= 28 bit) PHT index width;
+        // enforce the lane math independently.
+        if (p.config().historyBits > 31) {
+            detail::logSimdBankFallback(
+                p.name(), "history wider than the 32-bit lane math");
+            return std::nullopt;
+        }
+        totalCounters += p.phtRef().size();
+        totalChoice += p.filterRef().size();
+    }
+    if (totalCounters > kMaxArenaElements ||
+        totalChoice > kMaxArenaElements) {
+        detail::logSimdBankFallback(bank.front().name(),
+                                    "arena over 2^31 elements");
+        return std::nullopt;
+    }
+
+    SimdBankState state;
+    state.packed = true;
+    state.choiceKind = SimdChoiceKind::Filter;
+    initLaneArrays(state, bank.size());
+    for (std::size_t l = 0; l < bank.size(); ++l) {
+        FilterPredictor &p = bank[l];
+        const FilterConfig &cfg = p.config();
+        appendCounters(state, l, p.phtRef());
+        state.addrMask[l] = mask32(cfg.indexBits);
+        state.histMask[l] = mask32(cfg.historyBits);
+        state.hist[l] =
+            static_cast<std::uint32_t>(p.historyRef().value());
+        // Filter entries pack into one choice word each: direction
+        // in bit 0, run length from bit 1 (runs are <= 8 bits). The
+        // saturation value rides choiceMaxValue.
+        state.choiceArena.resize(
+            state.choiceArena.size() + kSimdLaneStagger, 0);
+        state.choiceBase[l] =
+            static_cast<std::uint32_t>(state.choiceArena.size());
+        for (const FilterPredictor::FilterEntry &entry : p.filterRef()) {
+            state.choiceArena.push_back(
+                (entry.direction ? 1u : 0u) |
+                (static_cast<std::uint32_t>(entry.runLength) << 1));
+        }
+        state.choiceAddrMask[l] = mask32(cfg.filterIndexBits);
+        state.choiceMaxValue[l] = p.runSaturationValue();
+    }
+    padLanes(state);
+    return state;
+}
+
 void
 storeSimdBank(const SimdBankState &state,
               std::vector<BimodalPredictor> &bank)
@@ -544,6 +851,77 @@ storeSimdBank(const SimdBankState &state,
         for (std::size_t e = 0; e < bias.size(); ++e) {
             valid[e] = static_cast<std::uint16_t>(src[e] & 1u);
             bias[e] = static_cast<std::uint16_t>((src[e] >> 1) & 1u);
+        }
+        p.historyRef().setValue(state.hist[l]);
+    }
+}
+
+void
+storeSimdBank(const SimdBankState &state,
+              std::vector<TournamentPredictor> &bank)
+{
+    for (std::size_t l = 0; l < bank.size(); ++l) {
+        TournamentPredictor &p = bank[l];
+        GsharePredictor &gshare = *p.gshareComponentPtr();
+        restoreCounters(state, l, gshare.tableRef());
+        gshare.historyRef().setValue(state.hist[l]);
+        restoreChoiceCounters(state, l, p.metaTableRef());
+        restoreAuxCounters(state, l,
+                           p.bimodalComponentPtr()->tableRef());
+    }
+}
+
+void
+storeSimdBank(const SimdBankState &state,
+              std::vector<GskewPredictor> &bank)
+{
+    for (std::size_t l = 0; l < bank.size(); ++l) {
+        GskewPredictor &p = bank[l];
+        restoreCounters(state, l, p.bankRef(0));
+        restoreCounters(state, l, p.bankRef(1), state.bankStride[l]);
+        restoreCounters(state, l, p.bankRef(2),
+                        2 * static_cast<std::size_t>(
+                                state.bankStride[l]));
+        p.historyRef().setValue(state.hist[l]);
+    }
+}
+
+void
+storeSimdBank(const SimdBankState &state,
+              std::vector<YagsPredictor> &bank)
+{
+    for (std::size_t l = 0; l < bank.size(); ++l) {
+        YagsPredictor &p = bank[l];
+        const std::uint32_t *src =
+            state.counters.data() + state.laneBase[l];
+        for (std::uint32_t cache = 0; cache < 2; ++cache) {
+            for (YagsPredictor::CacheEntry &entry : p.cacheRef(cache)) {
+                const std::uint32_t word = *src++;
+                entry.valid = (word & kYagsValidBit) != 0;
+                entry.tag = static_cast<std::uint16_t>(
+                    (word >> kYagsTagShift) & 0xFFFFu);
+                entry.counter = static_cast<std::uint16_t>(
+                    word & kYagsCounterMask);
+            }
+        }
+        restoreChoiceCounters(state, l, p.choiceTableRef());
+        p.historyRef().setValue(state.hist[l]);
+    }
+}
+
+void
+storeSimdBank(const SimdBankState &state,
+              std::vector<FilterPredictor> &bank)
+{
+    for (std::size_t l = 0; l < bank.size(); ++l) {
+        FilterPredictor &p = bank[l];
+        restoreCounters(state, l, p.phtRef());
+        const std::uint32_t *src =
+            state.choiceArena.data() + state.choiceBase[l];
+        for (FilterPredictor::FilterEntry &entry : p.filterRef()) {
+            const std::uint32_t word = *src++;
+            entry.direction = static_cast<std::uint16_t>(word & 1u);
+            entry.runLength = static_cast<std::uint16_t>(word >> 1);
         }
         p.historyRef().setValue(state.hist[l]);
     }

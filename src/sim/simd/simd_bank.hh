@@ -22,8 +22,8 @@
  * hist; the history occupies exactly the low h bits, so or and xor
  * agree bit for bit.)
  *
- * The choice-based (two-gather) kinds add a second, pc-indexed arena
- * read in front of the direction read (choiceKind selects the
+ * The choice-based (multi-read) kinds add one or two pc-indexed
+ * arena reads in front of the direction read (choiceKind selects the
  * flavor, see SimdChoiceKind):
  *
  *   bimode           a choice-counter read at addr & choiceAddrMask
@@ -37,6 +37,23 @@
  *                    one choice word) that xnor-flips the direction
  *                    counter's agree prediction, with the first-use
  *                    bias capture as a masked choice write-back
+ *   tournament       three gathers: a meta counter (choice arena)
+ *                    selects per lane between a bimodal counter (a
+ *                    second pc-indexed read, aux* constants) and a
+ *                    gshare counter from the packed direction arena
+ *   gskew            three skew-hashed direction-bank gathers (the
+ *                    banks sit back to back at bankStride spacing)
+ *                    plus a vectorized 2-of-3 majority vote; the
+ *                    e-gskew partial-update policy and its ablation
+ *                    are write-back masks (bothBanksMask)
+ *   yags             a choice gather steering a tagged
+ *                    exception-cache probe: each cache entry packs
+ *                    valid/tag/counter into one arena word, the hit
+ *                    test is a gathered tag compare, and allocation
+ *                    is a masked whole-word write-back
+ *   filter           a run-length filter word (direction + counter,
+ *                    choice arena) gates a gshare-indexed PHT read;
+ *                    saturation/reset of the run is branchless masks
  *
  * Lanes are vectorized, branches stay serial: for each trace branch
  * the kernel gathers every lane's counter, predicts, saturates and
@@ -67,12 +84,16 @@ namespace bpsim
 class AgreePredictor;
 class BiModePredictor;
 class BimodalPredictor;
+class FilterPredictor;
 class GsharePredictor;
+class GskewPredictor;
+class TournamentPredictor;
 class TwoLevelPredictor;
+class YagsPredictor;
 
 /**
- * Two-gather kernel flavor of a flattened bank: which choice-arena
- * semantics the kernel applies in front of the direction-bank read.
+ * Multi-read kernel flavor of a flattened bank: which choice-arena
+ * semantics the kernel applies around the direction-bank read.
  */
 enum class SimdChoiceKind : std::uint8_t
 {
@@ -84,12 +105,39 @@ enum class SimdChoiceKind : std::uint8_t
     /** Agree: a pc-indexed biasing bit (with first-use capture)
      *  flips the direction counter's agree prediction. */
     Agree,
+    /** Tournament: a pc-indexed meta counter selects between a
+     *  pc-indexed bimodal counter (aux* constants) and a packed
+     *  gshare counter — three gathers, one blend. */
+    Tournament,
+    /** gskew: three skew-hashed gathers from back-to-back direction
+     *  banks, majority vote, partial-update write-back masks. */
+    Gskew,
+    /** YAGS: a choice gather steering a tagged exception-cache probe
+     *  (valid/tag/counter packed per arena word) with a compare-mask
+     *  hit test and masked allocation write-backs. */
+    Yags,
+    /** Filter: a pc-indexed run-length word gates a gshare-indexed
+     *  PHT read; saturate/reset are branchless masks. */
+    Filter,
 };
 
 /** Widest group any backend steps at once (AVX-512, 16 lanes).
  *  Per-lane arrays are padded to a multiple of this so every backend
  *  can issue full-width loads of lane constants. */
 constexpr std::size_t kMaxSimdGroupLanes = 16;
+
+/** @name YAGS arena-word layout
+ *  One exception-cache entry packs into one (unpacked) arena word:
+ *  the counter in bits 0..7, the partial tag in bits 8..23, the
+ *  valid flag in bit 24. Counters are <= 8 bits and tags <= 16 bits
+ *  by construction (yags.hh), so the fields never overlap. Shared
+ *  between the builder (simd_bank.cc) and the kernel
+ *  (simd_kernel.hh). */
+/**@{*/
+constexpr std::uint32_t kYagsCounterMask = 0xFFu;
+constexpr std::uint32_t kYagsTagShift = 8;
+constexpr std::uint32_t kYagsValidBit = std::uint32_t{1} << 24;
+/**@}*/
 
 /**
  * Zero elements inserted before every lane's region in the shared
@@ -168,9 +216,14 @@ struct SimdBankState
      * scatter-to-gather forwarding stalls (the same trade that keeps
      * bimodal unpacked).
      *
-     * BiMode: the lane's choice counters at choiceBase[l] + idx.
+     * BiMode/Yags: the lane's choice counters at choiceBase[l] + idx.
      * Agree: bit 0 = bias valid, bit 1 = biasing bit (0 = branch not
      * yet seen).
+     * Tournament: the meta counters at choiceBase[l] + idx AND the
+     * bimodal component's counters at auxBase[l] + idx — two
+     * pc-indexed streams sharing the arena.
+     * Filter: bit 0 = run direction, bits 1.. = the saturating run
+     * length (saturation value in choiceMaxValue).
      */
     std::vector<std::uint32_t> choiceArena;
 
@@ -193,17 +246,41 @@ struct SimdBankState
     std::vector<std::uint32_t> choiceAddrMask; ///< choice-index pc mask
     std::vector<std::uint32_t> choiceMaxValue; ///< choice saturation (bimode)
     std::vector<std::uint32_t> choiceThreshold; ///< bank select when > (bimode)
-    /** Direction-arena words between the lane's not-taken and taken
-     *  banks (bimode): the selected bank's base is laneBase plus
-     *  bankStride under the choice mask. */
+    /** Direction-arena words between the lane's adjacent banks
+     *  (bimode: not-taken → taken; gskew: bank i → bank i+1; yags:
+     *  not-taken cache → taken cache): a selected bank's base is
+     *  laneBase plus a multiple of bankStride. */
     std::vector<std::uint32_t> bankStride;
     /** All-ones on lanes running the alwaysUpdateChoice ablation
      *  (bimode): disables the choice-exception write-back mask. */
     std::vector<std::uint32_t> alwaysChoiceMask;
     /** All-ones on lanes running the partialUpdate=false ablation
-     *  (bimode): enables the unselected-bank write-back. */
+     *  (bimode, gskew): enables the unselected/dissenting-bank
+     *  write-back. */
     std::vector<std::uint32_t> bothBanksMask;
+    /** @name Second pc-indexed read (tournament's bimodal component) */
+    std::vector<std::uint32_t> auxBase;      ///< offset in choiceArena
+    std::vector<std::uint32_t> auxAddrMask;  ///< pc index mask
+    std::vector<std::uint32_t> auxMaxValue;  ///< counter saturation
+    std::vector<std::uint32_t> auxThreshold; ///< predict taken when >
+    /** @name Tagged-probe constants (yags) */
+    std::vector<std::uint32_t> tagShift; ///< addr right-shift for the tag
+    std::vector<std::uint32_t> tagMask;  ///< tag-field mask
+    /** @name Skew-hash constants (gskew) */
+    /** Mask of the wide (bankIndexBits + 8) address field the skew
+     *  hashes mix; builders guarantee it fits 31 bits so the bank-2
+     *  add cannot carry past the 32-bit lane. */
+    std::vector<std::uint32_t> hashFieldMask;
+    /** Per-lane fold width (= bankIndexBits): the 64-bit product is
+     *  xor-folded in foldShift-bit chunks into addrMask. */
+    std::vector<std::uint32_t> foldShift;
     /**@}*/
+
+    /** gskew only: fold iterations covering the widest lane's 64-bit
+     *  product, max over lanes of ceil(64 / foldShift[l]); uniform
+     *  across the vector (narrow lanes fold zeros after their own
+     *  chunks run out). */
+    std::uint32_t foldRounds = 0;
 
     /** Global-history registers, live kernel state (updated per
      *  branch, stored back to the predictors afterwards). Unused
@@ -238,6 +315,14 @@ std::optional<SimdBankState> buildSimdBank(
     std::vector<BiModePredictor> &bank);
 std::optional<SimdBankState> buildSimdBank(
     std::vector<AgreePredictor> &bank);
+std::optional<SimdBankState> buildSimdBank(
+    std::vector<TournamentPredictor> &bank);
+std::optional<SimdBankState> buildSimdBank(
+    std::vector<GskewPredictor> &bank);
+std::optional<SimdBankState> buildSimdBank(
+    std::vector<YagsPredictor> &bank);
+std::optional<SimdBankState> buildSimdBank(
+    std::vector<FilterPredictor> &bank);
 
 namespace detail
 {
@@ -279,6 +364,14 @@ void storeSimdBank(const SimdBankState &state,
                    std::vector<BiModePredictor> &bank);
 void storeSimdBank(const SimdBankState &state,
                    std::vector<AgreePredictor> &bank);
+void storeSimdBank(const SimdBankState &state,
+                   std::vector<TournamentPredictor> &bank);
+void storeSimdBank(const SimdBankState &state,
+                   std::vector<GskewPredictor> &bank);
+void storeSimdBank(const SimdBankState &state,
+                   std::vector<YagsPredictor> &bank);
+void storeSimdBank(const SimdBankState &state,
+                   std::vector<FilterPredictor> &bank);
 
 template <typename Pred>
 void

@@ -83,8 +83,16 @@ const std::map<std::string, std::vector<std::string>> kBankSpecs = {
                 "bimode:d=6,partial=0,alwayschoice=1"}},
     {"agree", {"agree:n=6,h=4,b=6", "agree:n=8,h=8,b=8",
                "agree:n=7,h=3,b=9"}},
-    {"gskew", {"gskew:n=6,h=5", "gskew:n=7,h=7", "gskew:n=8,h=4"}},
-    {"yags", {"yags:c=7,n=5,t=5,h=5", "yags:c=8,n=6,t=6,h=6"}},
+    // The full-update ablation lane rides the same bank as canonical
+    // partial-update lanes, exercising the mixed per-lane
+    // bothBanksMask of the vectorized majority-vote kernel.
+    {"gskew", {"gskew:n=6,h=5", "gskew:n=7,h=7", "gskew:n=8,h=4",
+               "gskew:n=7,h=6,partial=0"}},
+    // t=2 leaves 4 distinct tags over a small cache, forcing constant
+    // tag conflicts so the miss/alloc path of the vectorized tagged
+    // probe is hammered rather than grazed.
+    {"yags", {"yags:c=7,n=5,t=5,h=5", "yags:c=8,n=6,t=6,h=6",
+              "yags:c=6,n=5,t=2,h=4"}},
     {"tournament", {"tournament:n=6", "tournament:n=7",
                     "tournament:n=8"}},
     {"filter", {"filter:n=6,h=4,b=6,k=2", "filter:n=8,h=8,b=8,k=3",
@@ -208,7 +216,9 @@ kindHasSimdBank(const std::string &kind)
 {
     return kind == "bimodal" || kind == "gshare" || kind == "gag" ||
            kind == "gas" || kind == "pag" || kind == "pas" ||
-           kind == "bimode" || kind == "agree";
+           kind == "bimode" || kind == "agree" ||
+           kind == "tournament" || kind == "gskew" ||
+           kind == "yags" || kind == "filter";
 }
 
 /**
