@@ -19,13 +19,22 @@
  * offers (sim/simd/kernel_tier.hh), reporting lane-throughput
  * (branches x lanes / pass time) with the scalar bank as baseline.
  * Counts must be bit-identical across tiers, enforced the same way.
+ *
+ * --baseline FILE turns the run into a regression guard: every
+ * kernel throughput measured here (all of them on the unprobed
+ * NullProbe path, sim/probe.hh) is compared against the same entry
+ * of a previous report, and any rate more than --tolerance percent
+ * below its baseline fails the run. This is the gate that keeps the
+ * probe template parameter compiled out of unprobed kernels.
  */
 
 #include <algorithm>
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <optional>
 #include <sstream>
+#include <unordered_map>
 
 #include "common/bench_common.hh"
 #include "core/factory.hh"
@@ -126,6 +135,100 @@ bestBankRun(const BankScenario &scenario, const PackedTrace &packed,
     return best;
 }
 
+/** One measured kernel rate, keyed for baseline comparison: solo
+ *  rows use the config text, bank rows "kind@tier". */
+struct MeasuredRate
+{
+    std::string key;
+    double branchesPerSec = 0.0;
+};
+
+/** Extracts the comparable rates of a previous report: solo entries'
+ *  kernelBranchesPerSec under their config, bank entries' per-tier
+ *  laneBranchesPerSec under "kind@requestedTier". */
+std::unordered_map<std::string, double>
+baselineRates(const JsonValue &doc)
+{
+    std::unordered_map<std::string, double> rates;
+    for (const JsonValue &entry : doc.elements()) {
+        if (!entry.isObject())
+            continue;
+        const std::string config = entry.getString("config");
+        if (!config.empty()) {
+            rates[config] = entry.getNumber("kernelBranchesPerSec");
+            continue;
+        }
+        const std::string bank = entry.getString("bank");
+        const JsonValue *tiers = entry.get("tiers");
+        if (bank.empty() || tiers == nullptr || !tiers->isArray())
+            continue;
+        for (const JsonValue &tier : tiers->elements()) {
+            rates[bank + "@" + tier.getString("requestedTier")] =
+                tier.getNumber("laneBranchesPerSec");
+        }
+    }
+    return rates;
+}
+
+/**
+ * Compares @p measured against the report at @p path and prints one
+ * row per comparable entry. Returns false when any rate fell more
+ * than @p tolerancePct percent below its baseline.
+ */
+bool
+guardThroughput(const ArgParser &args, const std::string &path,
+                double tolerancePct,
+                const std::vector<MeasuredRate> &measured)
+{
+    std::ifstream file(path);
+    if (!file) {
+        std::cerr << "cannot read baseline " << path << "\n";
+        return false;
+    }
+    std::ostringstream text;
+    text << file.rdbuf();
+    std::string error;
+    const std::optional<JsonValue> doc =
+        JsonValue::parse(text.str(), error);
+    if (!doc || !doc->isArray()) {
+        std::cerr << "baseline " << path << " is not a report array"
+                  << (error.empty() ? "" : ": " + error) << "\n";
+        return false;
+    }
+    const std::unordered_map<std::string, double> baseline =
+        baselineRates(*doc);
+
+    TextTable table;
+    table.setColumns({"kernel", "baseline Mbr/s", "now Mbr/s",
+                      "delta (%)", "verdict"});
+    bool pass = true;
+    std::size_t compared = 0;
+    for (const MeasuredRate &rate : measured) {
+        const auto it = baseline.find(rate.key);
+        if (it == baseline.end() || it->second <= 0.0)
+            continue; // new kernel or unusable entry: nothing to guard
+        ++compared;
+        const double delta =
+            100.0 * (rate.branchesPerSec / it->second - 1.0);
+        const bool ok = delta >= -tolerancePct;
+        pass = pass && ok;
+        table.addRow({rate.key,
+                      TextTable::fixed(it->second / 1e6, 2),
+                      TextTable::fixed(rate.branchesPerSec / 1e6, 2),
+                      TextTable::fixed(delta, 2),
+                      ok ? "ok" : "REGRESSED"});
+    }
+    emitTable(args, table,
+              "Throughput vs " + path + " (tolerance " +
+                  TextTable::fixed(tolerancePct, 1) + "%)");
+    if (compared == 0) {
+        std::cerr << "baseline " << path
+                  << " shares no kernels with this run\n";
+        return false;
+    }
+    return pass;
+}
+
 /** Counts-only equality across every lane of two bank runs. */
 bool
 bankCountsMatch(const std::vector<SimResult> &a,
@@ -157,6 +260,12 @@ main(int argc, char **argv)
     args.addOption("reps", "3", "timed repetitions per path (best-of)");
     args.addOption("out", "BENCH_replay.json",
                    "path of the JSON throughput report");
+    args.addOption("baseline", "",
+                   "previous report to guard kernel throughput "
+                   "against (empty = no guard)");
+    args.addOption("tolerance", "2",
+                   "max throughput regression vs --baseline, in "
+                   "percent");
     if (!args.parse(argc, argv))
         return 0;
     const std::uint64_t divisor = applyCommonOptions(args);
@@ -189,6 +298,7 @@ main(int argc, char **argv)
 
     std::ostringstream json;
     json << "[";
+    std::vector<MeasuredRate> measured;
     bool mismatch = false;
     bool first = true;
     for (const std::string &config : configs) {
@@ -222,6 +332,7 @@ main(int argc, char **argv)
                 : static_cast<double>(virtual_best.wallNanos) /
                       static_cast<double>(kernel_best.wallNanos);
 
+        measured.push_back({config, kernel_best.branchesPerSec()});
         table.addRow({config, virtual_best.predictorName,
                       TextTable::fixed(
                           virtual_best.branchesPerSec() / 1e6, 2),
@@ -290,6 +401,8 @@ main(int argc, char **argv)
                            << kernelTierName(tier));
             }
             const double rate = run[0].branchesPerSec();
+            measured.push_back(
+                {scenario.kind + "@" + kernelTierName(tier), rate});
             const double speedup =
                 scalarRate == 0.0 ? 0.0 : rate / scalarRate;
             bestSpeedup = std::max(bestSpeedup, speedup);
@@ -328,5 +441,12 @@ main(int argc, char **argv)
     file << json.str();
     std::cout << "\nwrote " << out << "\n";
 
-    return mismatch ? 1 : 0;
+    bool regressed = false;
+    if (!args.get("baseline").empty()) {
+        regressed = !guardThroughput(args, args.get("baseline"),
+                                     args.getDouble("tolerance"),
+                                     measured);
+    }
+
+    return (mismatch || regressed) ? 1 : 0;
 }

@@ -1,0 +1,259 @@
+#include "analysis/h2p.hh"
+
+#include <algorithm>
+#include <ostream>
+#include <unordered_set>
+
+#include "util/json.hh"
+#include "util/table.hh"
+
+namespace bpsim
+{
+
+double
+H2PBranch::accuracy() const
+{
+    if (executions == 0)
+        return 0.0;
+    return 100.0 *
+           static_cast<double>(executions - mispredictions) /
+           static_cast<double>(executions);
+}
+
+double
+H2PReport::coverageOfTop(std::size_t k) const
+{
+    if (totalMispredictions == 0)
+        return 0.0;
+    std::uint64_t covered = 0;
+    const std::size_t bound = std::min(k, branches.size());
+    for (std::size_t i = 0; i < bound; ++i)
+        covered += branches[i].mispredictions;
+    return 100.0 * static_cast<double>(covered) /
+           static_cast<double>(totalMispredictions);
+}
+
+H2PReport
+buildH2PReport(const SimResult &result, double coverageTarget)
+{
+    H2PReport report;
+    report.predictorName = result.predictorName;
+    report.benchmark = result.benchmark;
+    report.configText = result.configText;
+    report.totalBranches = result.branches;
+    report.totalMispredictions = result.mispredictions;
+    report.coverageTarget = std::clamp(coverageTarget, 0.0, 1.0);
+
+    report.branches.reserve(result.perBranch.size());
+    for (const PerBranchResult &b : result.perBranch) {
+        H2PBranch branch;
+        branch.pc = b.pc;
+        branch.executions = b.executions;
+        branch.mispredictions = b.mispredictions;
+        branch.takenCount = b.takenCount;
+        branch.biasClass = classifyStream(b.takenCount, b.executions);
+        if (report.totalMispredictions != 0) {
+            branch.missShare =
+                100.0 * static_cast<double>(b.mispredictions) /
+                static_cast<double>(report.totalMispredictions);
+        }
+        report.branches.push_back(branch);
+    }
+    std::sort(report.branches.begin(), report.branches.end(),
+              [](const H2PBranch &a, const H2PBranch &b) {
+                  if (a.mispredictions != b.mispredictions)
+                      return a.mispredictions > b.mispredictions;
+                  return a.pc < b.pc;
+              });
+
+    // The H2P set: the shortest prefix of the ranking whose
+    // mispredictions reach the coverage target. Integer comparison
+    // (covered * 1 >= target * total) avoids accumulating rounding.
+    const double needed = report.coverageTarget *
+                          static_cast<double>(report.totalMispredictions);
+    std::uint64_t covered = 0;
+    std::size_t count = 0;
+    if (report.totalMispredictions != 0) {
+        while (count < report.branches.size() &&
+               static_cast<double>(covered) < needed) {
+            covered += report.branches[count].mispredictions;
+            ++count;
+        }
+    }
+    report.h2pCount = count;
+    return report;
+}
+
+H2PSetComparison
+compareH2PSets(const H2PReport &a, const H2PReport &b)
+{
+    H2PSetComparison cmp;
+    cmp.countA = std::min(a.h2pCount, a.branches.size());
+    cmp.countB = std::min(b.h2pCount, b.branches.size());
+    std::unordered_set<std::uint64_t> inA;
+    inA.reserve(cmp.countA);
+    for (std::size_t i = 0; i < cmp.countA; ++i)
+        inA.insert(a.branches[i].pc);
+    for (std::size_t i = 0; i < cmp.countB; ++i)
+        cmp.shared += inA.count(b.branches[i].pc);
+    const std::size_t unionSize = cmp.countA + cmp.countB - cmp.shared;
+    if (unionSize != 0) {
+        cmp.jaccard = static_cast<double>(cmp.shared) /
+                      static_cast<double>(unionSize);
+    }
+    return cmp;
+}
+
+namespace
+{
+
+std::size_t
+emittedRows(const H2PReport &report, std::size_t maxRows)
+{
+    if (maxRows == 0)
+        return report.branches.size();
+    return std::min(maxRows, report.branches.size());
+}
+
+} // namespace
+
+void
+writeH2PCsv(std::ostream &os, const H2PReport &report,
+            std::size_t maxRows)
+{
+    os << "rank,pc,executions,mispredictions,taken,accuracy,"
+          "missShare,bias,h2p\n";
+    const std::size_t rows = emittedRows(report, maxRows);
+    for (std::size_t i = 0; i < rows; ++i) {
+        const H2PBranch &b = report.branches[i];
+        os << (i + 1) << ',' << b.pc << ',' << b.executions << ','
+           << b.mispredictions << ',' << b.takenCount << ','
+           << TextTable::fixed(b.accuracy(), 4) << ','
+           << TextTable::fixed(b.missShare, 4) << ','
+           << biasClassName(b.biasClass) << ','
+           << (i < report.h2pCount ? 1 : 0) << '\n';
+    }
+}
+
+void
+writeH2PJson(std::ostream &os, const H2PReport &report,
+             std::size_t maxRows)
+{
+    os << "{\"predictor\":" << jsonString(report.predictorName)
+       << ",\"benchmark\":" << jsonString(report.benchmark)
+       << ",\"config\":" << jsonString(report.configText)
+       << ",\"branches\":" << report.totalBranches
+       << ",\"mispredictions\":" << report.totalMispredictions
+       << ",\"staticBranches\":" << report.staticBranches()
+       << ",\"coverageTarget\":" << jsonNumber(report.coverageTarget)
+       << ",\"h2pCount\":" << report.h2pCount << ",\"ranking\":[";
+    const std::size_t rows = emittedRows(report, maxRows);
+    for (std::size_t i = 0; i < rows; ++i) {
+        const H2PBranch &b = report.branches[i];
+        if (i != 0)
+            os << ",";
+        os << "{\"pc\":" << b.pc << ",\"executions\":" << b.executions
+           << ",\"mispredictions\":" << b.mispredictions
+           << ",\"takenCount\":" << b.takenCount
+           << ",\"accuracy\":" << jsonNumber(b.accuracy())
+           << ",\"missShare\":" << jsonNumber(b.missShare)
+           << ",\"bias\":" << jsonString(biasClassName(b.biasClass))
+           << "}";
+    }
+    os << "]}";
+}
+
+void
+writeH2PTable(std::ostream &os, const H2PReport &report,
+              std::size_t rows)
+{
+    os << report.predictorName;
+    if (!report.benchmark.empty())
+        os << " on " << report.benchmark;
+    os << ": " << TextTable::grouped(report.totalMispredictions)
+       << " mispredictions over "
+       << TextTable::grouped(report.totalBranches) << " branches; "
+       << report.h2pCount << " of " << report.staticBranches()
+       << " static branches cover "
+       << TextTable::fixed(100.0 * report.coverageTarget, 0)
+       << "% of them\n";
+
+    TextTable table;
+    table.setColumns({"rank", "pc", "execs", "misses", "acc (%)",
+                      "share (%)", "bias"});
+    const std::size_t bound = emittedRows(report, rows);
+    for (std::size_t i = 0; i < bound; ++i) {
+        const H2PBranch &b = report.branches[i];
+        table.addRow({std::to_string(i + 1), std::to_string(b.pc),
+                      TextTable::grouped(b.executions),
+                      TextTable::grouped(b.mispredictions),
+                      TextTable::fixed(b.accuracy(), 2),
+                      TextTable::fixed(b.missShare, 2),
+                      biasClassName(b.biasClass)});
+        if (i + 1 == report.h2pCount && i + 1 < bound)
+            table.addRule();
+    }
+    table.print(os);
+}
+
+std::optional<SimResult>
+parseSimResultJson(const std::string &text, std::string &error)
+{
+    const std::optional<JsonValue> parsed =
+        JsonValue::parse(text, error);
+    if (!parsed)
+        return std::nullopt;
+    if (!parsed->isObject()) {
+        error = "result line is not a JSON object";
+        return std::nullopt;
+    }
+    // Campaign payloads wrap the SimResult as {"ok":true,"result":
+    // {...}} (campaign/emitters.hh writeResultJson()); accept both
+    // the wrapped and the bare form.
+    const JsonValue *doc = &*parsed;
+    if (const JsonValue *ok = parsed->get("ok")) {
+        if (!ok->asBool()) {
+            error = "job failed: " + parsed->getString("error");
+            return std::nullopt;
+        }
+        doc = parsed->get("result");
+        if (doc == nullptr || !doc->isObject()) {
+            error = "ok payload without a result object";
+            return std::nullopt;
+        }
+    }
+    SimResult result;
+    result.benchmark = doc->getString("benchmark");
+    result.configText = doc->getString("config");
+    result.predictorName = doc->getString("predictor");
+    result.counterBits = doc->getUint("counterBits");
+    result.storageBits = doc->getUint("storageBits");
+    result.branches = doc->getUint("branches");
+    result.mispredictions = doc->getUint("mispredictions");
+    result.takenBranches = doc->getUint("takenBranches");
+    result.wallNanos = doc->getUint("wallNanos");
+    result.fusedLanes =
+        static_cast<std::uint32_t>(doc->getUint("fusedLanes"));
+    if (const JsonValue *perBranch = doc->get("perBranch")) {
+        if (!perBranch->isArray()) {
+            error = "perBranch is not an array";
+            return std::nullopt;
+        }
+        result.perBranch.reserve(perBranch->elements().size());
+        for (const JsonValue &row : perBranch->elements()) {
+            if (!row.isObject()) {
+                error = "perBranch entry is not an object";
+                return std::nullopt;
+            }
+            PerBranchResult branch;
+            branch.pc = row.getUint("pc");
+            branch.executions = row.getUint("executions");
+            branch.mispredictions = row.getUint("mispredictions");
+            branch.takenCount = row.getUint("takenCount");
+            result.perBranch.push_back(branch);
+        }
+    }
+    return result;
+}
+
+} // namespace bpsim

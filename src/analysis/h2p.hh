@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Hard-to-predict (H2P) branch analysis over per-branch replay
+ * results.
+ *
+ * A small set of static branches typically concentrates most of a
+ * predictor's mispredictions. This module turns the per-branch table
+ * a probed replay collects (SimResult::perBranch, sim/probe.hh) into
+ * that story: per-branch accuracy annotated with the paper's §4 bias
+ * class, the top-K branches ranked by misprediction count, the
+ * smallest prefix of that ranking covering an X% share of all
+ * mispredictions (the H2P set), and the overlap of two predictors'
+ * H2P sets — e.g. whether bi-mode and gshare stumble over the same
+ * branches or different ones.
+ *
+ * Reports are built from in-process SimResults or parsed back from
+ * the serialized form (parseSimResultJson()), so the offline drivers
+ * and the campaign-service client produce byte-identical tables.
+ */
+
+#ifndef BPSIM_ANALYSIS_H2P_HH
+#define BPSIM_ANALYSIS_H2P_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/bias_class.hh"
+#include "sim/simulator.hh"
+
+namespace bpsim
+{
+
+/** One static branch in an H2P ranking. */
+struct H2PBranch
+{
+    std::uint64_t pc = 0;
+    std::uint64_t executions = 0;
+    std::uint64_t mispredictions = 0;
+    std::uint64_t takenCount = 0;
+    /** §4 bias class of the branch's measured outcome stream. */
+    BiasClass biasClass = BiasClass::WeaklyBiased;
+    /** This branch's share of the run's mispredictions, in percent. */
+    double missShare = 0.0;
+
+    /** Prediction accuracy on this branch, in percent. */
+    double accuracy() const;
+};
+
+/** Per-branch misprediction ranking for one predictor-on-trace run. */
+struct H2PReport
+{
+    std::string predictorName;
+    std::string benchmark;
+    std::string configText;
+    /** Aggregate counts of the run the report was built from. */
+    std::uint64_t totalBranches = 0;
+    std::uint64_t totalMispredictions = 0;
+    /** Coverage target the H2P set was cut at (fraction, e.g. 0.9). */
+    double coverageTarget = 0.0;
+    /** Number of leading branches whose mispredictions first reach
+     *  the coverage target (== branches.size() when even the whole
+     *  table falls short, 0 when the run mispredicted nothing). */
+    std::size_t h2pCount = 0;
+    /** Every executed static branch, sorted by descending
+     *  misprediction count (ties broken by ascending pc). */
+    std::vector<H2PBranch> branches;
+
+    /** Static branch count (all executed branches, not just H2P). */
+    std::size_t staticBranches() const { return branches.size(); }
+
+    /** Misprediction share of the first @p k branches, in percent. */
+    double coverageOfTop(std::size_t k) const;
+};
+
+/**
+ * Builds the H2P report for one per-branch result.
+ *
+ * @param result a run with SimResult::perBranch filled
+ *        (SimConfig::trackPerBranch)
+ * @param coverageTarget fraction of all mispredictions the H2P set
+ *        must cover (clamped to [0, 1]; default 0.9)
+ */
+H2PReport buildH2PReport(const SimResult &result,
+                         double coverageTarget = 0.9);
+
+/** Overlap of two predictors' H2P sets over the same workload. */
+struct H2PSetComparison
+{
+    /** H2P set sizes of the two reports. */
+    std::size_t countA = 0;
+    std::size_t countB = 0;
+    /** Branches in both H2P sets. */
+    std::size_t shared = 0;
+    /** shared / |union|, the Jaccard index (0 when both empty). */
+    double jaccard = 0.0;
+};
+
+/**
+ * Intersects the H2P sets (the first h2pCount branches) of two
+ * reports, normally built from the same benchmark trace so the pcs
+ * are comparable.
+ */
+H2PSetComparison compareH2PSets(const H2PReport &a, const H2PReport &b);
+
+/**
+ * Writes the ranking as CSV with a header row:
+ * rank,pc,executions,mispredictions,taken,accuracy,missShare,bias,h2p.
+ * @p maxRows bounds the emitted rows (0 = all branches).
+ */
+void writeH2PCsv(std::ostream &os, const H2PReport &report,
+                 std::size_t maxRows = 0);
+
+/** Writes the report as one JSON object (ranking bounded the same
+ *  way as writeH2PCsv()). */
+void writeH2PJson(std::ostream &os, const H2PReport &report,
+                  std::size_t maxRows = 0);
+
+/** Renders the top-@p rows of the ranking as an aligned console
+ *  table with a summary header line. */
+void writeH2PTable(std::ostream &os, const H2PReport &report,
+                   std::size_t rows = 20);
+
+/**
+ * Parses one serialized SimResult back into a SimResult, including
+ * the "perBranch" array when present. Accepts both the bare
+ * SimResult::toJson() form and the campaign payload wrapper
+ * {"ok":true,"result":{...}} (a failed job's {"ok":false,...}
+ * payload parses as an error). Returns std::nullopt and fills
+ * @p error on malformed input.
+ */
+std::optional<SimResult> parseSimResultJson(const std::string &text,
+                                            std::string &error);
+
+} // namespace bpsim
+
+#endif // BPSIM_ANALYSIS_H2P_HH

@@ -23,9 +23,11 @@
  * replayKernelBankAny()) that streams the trace once for the whole
  * group. A fig2-style size ladder or gshare.best sweep therefore
  * touches each benchmark's trace once instead of once per rung.
- * Everything else — heterogeneous kinds, per-branch tracking, jobs
- * without a packed trace, malformed configs — runs on the classic
- * per-job path. Fusion changes wall time only: per-job counts,
+ * Per-branch tracking fuses too (the bank runs with a per-lane
+ * probe, sim/probe.hh), though only with jobs that also track — the
+ * tracking flag is part of the fusion key. Everything else —
+ * heterogeneous kinds, jobs without a packed trace, malformed
+ * configs — runs on the classic per-job path. Fusion changes wall time only: per-job counts,
  * errors and emitted JSON are bit-identical to an unfused run
  * (enforced by tests/sim/test_replay_bank.cc), and setFusion(false)
  * forces the per-job path, e.g. to time configurations in

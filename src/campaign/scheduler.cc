@@ -50,10 +50,8 @@ CampaignScheduler::admit(Job &&job, CompletionFn &&done, bool blocking)
     // Classify for fusion outside the lock (fastReplayKind parses
     // the config text).
     std::string kind;
-    if (opts.fuse && job.packed != nullptr && job.trace != nullptr &&
-        !job.simConfig.trackPerBranch) {
+    if (opts.fuse && job.packed != nullptr && job.trace != nullptr)
         kind = fastReplayKind(job.configText);
-    }
 
     std::unique_lock<std::mutex> lock(mu);
     for (;;) {
@@ -95,10 +93,8 @@ CampaignScheduler::trySubmitAll(std::vector<Job> jobs, CompletionFn done)
     std::vector<std::string> kinds(jobs.size());
     for (std::size_t i = 0; i < jobs.size(); ++i) {
         const Job &job = jobs[i];
-        if (opts.fuse && job.packed != nullptr && job.trace != nullptr &&
-            !job.simConfig.trackPerBranch) {
+        if (opts.fuse && job.packed != nullptr && job.trace != nullptr)
             kinds[i] = fastReplayKind(job.configText);
-        }
     }
 
     std::unique_lock<std::mutex> lock(mu);
@@ -227,6 +223,8 @@ CampaignScheduler::takeBatch(std::unique_lock<std::mutex> &lock)
     const auto headWarmup =
         batch.front().job.simConfig.warmupBranches;
     const auto headTier = batch.front().job.simConfig.kernelTier;
+    const bool headPerBranch =
+        batch.front().job.simConfig.trackPerBranch;
     if (!headKind.empty()) {
         // Dispatch-time fusion: sweep the pending queue, in order,
         // for jobs sharing the head's bank key. Submitter identity
@@ -237,10 +235,15 @@ CampaignScheduler::takeBatch(std::unique_lock<std::mutex> &lock)
             // kernelTier is part of the bank key: a bank runs on one
             // tier, so jobs forcing different tiers (the tier-matrix
             // tests, A/B timing runs) must not fuse.
+            // trackPerBranch is too: the bank probes all lanes or
+            // none, so tracked and untracked jobs run separate
+            // passes and the untracked ones keep the unprobed
+            // (zero-overhead) kernel instantiation.
             if (it->fuseKind == headKind &&
                 it->job.packed.get() == headPacked &&
                 it->job.simConfig.warmupBranches == headWarmup &&
-                it->job.simConfig.kernelTier == headTier) {
+                it->job.simConfig.kernelTier == headTier &&
+                it->job.simConfig.trackPerBranch == headPerBranch) {
                 batch.push_back(std::move(*it));
                 it = queue.erase(it);
             } else {

@@ -22,7 +22,8 @@
  *   - Fusion happens at dispatch time, across submitters: when a
  *     worker goes idle it takes the oldest pending job and sweeps
  *     the rest of the queue for jobs with the same fusion key
- *     (packed trace × fast-replay kind × warm-up), banking up to
+ *     (packed trace × fast-replay kind × warm-up × kernel tier ×
+ *     per-branch tracking), banking up to
  *     kMaxBankLanes of them into one single-pass kernel sweep
  *     (sim/replay.hh). Two clients sweeping the same benchmark
  *     therefore share one trace pass without either knowing the

@@ -169,6 +169,7 @@ campaignRequestLine(const CampaignRequest &request)
     line += "],\"divisor\":" + std::to_string(request.divisor) +
             ",\"warmup\":" + std::to_string(request.warmup) +
             ",\"timing\":" + (request.timing ? "true" : "false") +
+            ",\"perBranch\":" + (request.perBranch ? "true" : "false") +
             "}\n";
     return line;
 }

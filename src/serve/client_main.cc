@@ -20,12 +20,14 @@
 #include <string>
 #include <vector>
 
+#include "analysis/h2p.hh"
 #include "campaign/campaign.hh"
 #include "campaign/emitters.hh"
 #include "serve/client.hh"
 #include "trace/trace_store.hh"
 #include "util/args.hh"
 #include "util/logging.hh"
+#include "util/table.hh"
 #include "workload/benchmarks.hh"
 
 namespace
@@ -44,9 +46,72 @@ splitCommas(const std::string &text)
     return parts;
 }
 
+/** Options of the --h2p rendering mode. */
+struct H2POptions
+{
+    bool enabled = false;
+    double coverage = 0.9;
+    std::size_t top = 20;
+};
+
+/**
+ * Renders streamed result payloads as H2P reports — the same tables
+ * examples/h2p_report prints, built from the serialized per-branch
+ * arrays instead of in-process SimResults.
+ */
+int
+renderH2P(const std::vector<std::string> &payloads,
+          const H2POptions &h2p)
+{
+    using namespace bpsim;
+
+    std::vector<H2PReport> reports;
+    for (const std::string &payload : payloads) {
+        std::string error;
+        const auto result = parseSimResultJson(payload, error);
+        if (!result)
+            BPSIM_FATAL("bad result payload: " << error);
+        if (result->perBranch.empty()) {
+            BPSIM_FATAL("result for '"
+                        << result->predictorName
+                        << "' has no per-branch data (daemon too old "
+                           "for perBranch requests?)");
+        }
+        reports.push_back(buildH2PReport(*result, h2p.coverage));
+    }
+    for (const H2PReport &report : reports) {
+        writeH2PTable(std::cout, report, h2p.top);
+        std::cout << "\n";
+    }
+    if (reports.size() >= 2) {
+        TextTable table;
+        table.setColumns({"predictor A", "predictor B", "|A|", "|B|",
+                          "shared", "Jaccard"});
+        for (std::size_t i = 0; i < reports.size(); ++i) {
+            for (std::size_t j = i + 1; j < reports.size(); ++j) {
+                const H2PSetComparison cmp =
+                    compareH2PSets(reports[i], reports[j]);
+                table.addRow({reports[i].predictorName,
+                              reports[j].predictorName,
+                              std::to_string(cmp.countA),
+                              std::to_string(cmp.countB),
+                              std::to_string(cmp.shared),
+                              TextTable::fixed(cmp.jaccard, 3)});
+            }
+        }
+        std::cout << "H2P set overlap (coverage "
+                  << TextTable::fixed(100.0 * h2p.coverage, 0)
+                  << "%):\n";
+        table.print(std::cout);
+    }
+    std::cout.flush();
+    return 0;
+}
+
 int
 runOffline(const bpsim::serve::CampaignRequest &request,
-           const std::string &traceCacheFlag, unsigned workers)
+           const std::string &traceCacheFlag, unsigned workers,
+           const H2POptions &h2p)
 {
     using namespace bpsim;
 
@@ -63,9 +128,22 @@ runOffline(const bpsim::serve::CampaignRequest &request,
     Campaign campaign;
     SimConfig simConfig;
     simConfig.warmupBranches = request.warmup;
+    simConfig.trackPerBranch = request.perBranch;
     campaign.addGrid(request.configs, resolveTraces(cache, specs),
                      simConfig);
     const std::vector<JobResult> results = campaign.run(workers);
+    if (h2p.enabled) {
+        // Round-trip through the serialized form so --offline --h2p
+        // is byte-identical to the daemon path by construction.
+        std::vector<std::string> payloads;
+        payloads.reserve(results.size());
+        for (const JobResult &result : results) {
+            std::ostringstream os;
+            writeResultJson(os, result, request.timing);
+            payloads.push_back(os.str());
+        }
+        return renderH2P(payloads, h2p);
+    }
     writeResultsJson(std::cout, results, request.timing);
     std::cout.flush();
     return 0;
@@ -96,6 +174,17 @@ main(int argc, char **argv)
     args.addFlag("offline",
                  "run the same grid in-process via Campaign::run() "
                  "instead of the daemon (for diffing)");
+    args.addFlag("per-branch",
+                 "request per-branch accounting; each payload gains "
+                 "the perBranch array");
+    args.addFlag("h2p",
+                 "render results as hard-to-predict branch reports "
+                 "(analysis/h2p.hh) instead of the JSON array; "
+                 "implies --per-branch");
+    args.addOption("coverage", "90",
+                   "--h2p: misprediction share (percent) the H2P set "
+                   "covers");
+    args.addOption("top", "20", "--h2p: ranking rows per table");
     CommonOptions::declare(args);
     if (!args.parse(argc, argv))
         return 0;
@@ -110,11 +199,16 @@ main(int argc, char **argv)
     request.divisor = opts.quickDivisor();
     request.warmup = args.getUint("warmup");
     request.timing = opts.timing;
+    H2POptions h2p;
+    h2p.enabled = args.flag("h2p");
+    h2p.coverage = args.getDouble("coverage") / 100.0;
+    h2p.top = static_cast<std::size_t>(args.getUint("top"));
+    request.perBranch = args.flag("per-branch") || h2p.enabled;
     if (request.configs.empty() || request.benchmarks.empty())
         BPSIM_FATAL("--configs and --benchmarks are required");
 
     if (args.flag("offline"))
-        return runOffline(request, opts.traceCache, opts.jobs);
+        return runOffline(request, opts.traceCache, opts.jobs, h2p);
 
     serve::ServeClient client;
     std::string error;
@@ -124,6 +218,8 @@ main(int argc, char **argv)
     const auto payloads = client.runCampaign(request, error);
     if (!payloads)
         BPSIM_FATAL("campaign failed: " << error);
+    if (h2p.enabled)
+        return renderH2P(*payloads, h2p);
     std::cout << serve::joinResultsJson(*payloads);
     std::cout.flush();
     return 0;

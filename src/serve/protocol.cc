@@ -86,6 +86,7 @@ parseRequest(const std::string &line)
         campaign.divisor = 1;
     campaign.warmup = doc->getUint("warmup", 0);
     campaign.timing = doc->getBool("timing", false);
+    campaign.perBranch = doc->getBool("perBranch", false);
     return request;
 }
 

@@ -8,12 +8,16 @@
  *   {"op":"campaign","id":"sweep1",
  *    "configs":["gshare:n=10","bimode:d=9"],
  *    "benchmarks":["go","compress"],
- *    "divisor":5,"warmup":0,"timing":false}
+ *    "divisor":5,"warmup":0,"timing":false,"perBranch":false}
  *       Submits the config × benchmark grid (config-major order,
  *       exactly Campaign::addGrid()). "id" is the client's campaign
  *       handle, echoed on every event; "divisor" optionally scales
  *       dynamic branch counts (the --quick mechanism); "timing"
- *       selects machine-dependent fields in result payloads.
+ *       selects machine-dependent fields in result payloads;
+ *       "perBranch" runs every job with per-branch accounting
+ *       (SimConfig::trackPerBranch), adding the "perBranch" array to
+ *       each payload — the raw material for client-side H2P reports
+ *       (analysis/h2p.hh).
  *   {"op":"ping"}    liveness probe
  *   {"op":"stats"}   scheduler counters snapshot
  *
@@ -65,6 +69,10 @@ struct CampaignRequest
     std::uint64_t warmup = 0;
     /** Include machine-dependent timing fields in payloads. */
     bool timing = false;
+    /** Run every job with per-branch accounting
+     *  (SimConfig::trackPerBranch); payloads then carry the
+     *  "perBranch" array. */
+    bool perBranch = false;
 
     std::size_t jobCount() const
     {

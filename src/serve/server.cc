@@ -232,6 +232,7 @@ CampaignServer::handleCampaign(const std::shared_ptr<Session> &session,
     jobs.reserve(request.jobCount());
     SimConfig simConfig;
     simConfig.warmupBranches = request.warmup;
+    simConfig.trackPerBranch = request.perBranch;
     for (const std::string &config : request.configs) {
         for (const BenchmarkTrace &benchmark : benchmarks) {
             Job job;

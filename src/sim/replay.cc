@@ -1,7 +1,12 @@
 #include "sim/replay.hh"
 
+#include <algorithm>
+#include <cstdint>
+
 #include "core/registry.hh"
+#include "sim/probe.hh"
 #include "sim/replay_kernel.hh"
+#include "trace/pc_index.hh"
 
 namespace bpsim
 {
@@ -15,6 +20,11 @@ namespace
  * banked kernel, and moves the replayed state back into the callers'
  * objects. The cast pass completes before any move, so a mixed group
  * is rejected without disturbing anyone's state.
+ *
+ * When the run asks for per-branch detail the bank runs with a
+ * PerBranchBankProbe: one PcIndex over the trace serves every lane,
+ * each lane accumulates its own misprediction row, and the shared
+ * executed/taken counts are joined in per lane afterwards.
  */
 template <typename Pred>
 bool
@@ -35,7 +45,25 @@ runBank(const std::vector<BranchPredictor *> &predictors,
     bank.reserve(typed.size());
     for (Pred *p : typed)
         bank.push_back(std::move(*p));
-    results = replayKernelBank(bank, packed, config);
+    if (config.trackPerBranch) {
+        const PcIndex index(packed);
+        const std::size_t total = packed.size();
+        const std::size_t warmup =
+            std::min<std::size_t>(config.warmupBranches, total);
+        const PcIndex::RangeCounts counts =
+            index.countRange(packed, warmup, total);
+        std::vector<std::uint64_t> misses(
+            index.staticCount() * bank.size(), 0);
+        const PerBranchBankProbe probe{index.idData(), misses.data(),
+                                       index.staticCount()};
+        results = replayKernelBank(bank, packed, config, probe);
+        for (std::size_t l = 0; l < results.size(); ++l) {
+            results[l].perBranch = assemblePerBranch(
+                index, counts, misses.data() + l * index.staticCount());
+        }
+    } else {
+        results = replayKernelBank(bank, packed, config);
+    }
     for (std::size_t l = 0; l < typed.size(); ++l)
         *typed[l] = std::move(bank[l]);
     return true;
@@ -72,8 +100,9 @@ simulateAny(BranchPredictor &predictor, TraceReader &trace,
     // One dynamic_cast per *run* (not per branch) selects the
     // concrete kernel instantiation via a registry fold. Entries
     // sharing a C++ type (the two-level taxonomy kinds) resolve to
-    // the same instantiation; the first match wins.
-    if (packed && !config.trackPerBranch) {
+    // the same instantiation; the first match wins. Per-branch runs
+    // take the same kernel with a PerBranchProbe instantiation.
+    if (packed) {
         SimResult result;
         bool ran = false;
         forEachPredictorEntry([&]<typename Entry>() {
@@ -82,7 +111,23 @@ simulateAny(BranchPredictor &predictor, TraceReader &trace,
                     return;
                 if (auto *p = dynamic_cast<typename Entry::Predictor *>(
                         &predictor)) {
-                    result = replayKernel(*p, *packed, config);
+                    if (config.trackPerBranch) {
+                        const PcIndex index(*packed);
+                        const std::size_t total = packed->size();
+                        const std::size_t warmup = std::min<std::size_t>(
+                            config.warmupBranches, total);
+                        const PcIndex::RangeCounts counts =
+                            index.countRange(*packed, warmup, total);
+                        std::vector<std::uint64_t> misses(
+                            index.staticCount(), 0);
+                        const PerBranchProbe probe{index.idData(),
+                                                   misses.data()};
+                        result = replayKernel(*p, *packed, config, probe);
+                        result.perBranch = assemblePerBranch(
+                            index, counts, misses.data());
+                    } else {
+                        result = replayKernel(*p, *packed, config);
+                    }
                     ran = true;
                 }
             }

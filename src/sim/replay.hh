@@ -4,10 +4,13 @@
  * bit-identical way to run a predictor over a trace.
  *
  * simulateAny() routes a run to the devirtualized replay kernel
- * (sim/replay_kernel.hh) when the predictor's concrete type has one
- * and the run does not need per-branch tracking; everything else
- * falls back to the virtual simulate() loop. Callers never need to
- * know which path was taken — results are bit-identical by contract.
+ * (sim/replay_kernel.hh) when the predictor's concrete type has one;
+ * everything else falls back to the virtual simulate() loop. Runs
+ * that ask for per-branch detail (SimConfig::trackPerBranch) take the
+ * same kernel with a PerBranchProbe (sim/probe.hh) instead of being
+ * forced onto the virtual path. Callers never need to know which path
+ * was taken — results, including the per-branch table, are
+ * bit-identical by contract.
  *
  * The kind classification lives in core/factory
  * (hasFastReplay()); this dispatcher lives in sim because it depends
@@ -36,9 +39,8 @@ namespace bpsim
  * @param trace rewindable reader for the virtual fallback path
  * @param packed packed form of the same trace, or null to force the
  *        virtual path (e.g. when no PackedTrace has been built)
- * @param config simulation options; trackPerBranch forces the
- *        virtual path because the kernel does not collect
- *        per-branch detail
+ * @param config simulation options; trackPerBranch runs the kernel
+ *        with a per-branch probe and fills SimResult::perBranch
  *
  * @pre @p packed, when non-null, must be built from the same records
  *      @p trace yields — the dispatcher cannot check this.

@@ -36,6 +36,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/probe.hh"
 #include "sim/simd/kernel_tier.hh"
 #include "sim/simd/simd_bank.hh"
 #include "sim/simulator.hh"
@@ -77,11 +78,16 @@ countTakenInRange(const PackedTrace &packed, std::size_t from,
  *         `bool stepFast(std::uint64_t pc, bool taken)` (fused
  *         predict + update sharing one set of table lookups,
  *         bit-identical to predict-then-update).
+ * @tparam Probe per-branch accounting sink (sim/probe.hh); the
+ *         default NullProbe instantiates the exact unprobed loop.
+ *         The probe sees every *measured* branch (warm-up records
+ *         are never recorded, matching the virtual loop's
+ *         per-branch collection).
  */
-template <typename Pred>
+template <typename Pred, typename Probe = NullProbe>
 SimResult
 replayKernel(Pred &predictor, const PackedTrace &packed,
-             const SimConfig &config = {})
+             const SimConfig &config = {}, Probe probe = {})
 {
     SimResult result;
     result.predictorName = predictor.name();
@@ -116,10 +122,11 @@ replayKernel(Pred &predictor, const PackedTrace &packed,
         for (; i < word_end; ++i, word >>= 1) {
             const std::uint64_t pc = pcs[i];
             const bool taken = (word & 1) != 0;
-            const bool prediction = predictor.stepFast(pc, taken);
-            mispredictions +=
-                static_cast<std::uint64_t>(prediction != taken);
+            const bool mispredicted =
+                predictor.stepFast(pc, taken) != taken;
+            mispredictions += static_cast<std::uint64_t>(mispredicted);
             taken_branches += static_cast<std::uint64_t>(taken);
+            probe.record(i, mispredicted);
         }
     }
 
@@ -159,11 +166,19 @@ replayKernel(Pred &predictor, const PackedTrace &packed,
  * Timing: only the whole pass is timeable; each lane's wallNanos is
  * the pass time divided by the lane count and its fusedLanes field
  * records the bank width (see SimResult::wallNanos).
+ *
+ * @tparam BankProbe per-lane accounting sink (sim/probe.hh); the
+ *         default NullBankProbe instantiates the exact unprobed
+ *         pass. Probed SIMD runs scatter-add into a per-lane uint32
+ *         arena (SimdBankProbe) merged into the bank probe's uint64
+ *         blocks after the pass; shapes the 32-bit sink cannot
+ *         express run the probed scalar bank instead (logged once
+ *         per process, detail::logProbedBankFallback()).
  */
-template <typename Pred>
+template <typename Pred, typename BankProbe = NullBankProbe>
 std::vector<SimResult>
 replayKernelBank(std::vector<Pred> &bank, const PackedTrace &packed,
-                 const SimConfig &config = {})
+                 const SimConfig &config = {}, BankProbe probe = {})
 {
     const std::size_t lanes = bank.size();
     std::vector<SimResult> results(lanes);
@@ -172,7 +187,8 @@ replayKernelBank(std::vector<Pred> &bank, const PackedTrace &packed,
     // One lane degenerates to the single kernel — same loop, and the
     // exact (undivided, unflagged) timing semantics.
     if (lanes == 1) {
-        results[0] = replayKernel(bank[0], packed, config);
+        results[0] = replayKernel(bank[0], packed, config,
+                                  probe.lane(0));
         return results;
     }
     for (std::size_t l = 0; l < lanes; ++l) {
@@ -196,9 +212,30 @@ replayKernelBank(std::vector<Pred> &bank, const PackedTrace &packed,
     const KernelTier tier = resolveKernelTier(config.kernelTier);
     if (tier != KernelTier::Scalar) {
         if (std::optional<SimdBankState> simd = buildSimdBank(bank)) {
+            // Probed runs need the per-lane uint32 misprediction
+            // arena on top of the counter arenas; shapes it cannot
+            // express (overlong trace, oversize probe arena) fall
+            // through to the probed scalar bank.
+            SimdBankProbe simdProbe;
+            SimdBankProbe *probePtr = nullptr;
+            bool probeReady = true;
+            if constexpr (BankProbe::kEnabled) {
+                if (buildSimdBankProbe(simdProbe, probe.ids,
+                                       probe.staticCount, *simd,
+                                       total)) {
+                    probePtr = &simdProbe;
+                } else {
+                    probeReady = false;
+                    detail::logProbedBankFallback(
+                        bank.front().name(),
+                        "per-branch probe arena exceeds the 32-bit "
+                        "sink");
+                }
+            }
             const auto simd_start = std::chrono::steady_clock::now();
-            if (runSimdBank(*simd, tier, pcs, packed.wordData(), total,
-                            warmup)) {
+            if (probeReady &&
+                runSimdBank(*simd, tier, pcs, packed.wordData(), total,
+                            warmup, probePtr)) {
                 const std::uint64_t simd_nanos =
                     static_cast<std::uint64_t>(
                         std::chrono::duration_cast<
@@ -207,6 +244,20 @@ replayKernelBank(std::vector<Pred> &bank, const PackedTrace &packed,
                             simd_start)
                             .count());
                 storeSimdBank(*simd, bank);
+                if constexpr (BankProbe::kEnabled) {
+                    // Widen the pass's uint32 counters into the
+                    // probe's per-lane uint64 blocks.
+                    for (std::size_t l = 0; l < lanes; ++l) {
+                        const std::uint32_t *src =
+                            simdProbe.arena.data() +
+                            simdProbe.laneBase[l];
+                        std::uint64_t *dst =
+                            probe.lane(l).misses;
+                        for (std::size_t k = 0;
+                             k < simdProbe.staticCount; ++k)
+                            dst[k] += src[k];
+                    }
+                }
                 const std::uint64_t taken_branches =
                     countTakenInRange(packed, warmup, total);
                 for (std::size_t l = 0; l < lanes; ++l) {
@@ -222,12 +273,27 @@ replayKernelBank(std::vector<Pred> &bank, const PackedTrace &packed,
                 }
                 return results;
             }
-            // The resolved tier has no backend in this binary
-            // (shouldn't happen — resolution checks availability);
-            // the scalar loop below is always a correct answer.
-            detail::logSimdBankFallback(
+            if (probeReady) {
+                // The resolved tier has no backend in this binary
+                // (shouldn't happen — resolution checks
+                // availability); the scalar loop below is always a
+                // correct answer.
+                detail::logSimdBankFallback(
+                    bank.front().name(),
+                    "resolved tier has no backend in this binary");
+                if constexpr (BankProbe::kEnabled) {
+                    detail::logProbedBankFallback(
+                        bank.front().name(),
+                        "resolved tier has no backend in this binary");
+                }
+            }
+        } else if constexpr (BankProbe::kEnabled) {
+            // buildSimdBank() already logged the generic fallback;
+            // mirror it on the probed channel so per-branch users
+            // see which path produced their counts.
+            detail::logProbedBankFallback(
                 bank.front().name(),
-                "resolved tier has no backend in this binary");
+                "bank shape has no SIMD flattening");
         }
     }
 
@@ -275,6 +341,7 @@ replayKernelBank(std::vector<Pred> &bank, const PackedTrace &packed,
         const std::size_t block_end =
             std::min(total, (i / kBlockBranches + 1) * kBlockBranches);
         for (std::size_t l = 0; l < lanes; ++l) {
+            const auto laneProbe = probe.lane(l);
             std::uint64_t missed = 0;
             std::size_t j = i;
             while (j < block_end) {
@@ -286,8 +353,10 @@ replayKernelBank(std::vector<Pred> &bank, const PackedTrace &packed,
                                      (j % PackedTrace::kWordBits);
                 for (; j < word_end; ++j, word >>= 1) {
                     const bool taken = (word & 1) != 0;
-                    missed += static_cast<std::uint64_t>(
-                        lane[l].stepFast(pcs[j], taken) != taken);
+                    const bool mispredicted =
+                        lane[l].stepFast(pcs[j], taken) != taken;
+                    missed += static_cast<std::uint64_t>(mispredicted);
+                    laneProbe.record(j, mispredicted);
                 }
             }
             mispredictions[l] += missed;

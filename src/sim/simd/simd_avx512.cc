@@ -116,10 +116,10 @@ struct Avx512Backend
 void
 simdBankReplayAvx512(SimdBankState &state, const std::uint64_t *pcs,
                      const std::uint64_t *words, std::size_t total,
-                     std::size_t warmup)
+                     std::size_t warmup, SimdBankProbe *probe)
 {
     dispatchSimdBankKernel<Avx512Backend>(state, pcs, words, total,
-                                          warmup);
+                                          warmup, probe);
 }
 
 } // namespace detail

@@ -103,13 +103,20 @@ stepSaturating(typename B::V counter, typename B::V maxValue,
  *                     SimdBankState::packed); false runs the
  *                     one-counter-per-word layout without the slot
  *                     math
+ * @tparam Probed      per-branch accounting (sim/probe.hh): the
+ *                     scored region gather/scatter-adds each lane's
+ *                     misprediction into @p probe's uint32 block at
+ *                     the branch's static id — a fourth (or fifth)
+ *                     arena the existing machinery already handles.
+ *                     Off, @p probe is ignored and the instantiation
+ *                     is the exact unprobed kernel.
  */
 template <typename B, SimdChoiceKind Choice, bool BothBanks,
-          bool LocalHistory, bool Packed>
+          bool LocalHistory, bool Packed, bool Probed>
 void
 runSimdBankKernel(SimdBankState &state, const std::uint64_t *pcs,
                   const std::uint64_t *words, std::size_t total,
-                  std::size_t warmup)
+                  std::size_t warmup, SimdBankProbe *probe)
 {
     using V = typename B::V;
 
@@ -119,6 +126,12 @@ runSimdBankKernel(SimdBankState &state, const std::uint64_t *pcs,
         state.localHist.empty() ? nullptr : state.localHist.data();
     std::uint32_t *choiceArena =
         state.choiceArena.empty() ? nullptr : state.choiceArena.data();
+    [[maybe_unused]] std::uint32_t *probeArena = nullptr;
+    [[maybe_unused]] const std::uint32_t *probeIds = nullptr;
+    if constexpr (Probed) {
+        probeArena = probe->arena.data();
+        probeIds = probe->ids;
+    }
     // Uniform gskew fold trip count (max over lanes; narrow lanes
     // fold zero chunks on their extra rounds, a no-op).
     [[maybe_unused]] const std::uint32_t foldRounds = state.foldRounds;
@@ -190,6 +203,9 @@ runSimdBankKernel(SimdBankState &state, const std::uint64_t *pcs,
                 B::load(&state.hashFieldMask[g0]);
             [[maybe_unused]] const V foldShift =
                 B::load(&state.foldShift[g0]);
+            [[maybe_unused]] V probeBase{};
+            if constexpr (Probed)
+                probeBase = B::load(&probe->laneBase[g0]);
             const V one = B::bcast(1);
             const V zero = B::zero();
             [[maybe_unused]] const V two = B::bcast(2);
@@ -681,8 +697,19 @@ runSimdBankKernel(SimdBankState &state, const std::uint64_t *pcs,
                 if (j >= scoreFrom) {
                     // predicted ^ takenM is all-ones (-1) exactly on
                     // a mispredicting lane; subtracting adds 1.
-                    misses = B::sub(
-                        misses, B::xor_(predicted, takenM));
+                    const V mispredM = B::xor_(predicted, takenM);
+                    misses = B::sub(misses, mispredM);
+                    if constexpr (Probed) {
+                        // Same trick per static branch: every lane's
+                        // counter for this branch's id lives at a
+                        // disjoint offset, so the RMW cannot collide
+                        // within the group.
+                        const V pOff = B::add(
+                            probeBase, B::bcast(probeIds[j]));
+                        const V cnt = B::gather32(probeArena, pOff);
+                        B::scatter32(probeArena, pOff,
+                                     B::sub(cnt, mispredM), active);
+                    }
                 }
 
                 const V takenBit = B::and_(takenM, one);
@@ -708,6 +735,29 @@ runSimdBankKernel(SimdBankState &state, const std::uint64_t *pcs,
     }
 }
 
+/** Selects the probed or unprobed instantiation of one kernel shape
+ *  at runtime. Probing doubles the instantiation count per backend;
+ *  keeping the variants separate (rather than branching on a null
+ *  probe inside the loop) is what keeps the unprobed kernels'
+ *  codegen untouched. */
+template <typename B, SimdChoiceKind Choice, bool BothBanks,
+          bool LocalHistory, bool Packed>
+inline void
+runMaybeProbed(SimdBankState &state, const std::uint64_t *pcs,
+               const std::uint64_t *words, std::size_t total,
+               std::size_t warmup, SimdBankProbe *probe)
+{
+    if (probe != nullptr) {
+        runSimdBankKernel<B, Choice, BothBanks, LocalHistory, Packed,
+                          true>(state, pcs, words, total, warmup,
+                                probe);
+    } else {
+        runSimdBankKernel<B, Choice, BothBanks, LocalHistory, Packed,
+                          false>(state, pcs, words, total, warmup,
+                                 nullptr);
+    }
+}
+
 /** Instantiates the kernel matching @p state's choice, history and
  *  packing flavors for backend @p B — the shared dispatch of every
  *  per-ISA entry point. Only the combinations a builder can produce
@@ -717,58 +767,60 @@ template <typename B>
 void
 dispatchSimdBankKernel(SimdBankState &state, const std::uint64_t *pcs,
                        const std::uint64_t *words, std::size_t total,
-                       std::size_t warmup)
+                       std::size_t warmup, SimdBankProbe *probe)
 {
     constexpr auto kNone = SimdChoiceKind::None;
     switch (state.choiceKind) {
       case SimdChoiceKind::BiMode:
         if (state.updateBothBanks) {
-            runSimdBankKernel<B, SimdChoiceKind::BiMode, true, false,
-                              true>(state, pcs, words, total, warmup);
+            runMaybeProbed<B, SimdChoiceKind::BiMode, true, false,
+                           true>(state, pcs, words, total, warmup,
+                                 probe);
         } else {
-            runSimdBankKernel<B, SimdChoiceKind::BiMode, false, false,
-                              true>(state, pcs, words, total, warmup);
+            runMaybeProbed<B, SimdChoiceKind::BiMode, false, false,
+                           true>(state, pcs, words, total, warmup,
+                                 probe);
         }
         return;
       case SimdChoiceKind::Agree:
-        runSimdBankKernel<B, SimdChoiceKind::Agree, false, false,
-                          true>(state, pcs, words, total, warmup);
+        runMaybeProbed<B, SimdChoiceKind::Agree, false, false, true>(
+            state, pcs, words, total, warmup, probe);
         return;
       case SimdChoiceKind::Tournament:
-        runSimdBankKernel<B, SimdChoiceKind::Tournament, false, false,
-                          true>(state, pcs, words, total, warmup);
+        runMaybeProbed<B, SimdChoiceKind::Tournament, false, false,
+                       true>(state, pcs, words, total, warmup, probe);
         return;
       case SimdChoiceKind::Gskew:
-        runSimdBankKernel<B, SimdChoiceKind::Gskew, false, false,
-                          true>(state, pcs, words, total, warmup);
+        runMaybeProbed<B, SimdChoiceKind::Gskew, false, false, true>(
+            state, pcs, words, total, warmup, probe);
         return;
       case SimdChoiceKind::Yags:
         // Yags is the one unpacked multi-read kind: each cache entry
         // is a whole valid/tag/counter word.
-        runSimdBankKernel<B, SimdChoiceKind::Yags, false, false,
-                          false>(state, pcs, words, total, warmup);
+        runMaybeProbed<B, SimdChoiceKind::Yags, false, false, false>(
+            state, pcs, words, total, warmup, probe);
         return;
       case SimdChoiceKind::Filter:
-        runSimdBankKernel<B, SimdChoiceKind::Filter, false, false,
-                          true>(state, pcs, words, total, warmup);
+        runMaybeProbed<B, SimdChoiceKind::Filter, false, false, true>(
+            state, pcs, words, total, warmup, probe);
         return;
       case SimdChoiceKind::None:
         break;
     }
     if (state.localHistory) {
         if (state.packed) {
-            runSimdBankKernel<B, kNone, false, true, true>(
-                state, pcs, words, total, warmup);
+            runMaybeProbed<B, kNone, false, true, true>(
+                state, pcs, words, total, warmup, probe);
         } else {
-            runSimdBankKernel<B, kNone, false, true, false>(
-                state, pcs, words, total, warmup);
+            runMaybeProbed<B, kNone, false, true, false>(
+                state, pcs, words, total, warmup, probe);
         }
     } else if (state.packed) {
-        runSimdBankKernel<B, kNone, false, false, true>(
-            state, pcs, words, total, warmup);
+        runMaybeProbed<B, kNone, false, false, true>(
+            state, pcs, words, total, warmup, probe);
     } else {
-        runSimdBankKernel<B, kNone, false, false, false>(
-            state, pcs, words, total, warmup);
+        runMaybeProbed<B, kNone, false, false, false>(
+            state, pcs, words, total, warmup, probe);
     }
 }
 

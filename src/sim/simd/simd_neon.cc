@@ -104,10 +104,10 @@ struct NeonBackend
 void
 simdBankReplayNeon(SimdBankState &state, const std::uint64_t *pcs,
                    const std::uint64_t *words, std::size_t total,
-                   std::size_t warmup)
+                   std::size_t warmup, SimdBankProbe *probe)
 {
     dispatchSimdBankKernel<NeonBackend>(state, pcs, words, total,
-                                        warmup);
+                                        warmup, probe);
 }
 
 } // namespace detail

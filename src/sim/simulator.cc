@@ -46,6 +46,18 @@ SimResult::toJson(std::ostream &os, bool withTiming) const
        << ",\"takenBranches\":" << takenBranches
        << ",\"mispredictionRate\":" << jsonNumber(mispredictionRate())
        << ",\"counterKBytes\":" << jsonNumber(counterKBytes());
+    if (!perBranch.empty()) {
+        os << ",\"perBranch\":[";
+        for (std::size_t i = 0; i < perBranch.size(); ++i) {
+            const PerBranchResult &b = perBranch[i];
+            if (i != 0)
+                os << ",";
+            os << "{\"pc\":" << b.pc << ",\"executions\":" << b.executions
+               << ",\"mispredictions\":" << b.mispredictions
+               << ",\"takenCount\":" << b.takenCount << "}";
+        }
+        os << "]";
+    }
     if (withTiming) {
         os << ",\"wallNanos\":" << wallNanos
            << ",\"branchesPerSec\":" << jsonNumber(branchesPerSec())

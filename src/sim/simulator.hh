@@ -106,7 +106,9 @@ struct SimResult
     /**
      * Writes the result as one JSON object — the single place that
      * defines the serialized form (campaign emitters and any future
-     * exporters all call this). Per-branch detail is not serialized.
+     * exporters all call this). Per-branch detail is emitted as a
+     * "perBranch" array only when the run collected it, so output of
+     * untracked runs is byte-identical to before the probe layer.
      * Timing fields are emitted only when @p withTiming is set, so
      * default output stays deterministic across machines and runs.
      */

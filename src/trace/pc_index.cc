@@ -1,0 +1,44 @@
+#include "trace/pc_index.hh"
+
+#include <unordered_map>
+
+namespace bpsim
+{
+
+PcIndex::PcIndex(const PackedTrace &packed)
+{
+    const std::size_t total = packed.size();
+    const std::uint64_t *pcData = packed.pcData();
+    recordIds.resize(total);
+
+    std::unordered_map<std::uint64_t, std::uint32_t> idOf;
+    // Static footprints are small next to dynamic counts; a generous
+    // initial bucket count avoids most rehashing without guessing.
+    idOf.reserve(1024);
+    for (std::size_t i = 0; i < total; ++i) {
+        const std::uint64_t pc = pcData[i];
+        const auto [it, inserted] = idOf.try_emplace(
+            pc, static_cast<std::uint32_t>(pcs.size()));
+        if (inserted)
+            pcs.push_back(pc);
+        recordIds[i] = it->second;
+    }
+}
+
+PcIndex::RangeCounts
+PcIndex::countRange(const PackedTrace &packed, std::size_t from,
+                    std::size_t to) const
+{
+    RangeCounts counts;
+    counts.executions.assign(staticCount(), 0);
+    counts.taken.assign(staticCount(), 0);
+    for (std::size_t i = from; i < to; ++i) {
+        const std::uint32_t id = recordIds[i];
+        ++counts.executions[id];
+        counts.taken[id] +=
+            static_cast<std::uint64_t>(packed.taken(i));
+    }
+    return counts;
+}
+
+} // namespace bpsim

@@ -1,0 +1,290 @@
+/** @file Hard-to-predict (H2P) report tests.
+ *
+ * Covers the ranking/coverage semantics of buildH2PReport(), the
+ * H2P-set intersection, the emitters, and the serialized round trip:
+ * SimResult -> toJson (with perBranch) -> parseSimResultJson ->
+ * byte-identical report, which is the contract the campaign-service
+ * client's --h2p mode rides on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "analysis/h2p.hh"
+#include "campaign/campaign.hh"
+#include "campaign/emitters.hh"
+#include "core/factory.hh"
+#include "sim/replay.hh"
+#include "trace/packed_trace.hh"
+#include "workload/generator.hh"
+
+namespace bpsim
+{
+namespace
+{
+
+PerBranchResult
+row(std::uint64_t pc, std::uint64_t executions,
+    std::uint64_t mispredictions, std::uint64_t takenCount)
+{
+    PerBranchResult r;
+    r.pc = pc;
+    r.executions = executions;
+    r.mispredictions = mispredictions;
+    r.takenCount = takenCount;
+    return r;
+}
+
+/** A small synthetic result: 100 mispredictions over 4 branches. */
+SimResult
+syntheticResult()
+{
+    SimResult result;
+    result.predictorName = "toy";
+    result.benchmark = "bench";
+    result.configText = "toy:n=1";
+    result.branches = 2000;
+    result.mispredictions = 100;
+    result.takenBranches = 1100;
+    result.perBranch.push_back(row(0x100, 1000, 10, 950)); // ST
+    result.perBranch.push_back(row(0x200, 500, 60, 250));  // WB
+    result.perBranch.push_back(row(0x300, 400, 25, 30));   // SNT
+    result.perBranch.push_back(row(0x400, 100, 5, 50));    // WB
+    return result;
+}
+
+TEST(H2PReport, RanksByMispredictionsAndCutsCoverage)
+{
+    const H2PReport report = buildH2PReport(syntheticResult(), 0.85);
+    ASSERT_EQ(report.staticBranches(), 4u);
+    EXPECT_EQ(report.totalBranches, 2000u);
+    EXPECT_EQ(report.totalMispredictions, 100u);
+
+    // Sorted by misses descending: 60, 25, 10, 5.
+    EXPECT_EQ(report.branches[0].pc, 0x200u);
+    EXPECT_EQ(report.branches[1].pc, 0x300u);
+    EXPECT_EQ(report.branches[2].pc, 0x100u);
+    EXPECT_EQ(report.branches[3].pc, 0x400u);
+
+    // 60 covers 60%, +25 covers 85% — exactly the target.
+    EXPECT_EQ(report.h2pCount, 2u);
+    EXPECT_DOUBLE_EQ(report.coverageOfTop(2), 85.0);
+    EXPECT_DOUBLE_EQ(report.branches[0].missShare, 60.0);
+
+    // Bias classes ride along from the taken ratios.
+    EXPECT_EQ(report.branches[0].biasClass, BiasClass::WeaklyBiased);
+    EXPECT_EQ(report.branches[1].biasClass,
+              BiasClass::StronglyNotTaken);
+    EXPECT_EQ(report.branches[2].biasClass, BiasClass::StronglyTaken);
+
+    // Accuracy per branch: 60/500 missed -> 88%.
+    EXPECT_DOUBLE_EQ(report.branches[0].accuracy(), 88.0);
+}
+
+TEST(H2PReport, TiesBreakByAscendingPc)
+{
+    SimResult result;
+    result.mispredictions = 30;
+    result.branches = 300;
+    result.perBranch.push_back(row(0x900, 100, 10, 50));
+    result.perBranch.push_back(row(0x100, 100, 10, 50));
+    result.perBranch.push_back(row(0x500, 100, 10, 50));
+    const H2PReport report = buildH2PReport(result, 0.9);
+    EXPECT_EQ(report.branches[0].pc, 0x100u);
+    EXPECT_EQ(report.branches[1].pc, 0x500u);
+    EXPECT_EQ(report.branches[2].pc, 0x900u);
+}
+
+TEST(H2PReport, NoMispredictionsMeansEmptyH2PSet)
+{
+    SimResult result;
+    result.branches = 100;
+    result.mispredictions = 0;
+    result.perBranch.push_back(row(0x100, 100, 0, 100));
+    const H2PReport report = buildH2PReport(result, 0.9);
+    EXPECT_EQ(report.h2pCount, 0u);
+    EXPECT_DOUBLE_EQ(report.branches[0].missShare, 0.0);
+    EXPECT_DOUBLE_EQ(report.coverageOfTop(1), 0.0);
+}
+
+TEST(H2PSets, IntersectionAndJaccard)
+{
+    SimResult a = syntheticResult();
+    const H2PReport reportA = buildH2PReport(a, 0.85); // {200, 300}
+
+    SimResult b;
+    b.branches = 1000;
+    b.mispredictions = 50;
+    b.perBranch.push_back(row(0x300, 400, 30, 30));
+    b.perBranch.push_back(row(0x700, 300, 15, 150));
+    b.perBranch.push_back(row(0x100, 300, 5, 290));
+    const H2PReport reportB = buildH2PReport(b, 0.9); // {300, 700}
+
+    const H2PSetComparison cmp = compareH2PSets(reportA, reportB);
+    EXPECT_EQ(cmp.countA, 2u);
+    EXPECT_EQ(cmp.countB, 2u);
+    EXPECT_EQ(cmp.shared, 1u); // 0x300
+    EXPECT_DOUBLE_EQ(cmp.jaccard, 1.0 / 3.0);
+}
+
+TEST(H2PSets, EmptySetsCompareCleanly)
+{
+    SimResult empty;
+    const H2PReport report = buildH2PReport(empty, 0.9);
+    const H2PSetComparison cmp = compareH2PSets(report, report);
+    EXPECT_EQ(cmp.shared, 0u);
+    EXPECT_DOUBLE_EQ(cmp.jaccard, 0.0);
+}
+
+TEST(H2PEmitters, CsvMarksTheH2PPrefix)
+{
+    const H2PReport report = buildH2PReport(syntheticResult(), 0.85);
+    std::ostringstream os;
+    writeH2PCsv(os, report);
+    std::istringstream lines(os.str());
+    std::string line;
+    ASSERT_TRUE(std::getline(lines, line));
+    EXPECT_EQ(line,
+              "rank,pc,executions,mispredictions,taken,accuracy,"
+              "missShare,bias,h2p");
+    int rows = 0, flagged = 0;
+    while (std::getline(lines, line)) {
+        ++rows;
+        if (line.size() >= 2 && line.substr(line.size() - 2) == ",1")
+            ++flagged;
+    }
+    EXPECT_EQ(rows, 4);
+    EXPECT_EQ(flagged, 2);
+}
+
+TEST(H2PEmitters, TableAndJsonRespectRowBounds)
+{
+    const H2PReport report = buildH2PReport(syntheticResult(), 0.85);
+    std::ostringstream table;
+    writeH2PTable(table, report, 2);
+    EXPECT_NE(table.str().find("512"), std::string::npos); // pc 0x200
+    EXPECT_EQ(table.str().find("1024"), std::string::npos); // pc 0x400
+
+    std::ostringstream json;
+    writeH2PJson(json, report, 1);
+    const std::string text = json.str();
+    EXPECT_NE(text.find("\"h2pCount\":2"), std::string::npos);
+    EXPECT_NE(text.find("\"pc\":512"), std::string::npos);
+    EXPECT_EQ(text.find("\"pc\":768"), std::string::npos);
+}
+
+TEST(H2PParse, RoundTripsToJsonWithPerBranch)
+{
+    const SimResult original = syntheticResult();
+    std::ostringstream os;
+    original.toJson(os);
+    std::string error;
+    const auto parsed = parseSimResultJson(os.str(), error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    EXPECT_EQ(parsed->predictorName, original.predictorName);
+    EXPECT_EQ(parsed->benchmark, original.benchmark);
+    EXPECT_EQ(parsed->branches, original.branches);
+    EXPECT_EQ(parsed->mispredictions, original.mispredictions);
+    ASSERT_EQ(parsed->perBranch.size(), original.perBranch.size());
+    for (std::size_t i = 0; i < original.perBranch.size(); ++i) {
+        EXPECT_EQ(parsed->perBranch[i].pc, original.perBranch[i].pc);
+        EXPECT_EQ(parsed->perBranch[i].executions,
+                  original.perBranch[i].executions);
+        EXPECT_EQ(parsed->perBranch[i].mispredictions,
+                  original.perBranch[i].mispredictions);
+        EXPECT_EQ(parsed->perBranch[i].takenCount,
+                  original.perBranch[i].takenCount);
+    }
+}
+
+TEST(H2PParse, AcceptsCampaignPayloadWrapper)
+{
+    JobResult job;
+    job.benchmark = "bench";
+    job.configText = "toy:n=1";
+    job.result = syntheticResult();
+    std::ostringstream os;
+    writeResultJson(os, job, /*withTiming=*/false);
+    std::string error;
+    const auto parsed = parseSimResultJson(os.str(), error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    EXPECT_EQ(parsed->predictorName, "toy");
+    EXPECT_EQ(parsed->perBranch.size(), 4u);
+}
+
+TEST(H2PParse, FailedJobPayloadIsAnError)
+{
+    JobResult job;
+    job.benchmark = "bench";
+    job.configText = "toy:oops";
+    job.error = "bad config";
+    std::ostringstream os;
+    writeResultJson(os, job, /*withTiming=*/false);
+    std::string error;
+    const auto parsed = parseSimResultJson(os.str(), error);
+    EXPECT_FALSE(parsed.has_value());
+    EXPECT_NE(error.find("bad config"), std::string::npos);
+}
+
+TEST(H2PParse, RejectsMalformedInput)
+{
+    std::string error;
+    EXPECT_FALSE(parseSimResultJson("not json", error).has_value());
+    EXPECT_FALSE(parseSimResultJson("[1,2]", error).has_value());
+    EXPECT_FALSE(
+        parseSimResultJson("{\"perBranch\":42}", error).has_value());
+}
+
+TEST(H2PSerialization, UntrackedResultsOmitPerBranchKey)
+{
+    SimResult result = syntheticResult();
+    result.perBranch.clear();
+    std::ostringstream os;
+    result.toJson(os);
+    EXPECT_EQ(os.str().find("perBranch"), std::string::npos);
+}
+
+/** End to end: probed replay -> report; totals and shares line up. */
+TEST(H2PEndToEnd, ReportMatchesProbedRun)
+{
+    WorkloadSpec spec;
+    spec.name = "h2p-e2e";
+    spec.suite = "test";
+    spec.staticBranches = 150;
+    spec.dynamicBranches = 20'000;
+    spec.seed = 77;
+    const MemoryTrace trace = generateWorkloadTrace(spec);
+    const PackedTrace packed(trace);
+
+    PredictorPtr predictor = makePredictor("bimode:d=8");
+    auto reader = trace.reader();
+    SimConfig simConfig;
+    simConfig.trackPerBranch = true;
+    const SimResult result =
+        simulateAny(*predictor, reader, &packed, simConfig);
+    ASSERT_FALSE(result.perBranch.empty());
+
+    const H2PReport report = buildH2PReport(result, 0.9);
+    EXPECT_EQ(report.totalMispredictions, result.mispredictions);
+    EXPECT_EQ(report.staticBranches(), result.perBranch.size());
+    EXPECT_GT(report.h2pCount, 0u);
+    EXPECT_LE(report.h2pCount, report.staticBranches());
+    EXPECT_GE(report.coverageOfTop(report.h2pCount), 90.0);
+    if (report.h2pCount > 1) {
+        EXPECT_LT(report.coverageOfTop(report.h2pCount - 1), 90.0);
+    }
+    double shares = 0.0;
+    for (const H2PBranch &branch : report.branches)
+        shares += branch.missShare;
+    EXPECT_NEAR(shares, 100.0, 1e-6);
+
+    // A report is equal to itself under comparison.
+    const H2PSetComparison self = compareH2PSets(report, report);
+    EXPECT_EQ(self.shared, report.h2pCount);
+    EXPECT_DOUBLE_EQ(self.jaccard, 1.0);
+}
+
+} // namespace
+} // namespace bpsim

@@ -471,7 +471,7 @@ TEST(BankCampaign, WideLadderSplitsAcrossBanksIdentically)
     expectFusedMatchesUnfused(configs, benchmarks, 0, 1);
 }
 
-TEST(BankCampaign, PerBranchTrackingStaysOnPerJobPath)
+TEST(BankCampaign, PerBranchTrackingFusesAndMatchesVirtualLoop)
 {
     TraceCache cache;
     const std::vector<BenchmarkTrace> benchmarks =
@@ -486,9 +486,62 @@ TEST(BankCampaign, PerBranchTrackingStaysOnPerJobPath)
     ASSERT_EQ(results.size(), 2u);
     for (const JobResult &result : results) {
         ASSERT_TRUE(result.ok());
-        EXPECT_EQ(result.result.fusedLanes, 0u);
-        EXPECT_FALSE(result.result.perBranch.empty());
+        // Probed banks fuse like unprobed ones (the tracking flag
+        // only partitions the fusion key, it no longer pins jobs to
+        // the per-job path).
+        EXPECT_EQ(result.result.fusedLanes, 2u);
+        ASSERT_FALSE(result.result.perBranch.empty());
+
+        // The fused per-branch table must be row-for-row identical
+        // to the virtual loop's.
+        PredictorPtr oracle = makePredictor(result.configText);
+        auto reader = benchmarks[0].trace->reader();
+        const SimResult expected = simulate(*oracle, reader, tracking);
+        ASSERT_EQ(result.result.perBranch.size(),
+                  expected.perBranch.size());
+        for (std::size_t i = 0; i < expected.perBranch.size(); ++i) {
+            const PerBranchResult &got = result.result.perBranch[i];
+            const PerBranchResult &want = expected.perBranch[i];
+            EXPECT_EQ(got.pc, want.pc) << result.configText << " row "
+                                       << i;
+            EXPECT_EQ(got.executions, want.executions)
+                << result.configText << " row " << i;
+            EXPECT_EQ(got.mispredictions, want.mispredictions)
+                << result.configText << " row " << i;
+            EXPECT_EQ(got.takenCount, want.takenCount)
+                << result.configText << " row " << i;
+        }
     }
+}
+
+TEST(BankCampaign, TrackedAndUntrackedJobsDoNotCrossFuse)
+{
+    TraceCache cache;
+    const std::vector<BenchmarkTrace> benchmarks =
+        resolveTraces(cache, {bankSpec("bank-track-mix", 8)});
+
+    SimConfig tracking;
+    tracking.trackPerBranch = true;
+    Campaign campaign;
+    campaign.addJob("gshare:n=8,h=4", benchmarks[0]);
+    campaign.addJob("gshare:n=8,h=4", benchmarks[0], tracking);
+    campaign.addJob("gshare:n=8,h=8", benchmarks[0], tracking);
+    campaign.addJob("gshare:n=8,h=8", benchmarks[0]);
+    const auto results = campaign.run(1);
+    ASSERT_EQ(results.size(), 4u);
+    for (const JobResult &result : results)
+        ASSERT_TRUE(result.ok());
+    // The two untracked jobs bank together, as do the two tracked
+    // ones — but never across the tracking boundary, so untracked
+    // lanes keep the unprobed kernel instantiation.
+    EXPECT_EQ(results[0].result.fusedLanes, 2u);
+    EXPECT_EQ(results[3].result.fusedLanes, 2u);
+    EXPECT_TRUE(results[0].result.perBranch.empty());
+    EXPECT_TRUE(results[3].result.perBranch.empty());
+    EXPECT_EQ(results[1].result.fusedLanes, 2u);
+    EXPECT_EQ(results[2].result.fusedLanes, 2u);
+    EXPECT_FALSE(results[1].result.perBranch.empty());
+    EXPECT_FALSE(results[2].result.perBranch.empty());
 }
 
 } // namespace
